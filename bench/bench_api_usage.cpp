@@ -1,0 +1,44 @@
+// Reproduces the §5.2 script-cookie API usage statistics:
+//   * document.cookie invoked on 96.3% of sites; 81,918 unique cookie pairs
+//     set by 92,235 scripts,
+//   * cookieStore on only 2.8% of sites; 411 pairs, 13 unique names,
+//     dominated by Shopify's keep_alive and Admiral's _awl.
+#include "bench_util.h"
+
+int main() {
+  using namespace cg;
+  corpus::Corpus corpus(bench::default_params());
+  bench::print_header("§5.2 — usage of script cookie APIs in the wild",
+                      corpus);
+
+  analysis::Analyzer analyzer(corpus.entities());
+  bench::run_measurement_crawl(corpus, analyzer);
+
+  const auto& t = analyzer.totals();
+  const double n = t.sites_complete;
+
+  bench::print_row("sites invoking document.cookie", 96.3,
+                   100.0 * t.sites_using_document_cookie / n);
+  bench::print_row("sites invoking cookieStore", 2.8,
+                   100.0 * t.sites_using_cookie_store / n);
+
+  const int doc_pairs =
+      analyzer.pair_count(cookies::CookieSource::kDocumentCookie);
+  const int store_pairs =
+      analyzer.pair_count(cookies::CookieSource::kCookieStore);
+  std::printf("\n  unique cookie pairs (name, setter domain):\n");
+  std::printf("    document.cookie/header: %d   (paper: 81,918 at 20k sites)\n",
+              doc_pairs);
+  std::printf("    cookieStore:            %d   (paper: 411)\n", store_pairs);
+  std::printf("  unique setter script URLs: %lld (paper: 92,235)\n",
+              t.unique_setter_scripts);
+
+  std::printf("\n  cookieStore cookie names (paper: 13 names, ~90%% being "
+              "keep_alive and _awl):\n");
+  for (const auto& name : t.store_cookie_names) {
+    std::printf("    %s\n", name.c_str());
+  }
+  std::printf("  cookieStore setter script domains: %zu (paper: 361)\n\n",
+              t.store_script_domains.size());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Baseline-defense comparison (paper §2.1): third-party cookie blocking,
+// storage partitioning, and filter-list content blocking versus CookieGuard,
+// all on the same corpus.
+//
+// Expected shape: the first two leave main-frame cross-domain actions
+// untouched (they isolate *sites*, not *scripts*); the filter list removes
+// listed vendors (and their functionality) but misses the long tail,
+// CNAME-cloaked scripts, and first-party proxies; CookieGuard cuts all
+// three action classes by >80% while keeping vendors running.
+#include "baselines/baselines.h"
+#include "cookieguard/cookieguard.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace cg;
+
+struct Row {
+  const char* label;
+  double exfil, overwrite, del;
+  double tp_scripts;
+};
+
+Row run(const corpus::Corpus& corpus, const char* label,
+        browser::Extension* defense) {
+  analysis::Analyzer analyzer(corpus.entities());
+  cg::bench::run_measurement_crawl(corpus, analyzer, defense,
+                                   /*simulate_log_loss=*/false);
+  const auto& t = analyzer.totals();
+  const double n = t.sites_complete;
+  return {label, 100.0 * t.sites_doc_exfil / n,
+          100.0 * t.sites_doc_overwrite / n, 100.0 * t.sites_doc_delete / n,
+          double(t.third_party_script_count) / t.sites_crawled};
+}
+
+}  // namespace
+
+int main() {
+  corpus::Corpus corpus(cg::bench::default_params());
+  cg::bench::print_header(
+      "§2.1 baselines — existing defenses vs CookieGuard", corpus);
+
+  baselines::ThirdPartyCookieBlocking third_party;
+  baselines::StoragePartitioning partitioning;
+  baselines::FilterListBlocker filter_list;
+  cookieguard::CookieGuard guard;
+
+  const Row rows[] = {
+      run(corpus, "no defense", nullptr),
+      run(corpus, "3rd-party cookie blocking", &third_party),
+      run(corpus, "storage partitioning", &partitioning),
+      run(corpus, "filter-list blocker", &filter_list),
+      run(corpus, "CookieGuard", &guard),
+  };
+
+  std::printf("\n  %-28s | exfil%% | overwrite%% | delete%% | TP scripts/site\n",
+              "defense");
+  std::printf("  %s\n", std::string(76, '-').c_str());
+  for (const auto& row : rows) {
+    std::printf("  %-28s | %6.1f | %10.1f | %7.1f | %8.1f\n", row.label,
+                row.exfil, row.overwrite, row.del, row.tp_scripts);
+  }
+
+  std::printf("\n  filter list blocked %llu script inclusions and %llu "
+              "requests (functionality cost);\n  cross-site Set-Cookie "
+              "headers the 3p-blocker saw: %llu (already inert in a 2025 "
+              "browser).\n\n",
+              static_cast<unsigned long long>(
+                  filter_list.stats().scripts_blocked),
+              static_cast<unsigned long long>(
+                  filter_list.stats().requests_blocked),
+              static_cast<unsigned long long>(
+                  third_party.cross_site_headers_seen()));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the experiment-reproduction binaries.
+//
+// Every bench crawls the synthetic corpus (default: the paper's 20,000
+// sites; override with CG_SITES=<n> for quick runs) and prints the same
+// rows/series as the corresponding paper table or figure, with the paper's
+// reported value alongside for comparison.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "corpus/corpus.h"
+#include "crawler/crawler.h"
+
+namespace cg::bench {
+
+inline int corpus_sites_from_env(int fallback = 20000) {
+  if (const char* env = std::getenv("CG_SITES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+inline corpus::CorpusParams default_params() {
+  corpus::CorpusParams params;
+  params.site_count = corpus_sites_from_env();
+  return params;
+}
+
+inline void print_header(const char* title, const corpus::Corpus& corpus) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("corpus: %d sites, seed 0x%llX, %zu catalog scripts\n",
+              corpus.size(),
+              static_cast<unsigned long long>(corpus.params().seed),
+              corpus.catalog().size());
+  std::printf("================================================================\n");
+}
+
+/// Runs the measurement crawl (no enforcement) into `analyzer`.
+inline void run_measurement_crawl(const corpus::Corpus& corpus,
+                                  analysis::Analyzer& analyzer,
+                                  browser::Extension* extra = nullptr,
+                                  bool simulate_log_loss = true) {
+  crawler::Crawler crawler(corpus);
+  crawler::CrawlOptions options;
+  options.simulate_log_loss = simulate_log_loss;
+  if (extra != nullptr) options.extra_extensions.push_back(extra);
+  crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
+    analyzer.ingest(log);
+  });
+}
+
+inline void print_row(const char* label, double paper, double measured,
+                      const char* unit = "%") {
+  std::printf("  %-46s paper %7.1f%-2s  measured %7.1f%-2s\n", label, paper,
+              unit, measured, unit);
+}
+
+}  // namespace cg::bench

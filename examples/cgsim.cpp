@@ -1,0 +1,167 @@
+// cgsim: command-line driver for the CookieGuard simulator.
+//
+//   cgsim crawl    [--sites N] [--guard] [--json FILE] [--pairs-csv FILE]
+//                  [--domains-csv FILE]
+//   cgsim audit    [--sites N] --site INDEX
+//   cgsim breakage [--sites N] [--sample K]
+//   cgsim perf     [--sites N]
+//
+// Everything the benches compute, behind one adoptable binary with
+// machine-readable output.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "breakage/breakage.h"
+#include "cookieguard/cookieguard.h"
+#include "corpus/corpus.h"
+#include "crawler/crawler.h"
+#include "perf/perf.h"
+#include "report/report.h"
+
+namespace {
+
+using namespace cg;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atoi(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    // Flags without values: --guard
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";
+    }
+  }
+  return args;
+}
+
+corpus::Corpus make_corpus(const Args& args) {
+  corpus::CorpusParams params;
+  params.site_count = args.get_int("sites", 2000);
+  return corpus::Corpus(params);
+}
+
+int cmd_crawl(const Args& args) {
+  corpus::Corpus corpus(make_corpus(args));
+  crawler::Crawler crawler(corpus);
+  analysis::Analyzer analyzer(corpus.entities());
+
+  cookieguard::CookieGuard guard;
+  crawler::CrawlOptions options;
+  if (args.has("guard")) options.extra_extensions.push_back(&guard);
+
+  std::printf("crawling %d sites%s...\n", corpus.size(),
+              args.has("guard") ? " with CookieGuard" : "");
+  crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
+    analyzer.ingest(log);
+  });
+
+  const auto& t = analyzer.totals();
+  const double n = t.sites_complete;
+  std::printf("sites analyzed: %d\n", t.sites_complete);
+  std::printf("cross-domain exfiltration: %.1f%% | overwriting: %.1f%% | "
+              "deletion: %.1f%%\n",
+              100.0 * t.sites_doc_exfil / n, 100.0 * t.sites_doc_overwrite / n,
+              100.0 * t.sites_doc_delete / n);
+
+  if (args.has("json")) {
+    std::ofstream out(args.get("json", "summary.json"));
+    out << report::summary_to_json(analyzer, 20).dump(2) << '\n';
+    std::printf("wrote %s\n", args.get("json", "summary.json").c_str());
+  }
+  if (args.has("pairs-csv")) {
+    std::ofstream out(args.get("pairs-csv", "pairs.csv"));
+    report::write_pairs_csv(analyzer, 20, out);
+    std::printf("wrote %s\n", args.get("pairs-csv", "pairs.csv").c_str());
+  }
+  if (args.has("domains-csv")) {
+    std::ofstream out(args.get("domains-csv", "domains.csv"));
+    report::write_domains_csv(analyzer, 20, out);
+    std::printf("wrote %s\n", args.get("domains-csv", "domains.csv").c_str());
+  }
+  return 0;
+}
+
+int cmd_audit(const Args& args) {
+  corpus::Corpus corpus(make_corpus(args));
+  const int index = args.get_int("site", 0) % corpus.size();
+  crawler::Crawler crawler(corpus);
+  crawler::CrawlOptions options;
+  options.simulate_log_loss = false;
+  const auto log = crawler.visit(index, options);
+
+  analysis::Analyzer analyzer(corpus.entities());
+  analyzer.ingest(log);
+  std::printf("https://%s/ — %zu script inclusions, %zu cookie writes, "
+              "%zu requests\n",
+              corpus.site(index).host.c_str(), log.includes.size(),
+              log.script_sets.size(), log.requests.size());
+  std::printf("%s\n", report::summary_to_json(analyzer, 10).dump(2).c_str());
+  return 0;
+}
+
+int cmd_breakage(const Args& args) {
+  corpus::Corpus corpus(make_corpus(args));
+  breakage::BreakageEvaluator evaluator(corpus);
+  const auto sample = evaluator.sample_sites(args.get_int("sample", 100),
+                                             corpus.size());
+  for (const auto mode :
+       {breakage::GuardMode::kStrict, breakage::GuardMode::kEntityGrouping,
+        breakage::GuardMode::kGroupingPlusPolicies}) {
+    const auto summary = evaluator.summarize(sample, mode);
+    std::printf("%-42s major breakage on %.1f%% of %d sites\n",
+                breakage::to_string(mode),
+                100.0 * summary.sites_major / summary.sites, summary.sites);
+  }
+  return 0;
+}
+
+int cmd_perf(const Args& args) {
+  corpus::Corpus corpus(make_corpus(args));
+  const auto comparison = perf::compare_page_load(corpus, corpus.size(), {});
+  std::printf("load event: %.0f ms -> %.0f ms (overhead %.0f ms)\n",
+              comparison.normal.load_event.mean_ms,
+              comparison.guarded.load_event.mean_ms,
+              comparison.mean_overhead_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "crawl") return cmd_crawl(args);
+  if (args.command == "audit") return cmd_audit(args);
+  if (args.command == "breakage") return cmd_breakage(args);
+  if (args.command == "perf") return cmd_perf(args);
+  std::fprintf(stderr,
+               "usage: cgsim <crawl|audit|breakage|perf> [--sites N] "
+               "[--guard] [--site I] [--sample K]\n"
+               "             [--json FILE] [--pairs-csv FILE] "
+               "[--domains-csv FILE]\n");
+  return 2;
+}

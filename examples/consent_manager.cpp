@@ -1,0 +1,121 @@
+// consent_manager: reconstructs the paper's §5.5 manipulation case studies
+// on a hand-built page (no corpus), showing the three intents behind
+// cross-domain manipulation — collision, competition, compliance — and what
+// CookieGuard does to each.
+//
+// The page embeds:
+//   * Criteo (sets cto_bundle, a 194-char hash),
+//   * PubMatic (deliberately overwrites cto_bundle with a 258-char hash —
+//     the paper's "collusion or competition" case),
+//   * two widgets that both use the generic name cookie_test ("collision"),
+//   * a consent manager that deletes _fbp on decline ("privacy compliance").
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "browser/page.h"
+#include "cookieguard/cookieguard.h"
+#include "script/ops.h"
+
+namespace {
+
+using namespace cg;
+
+browser::ScriptCatalog build_catalog() {
+  using script::Category;
+  browser::ScriptCatalog catalog;
+
+  auto add = [&](const char* id, const char* url, Category category,
+                 std::vector<script::ScriptOp> ops) {
+    script::ScriptSpec spec;
+    spec.id = id;
+    spec.url_template = url;
+    spec.category = category;
+    spec.ops = std::move(ops);
+    catalog.add(std::move(spec));
+  };
+
+  add("criteo", "https://static.criteo.net/js/ld/ld.js",
+      Category::kRtbExchange,
+      {script::set_cookie("cto_bundle", "{hex:194}")});
+  add("pubmatic", "https://ads.pubmatic.com/AdServer/js/pwt/pwt.js",
+      Category::kRtbExchange,
+      {script::overwrite({"cto_bundle"}, "{hex:258}")});
+  add("widget-a", "https://cdn.widget-a.com/w.js", Category::kSupport,
+      {script::set_cookie("cookie_test", "{hex:8}", "; Path=/", true)});
+  add("widget-b", "https://cdn.widget-b.io/w.js", Category::kSupport,
+      {script::overwrite({"cookie_test"}, "{hex:8}")});
+  add("fbpixel", "https://connect.facebook.net/en_US/fbevents.js",
+      Category::kSocial,
+      {script::set_cookie("_fbp", "fb.1.{ts_ms}.{rand:18}")});
+  add("consent", "https://cdn-cookieyes.com/client_data/demo/script.js",
+      Category::kConsent, {script::delete_cookies({"_fbp"})});
+  return catalog;
+}
+
+void show_jar(browser::Browser& browser, const char* label) {
+  std::printf("\n%s\n", label);
+  if (browser.jar().size() == 0) {
+    std::printf("  (empty)\n");
+    return;
+  }
+  for (const auto& cookie : browser.jar().all()) {
+    std::string value = cookie.value;
+    if (value.size() > 40) value = value.substr(0, 37) + "...";
+    std::printf("  %-14s = %-42s (len %zu)\n", cookie.name.c_str(),
+                value.c_str(), cookie.value.size());
+  }
+}
+
+void run_scenario(bool with_guard) {
+  const auto catalog = build_catalog();
+  browser::Browser browser({}, /*seed=*/7);
+  browser.set_catalog(&catalog);
+  browser::DocumentSpec doc;
+  doc.script_ids = {"criteo", "fbpixel", "widget-a"};
+  browser.set_document_provider([doc](const net::Url&) { return doc; });
+
+  cookieguard::CookieGuard guard;
+  if (with_guard) browser.add_extension(&guard);
+
+  auto page = browser.navigate(
+      net::Url::must_parse("https://www.publisher-demo.com/"));
+  show_jar(browser, "Jar after page load (criteo + fbpixel + widget-a ran):");
+
+  std::printf("\n-> PubMatic script executes (competition: rewrites "
+              "cto_bundle 194 -> 258 chars)\n");
+  page->run_catalog_script("pubmatic");
+  std::printf("-> widget-b executes (collision: generic name cookie_test)\n");
+  page->run_catalog_script("widget-b");
+  std::printf("-> consent manager executes decline path (compliance: "
+              "deletes _fbp)\n");
+  page->run_catalog_script("consent");
+  page->loop().run_until_idle();
+
+  show_jar(browser, "Jar afterwards:");
+  if (with_guard) {
+    std::printf("\nCookieGuard blocked %llu cross-domain writes and hid "
+                "cookies on %llu reads.\n",
+                static_cast<unsigned long long>(guard.stats().writes_blocked),
+                static_cast<unsigned long long>(guard.stats().reads_filtered));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=============================================\n");
+  std::printf(" Scenario 1: plain browser (paper section 5.5)\n");
+  std::printf("=============================================\n");
+  run_scenario(/*with_guard=*/false);
+
+  std::printf("\n=============================================\n");
+  std::printf(" Scenario 2: same page with CookieGuard\n");
+  std::printf("=============================================\n");
+  run_scenario(/*with_guard=*/true);
+
+  std::printf("\nWith CookieGuard, cto_bundle keeps Criteo's 194-char value, "
+              "cookie_test keeps widget-a's\nvalue, and _fbp survives the "
+              "consent manager (only its owner or the site may remove "
+              "it).\n");
+  return 0;
+}

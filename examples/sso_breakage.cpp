@@ -1,0 +1,92 @@
+// sso_breakage: walks the paper's §7.2 Single Sign-On breakage story on one
+// zoom.us-style site (two provider domains share the session) under each
+// CookieGuard deployment mode, narrating what the user would experience.
+#include <cstdio>
+
+#include "breakage/breakage.h"
+
+int main() {
+  using namespace cg;
+  using breakage::Aspect;
+  using breakage::GuardMode;
+  using breakage::Severity;
+
+  corpus::CorpusParams params;
+  params.site_count = 600;
+  corpus::Corpus corpus(params);
+  breakage::BreakageEvaluator evaluator(corpus);
+
+  // Find representative sites for each breakage story.
+  int two_domain = -1, refresh = -1, messenger = -1;
+  for (int i = 0; i < corpus.size(); ++i) {
+    const auto& bp = corpus.site(i);
+    if (two_domain < 0 && bp.sso_two_domain &&
+        bp.sso_provider_a == "ms-sso-a") {
+      two_domain = i;
+    }
+    if (refresh < 0 && bp.has_sso && !bp.sso_two_domain &&
+        bp.sso_server_refresh) {
+      refresh = i;
+    }
+    if (messenger < 0 && bp.has_entity_cdn_widget) messenger = i;
+  }
+
+  const auto describe = [](Severity s) {
+    switch (s) {
+      case Severity::kNone:
+        return "works";
+      case Severity::kMinor:
+        return "MINOR breakage";
+      case Severity::kMajor:
+        return "MAJOR breakage";
+    }
+    return "?";
+  };
+
+  const auto walk = [&](const char* story, int index, Aspect aspect) {
+    if (index < 0) {
+      std::printf("%s: no matching site in this corpus slice\n", story);
+      return;
+    }
+    const auto& bp = corpus.site(index);
+    std::printf("\n%s\n  site: https://%s/\n", story, bp.host.c_str());
+    for (const auto mode :
+         {GuardMode::kOff, GuardMode::kStrict, GuardMode::kEntityGrouping,
+          GuardMode::kGroupingPlusPolicies}) {
+      const auto result = evaluator.evaluate_site(index, mode);
+      std::printf("    %-42s -> %s\n", breakage::to_string(mode),
+                  describe(result[aspect]));
+    }
+  };
+
+  std::printf("CookieGuard SSO/functionality breakage walkthrough "
+              "(paper section 7.2)\n");
+  std::printf("====================================================="
+              "===============\n");
+
+  walk("Story 1 — zoom.us pattern: microsoft.com sets the session cookie, "
+       "live.com maintains it",
+       two_domain, Aspect::kSso);
+  std::printf("  (strict isolation hides the session cookie from the second "
+              "provider; entity grouping\n   repairs it because both domains "
+              "are Microsoft)\n");
+
+  walk("Story 2 — cnn.com pattern: the server re-emits the session cookie "
+       "on reload",
+       refresh, Aspect::kSso);
+  std::printf("  (the HTTP re-set re-attributes the cookie to the first "
+              "party, so the provider script\n   loses access after a "
+              "refresh: sign-in works, reload logs out)\n");
+
+  walk("Story 3 — facebook.com pattern: the chat widget lives on the "
+       "entity CDN (fbcdn.net)",
+       messenger, Aspect::kFunctionality);
+  std::printf("  (fbcdn.net is third-party to facebook.net by eTLD+1 but the "
+              "same organization;\n   the DuckDuckGo-entity whitelist "
+              "restores the widget)\n");
+
+  std::printf("\nTable-3 takeaway: strict CookieGuard breaks SSO on ~11%% of "
+              "sites; grouping + per-site\ndomain policies reduce breakage "
+              "to ~3%%.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Website-breakage evaluation (paper §7.2, Table 3).
+//
+// The paper's manual assessment of 100 sites is replaced by deterministic
+// functionality probes that *execute* the dependency the human evaluators
+// checked: logging in via SSO and staying logged in across a reload, ad
+// slots rendering from targeting cookies, and chat widgets served from a
+// same-entity CDN. Each probe drives the real page APIs through the real
+// CookieGuard, so breakage emerges from enforcement, not from hand-coded
+// outcomes.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cookieguard/cookieguard.h"
+#include "corpus/corpus.h"
+
+namespace cg::breakage {
+
+enum class Severity { kNone, kMinor, kMajor };
+
+enum class Aspect { kNavigation = 0, kSso = 1, kAppearance = 2,
+                    kFunctionality = 3 };
+
+struct SiteBreakage {
+  std::array<Severity, 4> by_aspect{Severity::kNone, Severity::kNone,
+                                    Severity::kNone, Severity::kNone};
+  Severity& operator[](Aspect a) { return by_aspect[static_cast<int>(a)]; }
+  Severity operator[](Aspect a) const {
+    return by_aspect[static_cast<int>(a)];
+  }
+  bool any() const {
+    for (const auto s : by_aspect) {
+      if (s != Severity::kNone) return true;
+    }
+    return false;
+  }
+};
+
+/// CookieGuard deployment variants evaluated in §7.2.
+enum class GuardMode {
+  kOff,                  // plain browser
+  kStrict,               // default CookieGuard policy
+  kEntityGrouping,       // + DuckDuckGo-entity whitelist
+  kGroupingPlusPolicies,  // + per-site domain policies for SSO providers
+};
+
+const char* to_string(GuardMode mode);
+
+struct Summary {
+  int sites = 0;
+  std::array<int, 4> minor{};
+  std::array<int, 4> major{};
+  /// Sites with at least one minor/major breakage anywhere.
+  int sites_minor = 0;
+  int sites_major = 0;
+};
+
+class BreakageEvaluator {
+ public:
+  explicit BreakageEvaluator(const corpus::Corpus& corpus)
+      : corpus_(corpus) {}
+
+  /// Probes one site under the given deployment mode.
+  SiteBreakage evaluate_site(int index, GuardMode mode) const;
+
+  /// Probes a sample of sites and aggregates Table-3-style counts.
+  /// Breakage is measured *relative to the no-extension baseline*, as the
+  /// paper's evaluators compared each site with and without the extension:
+  /// a feature that is already broken without CookieGuard (e.g. a consent
+  /// manager deleted the widget's cookie) does not count against it.
+  Summary summarize(const std::vector<int>& site_indices,
+                    GuardMode mode) const;
+
+  /// Random sample of `n` site indices from the top `top_k` (paper: 100
+  /// sites from the Tranco top 10k).
+  std::vector<int> sample_sites(int n, int top_k,
+                                std::uint64_t seed = 0x5A3C) const;
+
+ private:
+  const corpus::Corpus& corpus_;
+};
+
+}  // namespace cg::breakage

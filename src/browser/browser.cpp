@@ -1,0 +1,39 @@
+#include "browser/browser.h"
+
+#include "browser/page.h"
+
+namespace cg::browser {
+
+Browser::Browser(BrowserConfig config, std::uint64_t seed)
+    : config_(config), clock_(config.clock_start), rng_(seed) {}
+
+Browser::~Browser() = default;
+
+void Browser::add_extension(Extension* extension) {
+  extensions_.push_back(extension);
+}
+
+TimeMillis Browser::extension_api_overhead_ms() const {
+  TimeMillis total = 0;
+  for (const auto* extension : extensions_) {
+    total += extension->api_call_overhead_ms();
+  }
+  return total;
+}
+
+std::unique_ptr<Page> Browser::navigate(const net::Url& url) {
+  if (!visit_started_) {
+    visit_started_ = true;
+    for (auto* extension : extensions_) {
+      extension->on_visit_start(*this);
+    }
+  }
+  auto page = std::make_unique<Page>(*this, url);
+  for (auto* extension : extensions_) {
+    extension->on_page_start(*page);
+  }
+  page->load();
+  return page;
+}
+
+}  // namespace cg::browser

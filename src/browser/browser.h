@@ -1,0 +1,109 @@
+// The simulated browser: clock, cookie jar, network, catalog, extensions.
+//
+// One Browser instance models one fresh-profile visit (the crawler creates a
+// new Browser per site, as the paper's Selenium harness launched a fresh
+// Chrome per visit). Navigations within the visit share the jar, the clock,
+// and the extension set.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "browser/catalog.h"
+#include "browser/document_spec.h"
+#include "browser/extension.h"
+#include "browser/network.h"
+#include "cookies/cookie_jar.h"
+#include "net/clock.h"
+#include "net/dns.h"
+#include "net/url.h"
+#include "script/rng.h"
+
+namespace cg::browser {
+
+class Page;
+
+/// Timing-model and engine parameters. Millisecond costs were calibrated so
+/// the unmodified browser's page-load distribution lands near the paper's
+/// Table 4 "Normal" column (see perf/README in DESIGN.md).
+struct BrowserConfig {
+  /// Reconstruct async stack traces across setTimeout/promise boundaries
+  /// (paper §8 discusses attribution with and without this).
+  bool async_stack_traces = true;
+
+  /// Wall-clock at visit start. The crawler staggers this per site — a crawl
+  /// spans days, and identifier timestamps must differ across visits.
+  TimeMillis clock_start = SimClock::kDefaultStart;
+
+  /// Network fetch latencies are right-skewed (base + jitter * u1*u2*u3
+  /// with u_i uniform): calibrated so the plain browser's page-load
+  /// mean/median distribution lands on Table 4's "Normal" column.
+  TimeMillis doc_fetch_base_ms = 50;
+  TimeMillis doc_fetch_jitter_ms = 11000;
+  TimeMillis script_fetch_base_ms = 2;
+  TimeMillis script_fetch_jitter_ms = 10;
+  /// Base compute cost of one scripted cookie/network API call.
+  TimeMillis api_base_cost_ms = 1;
+  /// DOM parse speed.
+  int dom_nodes_per_ms = 8;
+  /// Images/CSS after DCL, before the load event (skewed like doc fetch).
+  TimeMillis subresource_base_ms = 200;
+  TimeMillis subresource_jitter_ms = 7200;
+};
+
+class Browser {
+ public:
+  using DocumentProvider = std::function<DocumentSpec(const net::Url&)>;
+
+  Browser(BrowserConfig config, std::uint64_t seed);
+  ~Browser();
+
+  Browser(const Browser&) = delete;
+  Browser& operator=(const Browser&) = delete;
+
+  const BrowserConfig& config() const { return config_; }
+  SimClock& clock() { return clock_; }
+  cookies::CookieJar& jar() { return jar_; }
+  NetworkLayer& network() { return network_; }
+  script::Rng& rng() { return rng_; }
+  net::DnsResolver& dns() { return dns_; }
+  const net::DnsResolver& dns() const { return dns_; }
+
+  /// Catalog and document provider are owned by the corpus (outlives the
+  /// browser).
+  void set_catalog(const ScriptCatalog* catalog) { catalog_ = catalog; }
+  const ScriptCatalog* catalog() const { return catalog_; }
+
+  void set_document_provider(DocumentProvider provider) {
+    document_provider_ = std::move(provider);
+  }
+  DocumentSpec document_for(const net::Url& url) const {
+    return document_provider_ ? document_provider_(url) : DocumentSpec{};
+  }
+
+  /// Extensions are installed in order; non-owning (caller keeps alive).
+  void add_extension(Extension* extension);
+  const std::vector<Extension*>& extensions() const { return extensions_; }
+
+  /// Total simulated per-API-call interception overhead of all extensions.
+  TimeMillis extension_api_overhead_ms() const;
+
+  /// Navigates to `url`: creates and fully loads a Page. The first
+  /// navigation fires Extension::on_visit_start.
+  std::unique_ptr<Page> navigate(const net::Url& url);
+
+ private:
+  BrowserConfig config_;
+  SimClock clock_;
+  script::Rng rng_;
+  cookies::CookieJar jar_;
+  NetworkLayer network_;
+  net::DnsResolver dns_;
+  const ScriptCatalog* catalog_ = nullptr;
+  DocumentProvider document_provider_;
+  std::vector<Extension*> extensions_;
+  bool visit_started_ = false;
+};
+
+}  // namespace cg::browser

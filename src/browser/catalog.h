@@ -1,0 +1,39 @@
+// Script catalog: id → ScriptSpec registry shared by the corpus and browser.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "script/script_spec.h"
+
+namespace cg::browser {
+
+class ScriptCatalog {
+ public:
+  void add(script::ScriptSpec spec) {
+    const std::string id = spec.id;
+    specs_.insert_or_assign(id, std::move(spec));
+  }
+
+  const script::ScriptSpec* find(std::string_view id) const {
+    const auto it = specs_.find(std::string(id));
+    return it == specs_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return specs_.size(); }
+  const std::map<std::string, script::ScriptSpec>& all() const {
+    return specs_;
+  }
+
+  /// Applies `fn` to every spec (corpus post-processing).
+  void transform(const std::function<void(script::ScriptSpec&)>& fn) {
+    for (auto& [id, spec] : specs_) fn(spec);
+  }
+
+ private:
+  std::map<std::string, script::ScriptSpec> specs_;
+};
+
+}  // namespace cg::browser

@@ -1,0 +1,21 @@
+// Structured stand-in for a page's HTML: which scripts the markup includes
+// statically, which links exist (for crawler clicks), and how heavy the
+// static DOM is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cg::browser {
+
+struct DocumentSpec {
+  /// Catalog ids of statically included scripts, in document order.
+  std::vector<std::string> script_ids;
+  /// Same-site link targets available for the crawler's random clicks
+  /// (paths resolved against the page URL).
+  std::vector<std::string> link_paths;
+  /// Number of static DOM nodes (drives parse cost in the timing model).
+  int static_dom_nodes = 120;
+};
+
+}  // namespace cg::browser

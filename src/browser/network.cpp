@@ -1,0 +1,31 @@
+#include "browser/network.h"
+
+#include "net/psl.h"
+
+namespace cg::browser {
+
+void NetworkLayer::register_host(std::string_view host,
+                                 ServerHandler handler) {
+  hosts_.insert_or_assign(std::string(host), std::move(handler));
+}
+
+void NetworkLayer::register_site(std::string_view site,
+                                 ServerHandler handler) {
+  sites_.insert_or_assign(std::string(site), std::move(handler));
+}
+
+net::HttpResponse NetworkLayer::dispatch(
+    const net::HttpRequest& request) const {
+  if (const auto it = hosts_.find(request.url.host()); it != hosts_.end()) {
+    return it->second(request);
+  }
+  const std::string site = net::etld_plus_one(request.url.host());
+  if (const auto it = sites_.find(site); it != sites_.end()) {
+    return it->second(request);
+  }
+  net::HttpResponse response;
+  response.status = 200;
+  return response;
+}
+
+}  // namespace cg::browser

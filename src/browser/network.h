@@ -1,0 +1,39 @@
+// In-process network layer: hostname → server handler routing.
+//
+// The corpus registers handlers for every first- and third-party host it
+// generates; unknown hosts get a default 200. Handlers are ordinary
+// functions, so servers can be stateful (SSO session endpoints, RTB
+// exchanges) without any socket machinery.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+
+namespace cg::browser {
+
+class NetworkLayer {
+ public:
+  using ServerHandler =
+      std::function<net::HttpResponse(const net::HttpRequest&)>;
+
+  /// Registers a handler for an exact hostname (later registration wins).
+  void register_host(std::string_view host, ServerHandler handler);
+
+  /// Registers a fallback for any subdomain of `site` (eTLD+1 routing).
+  void register_site(std::string_view site, ServerHandler handler);
+
+  /// Routes a request: exact host match, then site match, then default 200.
+  net::HttpResponse dispatch(const net::HttpRequest& request) const;
+
+  std::size_t host_count() const { return hosts_.size(); }
+
+ private:
+  std::map<std::string, ServerHandler, std::less<>> hosts_;
+  std::map<std::string, ServerHandler, std::less<>> sites_;
+};
+
+}  // namespace cg::browser

@@ -1,0 +1,566 @@
+#include "browser/page.h"
+
+#include <utility>
+
+#include "net/psl.h"
+#include "script/interpreter.h"
+
+namespace cg::browser {
+namespace {
+
+// Expands "{site}" in first-party script URL templates.
+std::string expand_site(std::string_view url_template, std::string_view host) {
+  std::string out(url_template);
+  const auto pos = out.find("{site}");
+  if (pos != std::string::npos) out.replace(pos, 6, host);
+  return out;
+}
+
+constexpr int kMaxInclusionDepth = 8;
+
+// Right-skewed latency: base + jitter * u1*u2*u3 (mean base + jitter/8,
+// median ~ base + 0.069*jitter) — the long-tailed shape of real page loads.
+TimeMillis skewed_latency(TimeMillis base, TimeMillis jitter,
+                          cg::script::Rng& rng) {
+  const double u = rng.uniform() * rng.uniform() * rng.uniform();
+  return base + static_cast<TimeMillis>(static_cast<double>(jitter) * u);
+}
+
+}  // namespace
+
+class Page::FrameGuard {
+ public:
+  FrameGuard(webplat::StackTrace& stack, std::string script_url,
+             std::string function_name)
+      : stack_(stack) {
+    stack_.push({std::move(script_url), std::move(function_name), false});
+  }
+  ~FrameGuard() { stack_.pop(); }
+  FrameGuard(const FrameGuard&) = delete;
+  FrameGuard& operator=(const FrameGuard&) = delete;
+
+ private:
+  webplat::StackTrace& stack_;
+};
+
+Page::Page(Browser& browser, net::Url url)
+    : browser_(browser),
+      url_(url),
+      main_frame_(std::move(url), nullptr),
+      loop_(&browser.clock()) {}
+
+TimeMillis Page::now() const { return browser_.clock().now(); }
+
+void Page::charge_api_call() {
+  browser_.clock().advance(browser_.config().api_base_cost_ms +
+                           browser_.extension_api_overhead_ms());
+}
+
+void Page::load() {
+  auto& clock = browser_.clock();
+  auto& rng = browser_.rng();
+  const auto& config = browser_.config();
+  nav_start_ = clock.now();
+
+  // Document fetch.
+  clock.advance(
+      skewed_latency(config.doc_fetch_base_ms, config.doc_fetch_jitter_ms,
+                     rng));
+  net::HttpRequest doc_request;
+  doc_request.method = net::HttpMethod::kGet;
+  doc_request.url = url_;
+  doc_request.destination = net::RequestDestination::kDocument;
+  fetch(std::move(doc_request), nullptr);
+
+  spec_ = browser_.document_for(url_);
+
+  // Parse static DOM; materialise link elements for the crawler.
+  clock.advance(spec_.static_dom_nodes / config.dom_nodes_per_ms);
+  auto& document = main_frame_.document();
+  for (const auto& path : spec_.link_paths) {
+    auto& anchor = document.create_element("a", "");
+    document.set_attribute(anchor, "href", path, "");
+    document.append_child(document.body(), anchor, "");
+  }
+  timings_.dom_interactive = clock.now() - nav_start_;
+
+  // Static scripts, document order.
+  for (const auto& id : spec_.script_ids) {
+    include_script(id, script::Inclusion::kDirect, nullptr);
+  }
+  timings_.dom_content_loaded = clock.now() - nav_start_;
+
+  // Subresources (images/CSS) and deferred script work.
+  clock.advance(skewed_latency(config.subresource_base_ms,
+                               config.subresource_jitter_ms, rng));
+  loop_.run_until_idle();
+  timings_.load_event = clock.now() - nav_start_;
+
+  for (auto* extension : browser_.extensions()) {
+    extension->on_page_finished(*this);
+  }
+}
+
+void Page::simulate_scroll() {
+  browser_.clock().advance(120);
+  loop_.run_until_idle();
+}
+
+script::ExecContext Page::make_context(
+    const script::ScriptSpec& spec, script::Inclusion inclusion,
+    const script::ExecContext* includer) const {
+  script::ExecContext ctx;
+  ctx.script_id = spec.id;
+  ctx.category = spec.category;
+  ctx.inclusion = inclusion;
+  if (includer != nullptr) {
+    ctx.inclusion_chain = includer->inclusion_chain;
+    ctx.inclusion_chain.push_back(includer->script_id);
+  }
+  if (!spec.is_inline) {
+    ctx.script_url = expand_site(spec.url_template, url_.host());
+    ctx.script_domain = net::etld_plus_one(
+        net::Url::must_parse(ctx.script_url).host());
+  } else {
+    ctx.inline_script = true;
+  }
+  return ctx;
+}
+
+void Page::include_script(std::string_view script_id,
+                          script::Inclusion inclusion,
+                          const script::ExecContext* includer) {
+  if (inclusion_depth_ >= kMaxInclusionDepth) return;
+  const auto* spec = browser_.catalog() != nullptr
+                         ? browser_.catalog()->find(script_id)
+                         : nullptr;
+  if (spec == nullptr) return;
+
+  const script::ExecContext ctx = make_context(*spec, inclusion, includer);
+
+  for (auto* extension : browser_.extensions()) {
+    if (!extension->allow_script_include(*this, ctx)) return;
+  }
+  for (auto* extension : browser_.extensions()) {
+    extension->on_script_included(*this, ctx);
+  }
+
+  if (!spec->is_inline) {
+    // Fetch the script resource.
+    const auto& config = browser_.config();
+    browser_.clock().advance(static_cast<TimeMillis>(
+        config.script_fetch_base_ms +
+        browser_.rng().below(
+            static_cast<std::uint64_t>(config.script_fetch_jitter_ms) + 1)));
+    net::HttpRequest request;
+    request.method = net::HttpMethod::kGet;
+    request.url = net::Url::must_parse(ctx.script_url);
+    request.destination = net::RequestDestination::kScript;
+    request.initiator =
+        includer != nullptr ? includer->script_url : url_.spec();
+    fetch(std::move(request), includer);
+  }
+
+  // Record the script element in the DOM (owner = includer's domain for
+  // dynamic inserts, parser for static).
+  auto& document = main_frame_.document();
+  auto& element = document.create_element(
+      "script", includer != nullptr ? includer->script_domain : "");
+  if (!ctx.script_url.empty()) {
+    document.set_attribute(element, "src", ctx.script_url,
+                           includer != nullptr ? includer->script_domain : "");
+  }
+  document.append_child(document.body(), element,
+                        includer != nullptr ? includer->script_domain : "");
+
+  // Inline scripts get no URL on the stack, but are distinguishable as DOM
+  // elements — real extensions can hash their source text. The frame's
+  // function name carries that content identity for signature matching.
+  FrameGuard guard(stack_, ctx.inline_script ? "" : ctx.script_url,
+                   ctx.inline_script ? "inline:" + ctx.script_id : "<top>");
+  ++inclusion_depth_;
+  script::run_program(spec->ops, ctx, *this);
+  --inclusion_depth_;
+}
+
+void Page::run_catalog_script(std::string_view script_id) {
+  include_script(script_id, script::Inclusion::kDirect, nullptr);
+}
+
+void Page::run_as(const script::ExecContext& ctx,
+                  const std::function<void(script::PageServices&)>& body) {
+  FrameGuard guard(stack_, ctx.inline_script ? "" : ctx.script_url, "<adhoc>");
+  body(*this);
+}
+
+// ---- subframes (SOP boundary) -------------------------------------------
+
+/// PageServices for a cross-origin subframe: cookie operations hit a
+/// partitioned jar scoped to the frame's origin, DOM access goes to the
+/// frame's own document, and script inclusion/injection stays inside the
+/// frame. Nothing here can reach the main frame's first-party jar — SOP at
+/// work (paper §3).
+class Page::FrameServices final : public script::PageServices {
+ public:
+  FrameServices(Page& page, webplat::Frame& frame, cookies::CookieJar& jar)
+      : page_(page), frame_(frame), jar_(jar) {}
+
+  std::string document_cookie_read(const script::ExecContext&) override {
+    page_.charge_api_call();
+    return jar_.document_cookie_string(frame_.url(),
+                                       page_.browser().clock().now());
+  }
+  void document_cookie_write(const script::ExecContext&,
+                             std::string_view cookie_line) override {
+    page_.charge_api_call();
+    jar_.set_from_string(frame_.url(), cookie_line,
+                         page_.browser().clock().now());
+  }
+  void cookie_store_get_all(
+      const script::ExecContext& ctx,
+      std::function<void(std::vector<script::StoreCookie>)> callback)
+      override {
+    std::vector<script::StoreCookie> cookies;
+    for (const auto& c : jar_.cookies_for_url(
+             frame_.url(), page_.browser().clock().now(),
+             cookies::JarApi::kScript)) {
+      cookies.push_back({c.name, c.value});
+    }
+    (void)ctx;
+    callback(std::move(cookies));
+  }
+  void cookie_store_get(
+      const script::ExecContext&, std::string_view name,
+      std::function<void(std::optional<script::StoreCookie>)> callback)
+      override {
+    for (const auto& c : jar_.cookies_for_url(
+             frame_.url(), page_.browser().clock().now(),
+             cookies::JarApi::kScript)) {
+      if (c.name == name) {
+        callback(script::StoreCookie{c.name, c.value});
+        return;
+      }
+    }
+    callback(std::nullopt);
+  }
+  void cookie_store_set(const script::ExecContext&, std::string_view name,
+                        std::string_view value) override {
+    net::ParsedSetCookie parsed;
+    parsed.name = std::string(name);
+    parsed.value = std::string(value);
+    parsed.path = "/";
+    jar_.set(frame_.url(), parsed, page_.browser().clock().now(),
+             cookies::JarApi::kScript, cookies::CookieSource::kCookieStore);
+  }
+  void cookie_store_delete(const script::ExecContext&,
+                           std::string_view name) override {
+    net::ParsedSetCookie parsed;
+    parsed.name = std::string(name);
+    parsed.path = "/";
+    parsed.max_age_ms = -1000;
+    jar_.set(frame_.url(), parsed, page_.browser().clock().now(),
+             cookies::JarApi::kScript);
+  }
+  void send_request(const script::ExecContext& ctx,
+                    const net::Url& url) override {
+    // Frame requests go out, but carry the partitioned jar, not the
+    // first-party one; attribution still works via the page stack.
+    page_.send_request(ctx, url);
+  }
+  void inject_script(const script::ExecContext&, std::string_view) override {
+    // Scripts injected inside the frame stay inside the frame; the
+    // simulator's catalog programs are main-frame behaviours, so this is a
+    // no-op beyond the SOP demonstration.
+  }
+  void set_timeout(const script::ExecContext& ctx, TimeMillis delay_ms,
+                   std::function<void()> callback,
+                   std::string_view helper) override {
+    page_.set_timeout(ctx, delay_ms, std::move(callback), helper);
+  }
+  webplat::Document& main_document() override { return frame_.document(); }
+  TimeMillis now() const override { return page_.browser().clock().now(); }
+  script::Rng& rng() override { return page_.browser().rng(); }
+
+ private:
+  Page& page_;
+  webplat::Frame& frame_;
+  cookies::CookieJar& jar_;
+};
+
+webplat::Frame& Page::create_subframe(const net::Url& url) {
+  return main_frame_.create_subframe(url);
+}
+
+void Page::run_in_frame(
+    webplat::Frame& frame, const script::ExecContext& ctx,
+    const std::function<void(script::PageServices&)>& body) {
+  FrameGuard guard(stack_, ctx.inline_script ? "" : ctx.script_url,
+                   "<frame>");
+  if (frame.same_origin(main_frame_)) {
+    // Same-origin frames share the first-party jar and interception stack.
+    body(*this);
+    return;
+  }
+  cookies::CookieJar& partition = partitioned_jars_[frame.url().origin()];
+  FrameServices services(*this, frame, partition);
+  body(services);
+}
+
+// ---- cookie APIs -----------------------------------------------------
+
+std::string Page::document_cookie_read(const script::ExecContext& ctx) {
+  charge_api_call();
+  std::string value =
+      browser_.jar().document_cookie_string(url_, browser_.clock().now());
+  for (auto* extension : browser_.extensions()) {
+    value = extension->filter_document_cookie_read(*this, ctx, stack_,
+                                                   std::move(value));
+  }
+  for (auto* extension : browser_.extensions()) {
+    extension->on_document_cookie_read(*this, ctx, stack_, value);
+  }
+  return value;
+}
+
+void Page::document_cookie_write(const script::ExecContext& ctx,
+                                 std::string_view cookie_line) {
+  charge_api_call();
+  for (auto* extension : browser_.extensions()) {
+    if (!extension->allow_document_cookie_write(*this, ctx, stack_,
+                                                cookie_line)) {
+      for (auto* observer : browser_.extensions()) {
+        observer->on_write_blocked(*this, ctx, stack_, cookie_line);
+      }
+      return;
+    }
+  }
+  const auto change = browser_.jar().set_from_string(
+      url_, cookie_line, browser_.clock().now());
+  for (auto* extension : browser_.extensions()) {
+    extension->on_script_cookie_change(*this, ctx, stack_, change,
+                                       cookies::CookieSource::kDocumentCookie);
+  }
+}
+
+void Page::cookie_store_get_all(
+    const script::ExecContext& ctx,
+    std::function<void(std::vector<script::StoreCookie>)> callback) {
+  charge_api_call();
+  const webplat::StackTrace captured = stack_;
+  loop_.post_microtask(
+      [this, ctx, callback = std::move(callback), captured]() {
+        const webplat::StackTrace saved = std::exchange(stack_, captured);
+        std::vector<script::StoreCookie> cookies;
+        for (const auto& c : browser_.jar().cookies_for_url(
+                 url_, browser_.clock().now(), cookies::JarApi::kScript)) {
+          cookies.push_back({c.name, c.value});
+        }
+        for (auto* extension : browser_.extensions()) {
+          extension->filter_store_read(*this, ctx, stack_, cookies);
+        }
+        for (auto* extension : browser_.extensions()) {
+          extension->on_store_read(*this, ctx, stack_, cookies);
+        }
+        callback(std::move(cookies));
+        stack_ = saved;
+      },
+      captured);
+}
+
+void Page::cookie_store_get(
+    const script::ExecContext& ctx, std::string_view name,
+    std::function<void(std::optional<script::StoreCookie>)> callback) {
+  charge_api_call();
+  const webplat::StackTrace captured = stack_;
+  std::string wanted(name);
+  loop_.post_microtask(
+      [this, ctx, wanted, callback = std::move(callback), captured]() {
+        const webplat::StackTrace saved = std::exchange(stack_, captured);
+        std::vector<script::StoreCookie> cookies;
+        for (const auto& c : browser_.jar().cookies_for_url(
+                 url_, browser_.clock().now(), cookies::JarApi::kScript)) {
+          if (c.name == wanted) cookies.push_back({c.name, c.value});
+        }
+        // The same per-origin filter applies to single-cookie lookups.
+        for (auto* extension : browser_.extensions()) {
+          extension->filter_store_read(*this, ctx, stack_, cookies);
+        }
+        for (auto* extension : browser_.extensions()) {
+          extension->on_store_read(*this, ctx, stack_, cookies);
+        }
+        callback(cookies.empty()
+                     ? std::nullopt
+                     : std::optional<script::StoreCookie>(cookies.front()));
+        stack_ = saved;
+      },
+      captured);
+}
+
+void Page::cookie_store_set(const script::ExecContext& ctx,
+                            std::string_view name, std::string_view value) {
+  charge_api_call();
+  const webplat::StackTrace captured = stack_;
+  std::string cookie_name(name);
+  std::string cookie_value(value);
+  loop_.post_microtask(
+      [this, ctx, cookie_name, cookie_value, captured]() {
+        const webplat::StackTrace saved = std::exchange(stack_, captured);
+        bool allowed = true;
+        for (auto* extension : browser_.extensions()) {
+          if (!extension->allow_store_write(*this, ctx, stack_, cookie_name,
+                                            cookie_value,
+                                            /*is_delete=*/false)) {
+            allowed = false;
+            break;
+          }
+        }
+        if (allowed) {
+          net::ParsedSetCookie parsed;
+          parsed.name = cookie_name;
+          parsed.value = cookie_value;
+          parsed.path = "/";
+          const auto change = browser_.jar().set(
+              url_, parsed, browser_.clock().now(), cookies::JarApi::kScript,
+              cookies::CookieSource::kCookieStore);
+          for (auto* extension : browser_.extensions()) {
+            extension->on_script_cookie_change(
+                *this, ctx, stack_, change, cookies::CookieSource::kCookieStore);
+          }
+        } else {
+          for (auto* extension : browser_.extensions()) {
+            extension->on_write_blocked(*this, ctx, stack_,
+                                        cookie_name + "=" + cookie_value);
+          }
+        }
+        stack_ = saved;
+      },
+      captured);
+}
+
+void Page::cookie_store_delete(const script::ExecContext& ctx,
+                               std::string_view name) {
+  charge_api_call();
+  const webplat::StackTrace captured = stack_;
+  std::string cookie_name(name);
+  loop_.post_microtask(
+      [this, ctx, cookie_name, captured]() {
+        const webplat::StackTrace saved = std::exchange(stack_, captured);
+        bool allowed = true;
+        for (auto* extension : browser_.extensions()) {
+          if (!extension->allow_store_write(*this, ctx, stack_, cookie_name,
+                                            "", /*is_delete=*/true)) {
+            allowed = false;
+            break;
+          }
+        }
+        if (allowed) {
+          net::ParsedSetCookie parsed;
+          parsed.name = cookie_name;
+          parsed.path = "/";
+          parsed.max_age_ms = -1000;
+          const auto change = browser_.jar().set(
+              url_, parsed, browser_.clock().now(), cookies::JarApi::kScript,
+              cookies::CookieSource::kCookieStore);
+          for (auto* extension : browser_.extensions()) {
+            extension->on_script_cookie_change(
+                *this, ctx, stack_, change, cookies::CookieSource::kCookieStore);
+          }
+        } else {
+          for (auto* extension : browser_.extensions()) {
+            extension->on_write_blocked(*this, ctx, stack_, cookie_name + "=");
+          }
+        }
+        stack_ = saved;
+      },
+      captured);
+}
+
+// ---- network / inclusion / scheduling ----------------------------------
+
+void Page::send_request(const script::ExecContext& ctx, const net::Url& url) {
+  charge_api_call();
+  net::HttpRequest request;
+  request.method = net::HttpMethod::kGet;
+  request.url = url;
+  request.destination = net::RequestDestination::kXhr;
+  request.initiator = ctx.inline_script ? url_.spec() : ctx.script_url;
+  fetch(std::move(request), &ctx);
+}
+
+void Page::inject_script(const script::ExecContext& includer,
+                         std::string_view script_id) {
+  include_script(script_id, script::Inclusion::kIndirect, &includer);
+}
+
+void Page::set_timeout(const script::ExecContext& ctx, TimeMillis delay_ms,
+                       std::function<void()> callback,
+                       std::string_view helper_script_url) {
+  const webplat::StackTrace scheduling = stack_;
+  std::string helper(helper_script_url);
+  loop_.post_task(
+      [this, ctx, callback = std::move(callback), helper]() {
+        // Fresh stack for the new task; async stack traces (when enabled)
+        // recover the scheduling frames, marked async.
+        webplat::StackTrace task_stack;
+        if (browser_.config().async_stack_traces) {
+          task_stack.prepend_async(loop_.current_task_scheduling_stack());
+        }
+        const webplat::StackTrace saved = std::exchange(stack_, task_stack);
+        if (!helper.empty()) {
+          stack_.push({helper, "helperCallback", false});
+        }
+        callback();
+        stack_ = saved;
+        (void)ctx;
+      },
+      delay_ms, scheduling);
+}
+
+net::HttpResponse Page::fetch(net::HttpRequest request,
+                              const script::ExecContext* initiator) {
+  const TimeMillis now = browser_.clock().now();
+
+  for (auto* extension : browser_.extensions()) {
+    if (!extension->allow_request(*this, request, initiator)) {
+      net::HttpResponse blocked;
+      blocked.status = 0;  // net::ERR_BLOCKED_BY_CLIENT
+      return blocked;
+    }
+  }
+
+  // Attach the first-party cookie jar to same-site requests only (the
+  // simulator models a post-third-party-cookie browser).
+  if (net::same_site(request.url, url_)) {
+    std::string cookie_header;
+    for (const auto& c : browser_.jar().cookies_for_url(
+             request.url, now, cookies::JarApi::kHttp)) {
+      if (!cookie_header.empty()) cookie_header += "; ";
+      cookie_header += c.pair();
+    }
+    if (!cookie_header.empty()) request.headers.set("Cookie", cookie_header);
+  }
+
+  for (auto* extension : browser_.extensions()) {
+    extension->on_request_will_be_sent(*this, request, initiator, stack_);
+  }
+
+  net::HttpResponse response = browser_.network().dispatch(request);
+
+  // Set-Cookie: honoured only for same-site responses; cross-site response
+  // cookies would be third-party cookies, which are phased out (§1).
+  std::vector<cookies::CookieChange> changes;
+  if (net::same_site(request.url, url_)) {
+    for (const auto& header : response.set_cookie_headers()) {
+      if (const auto parsed = net::parse_set_cookie(header)) {
+        changes.push_back(browser_.jar().set(request.url, *parsed, now,
+                                             cookies::JarApi::kHttp));
+      }
+    }
+  }
+  for (auto* extension : browser_.extensions()) {
+    extension->on_headers_received(*this, request, response, changes);
+  }
+  return response;
+}
+
+}  // namespace cg::browser

@@ -1,0 +1,132 @@
+// A loaded page: main frame, event loop, script host, and the cookie /
+// network API surface scripts call into.
+//
+// Page implements script::PageServices; every call funnels through the
+// installed extensions' filter/veto/observe hooks, so the measurement
+// extension and CookieGuard interpose exactly where a real content script
+// wrapping document.cookie would.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "browser/browser.h"
+#include "browser/document_spec.h"
+#include "net/http.h"
+#include "net/url.h"
+#include "script/exec_context.h"
+#include "script/page_services.h"
+#include "webplat/event_loop.h"
+#include "webplat/frame.h"
+#include "webplat/stack_trace.h"
+
+namespace cg::browser {
+
+class Page final : public script::PageServices {
+ public:
+  Page(Browser& browser, net::Url url);
+
+  /// Fetches the document, parses the DOM, runs static scripts, drains the
+  /// event loop, and records the lifecycle timings.
+  void load();
+
+  const net::Url& url() const { return url_; }
+  Browser& browser() { return browser_; }
+  webplat::Frame& main_frame() { return main_frame_; }
+  webplat::EventLoop& loop() { return loop_; }
+  const webplat::PageTimings& timings() const { return timings_; }
+  const DocumentSpec& spec() const { return spec_; }
+  const webplat::StackTrace& current_stack() const { return stack_; }
+
+  /// Simulated user scroll: advances time and lets scheduled work run.
+  void simulate_scroll();
+
+  /// Executes a catalog script on demand as a direct inclusion (used by
+  /// breakage probes and tests).
+  void run_catalog_script(std::string_view script_id);
+
+  /// Runs `body` as if it were code of `ctx`'s script: pushes the proper
+  /// stack frame so interception layers attribute correctly.
+  void run_as(const script::ExecContext& ctx,
+              const std::function<void(script::PageServices&)>& body);
+
+  /// Creates a subframe at `url` in the main frame.
+  webplat::Frame& create_subframe(const net::Url& url);
+
+  /// Runs `body` inside `frame` under SOP rules (paper §3, Figure 1):
+  /// same-origin frames share the first-party jar and document; cross-origin
+  /// frames get a partitioned jar (keyed by frame origin) and their own
+  /// document — they cannot reach the main frame's cookies or DOM. This is
+  /// why the paper's adversary must be *in the main frame*.
+  void run_in_frame(webplat::Frame& frame, const script::ExecContext& ctx,
+                    const std::function<void(script::PageServices&)>& body);
+
+  // ---- script::PageServices ------------------------------------------
+  std::string document_cookie_read(const script::ExecContext& ctx) override;
+  void document_cookie_write(const script::ExecContext& ctx,
+                             std::string_view cookie_line) override;
+  void cookie_store_get_all(
+      const script::ExecContext& ctx,
+      std::function<void(std::vector<script::StoreCookie>)> callback) override;
+  void cookie_store_get(
+      const script::ExecContext& ctx, std::string_view name,
+      std::function<void(std::optional<script::StoreCookie>)> callback)
+      override;
+  void cookie_store_set(const script::ExecContext& ctx, std::string_view name,
+                        std::string_view value) override;
+  void cookie_store_delete(const script::ExecContext& ctx,
+                           std::string_view name) override;
+  void send_request(const script::ExecContext& ctx,
+                    const net::Url& url) override;
+  void inject_script(const script::ExecContext& includer,
+                     std::string_view script_id) override;
+  void set_timeout(const script::ExecContext& ctx, TimeMillis delay_ms,
+                   std::function<void()> callback,
+                   std::string_view helper_script_url) override;
+  webplat::Document& main_document() override {
+    return main_frame_.document();
+  }
+  TimeMillis now() const override;
+  script::Rng& rng() override { return browser_.rng(); }
+
+ private:
+  /// RAII stack-frame push/pop for script execution.
+  class FrameGuard;
+
+  /// Builds the ExecContext for a catalog script on this page.
+  script::ExecContext make_context(const script::ScriptSpec& spec,
+                                   script::Inclusion inclusion,
+                                   const script::ExecContext* includer) const;
+
+  void include_script(std::string_view script_id, script::Inclusion inclusion,
+                      const script::ExecContext* includer);
+
+  /// Advances the clock by the API base cost plus extension overhead.
+  void charge_api_call();
+
+  /// Sends a request through the network layer with cookie attachment,
+  /// request/headers notifications, and same-site Set-Cookie processing.
+  net::HttpResponse fetch(net::HttpRequest request,
+                          const script::ExecContext* initiator);
+
+  class FrameServices;
+
+  Browser& browser_;
+  net::Url url_;
+  webplat::Frame main_frame_;
+  webplat::EventLoop loop_;
+  webplat::StackTrace stack_;
+  DocumentSpec spec_;
+  webplat::PageTimings timings_;
+  TimeMillis nav_start_ = 0;
+  int inclusion_depth_ = 0;  // guards against inject cycles
+  /// Partitioned cookie jars for cross-origin subframes, keyed by the
+  /// subframe origin (Safari-ITP/Total-Cookie-Protection style, §2.1).
+  std::map<std::string, cookies::CookieJar> partitioned_jars_;
+};
+
+}  // namespace cg::browser

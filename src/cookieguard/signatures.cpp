@@ -1,0 +1,75 @@
+#include "cookieguard/signatures.h"
+
+#include "crypto/sha1.h"
+#include "net/psl.h"
+#include "net/url.h"
+#include "script/ops.h"
+
+namespace cg::cookieguard {
+namespace {
+
+void serialize_ops(const std::vector<script::ScriptOp>& ops,
+                   std::string& out) {
+  for (const auto& op : ops) {
+    out += script::to_string(op.kind);
+    out += '(';
+    out += op.cookie_name;
+    for (const auto& target : op.target_cookie_names) {
+      out += ',';
+      out += target;
+    }
+    if (!op.dest_host.empty()) {
+      out += "->";
+      out += op.dest_host;
+    }
+    out += script::to_string(op.encoding);
+    out += ')';
+    // Nested programs contribute structure; delays deliberately do not.
+    if (!op.nested.empty()) {
+      out += '[';
+      serialize_ops(op.nested, out);
+      out += ']';
+    }
+  }
+}
+
+}  // namespace
+
+std::string SignatureDb::signature_of(const script::ScriptSpec& spec) {
+  std::string serialized;
+  serialize_ops(spec.ops, serialized);
+  return crypto::Sha1::hex(serialized);
+}
+
+void SignatureDb::add(const script::ScriptSpec& spec,
+                      std::string_view domain) {
+  signatures_.insert_or_assign(signature_of(spec), std::string(domain));
+}
+
+void SignatureDb::build_from_catalog(const browser::ScriptCatalog& catalog) {
+  for (const auto& [id, spec] : catalog.all()) {
+    if (spec.is_inline) continue;
+    const auto url = net::Url::parse(spec.url_template);
+    if (!url || url->site().empty() ||
+        url->host().find('{') != std::string::npos) {
+      continue;  // templated first-party URLs are not vendor scripts
+    }
+    add(spec, url->site());
+  }
+}
+
+std::optional<std::string> SignatureDb::domain_for(
+    std::string_view signature) const {
+  const auto it = signatures_.find(signature);
+  if (it == signatures_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> SignatureDb::match_inline(
+    const browser::ScriptCatalog& catalog, std::string_view script_id) const {
+  const auto* spec = catalog.find(script_id);
+  if (spec == nullptr) return std::nullopt;
+  return domain_for(signature_of(*spec));
+}
+
+}  // namespace cg::cookieguard

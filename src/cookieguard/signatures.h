@@ -1,0 +1,52 @@
+// Behaviour signatures for scripts (paper §8, after Chen et al.).
+//
+// CookieGuard's safe-by-default policy denies inline scripts all cookie
+// access — which over-blocks sites that inline a well-known vendor snippet
+// (e.g. pasting the gtag loader instead of referencing it). The paper
+// proposes building behaviour signatures from a large-scale crawl and, when
+// a "first-party" script's signature matches a known third-party script,
+// treating it as that third party.
+//
+// Here a signature is a digest of a script's normalised behaviour program
+// (op kinds, cookie names, destinations — scheduling delays excluded so the
+// signature survives timing jitter, a nod to the robustness requirement the
+// paper raises).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "browser/catalog.h"
+#include "script/script_spec.h"
+
+namespace cg::cookieguard {
+
+class SignatureDb {
+ public:
+  /// Digest of a spec's normalised behaviour (stable across delay changes).
+  static std::string signature_of(const script::ScriptSpec& spec);
+
+  /// Registers a known script's signature with its true domain.
+  void add(const script::ScriptSpec& spec, std::string_view domain);
+
+  /// Builds the database from every *external* script in a catalog — the
+  /// offline "large-scale web crawl" of §8.
+  void build_from_catalog(const browser::ScriptCatalog& catalog);
+
+  /// Domain registered for `signature`, if any.
+  std::optional<std::string> domain_for(std::string_view signature) const;
+
+  /// Convenience for the runtime path: looks up an inline script's spec by
+  /// content identity and matches its signature.
+  std::optional<std::string> match_inline(
+      const browser::ScriptCatalog& catalog, std::string_view script_id) const;
+
+  std::size_t size() const { return signatures_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> signatures_;
+};
+
+}  // namespace cg::cookieguard

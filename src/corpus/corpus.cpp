@@ -1,0 +1,135 @@
+#include "corpus/corpus.h"
+
+#include <memory>
+
+#include "corpus/site_generator.h"
+#include "script/interpreter.h"
+
+namespace cg::corpus {
+namespace {
+
+// FNV-1a, for deterministic per-spec async delays.
+std::uint64_t hash_id(const std::string& id) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Real trackers fire their pixels and cleanup passes after load, not at
+/// parse time. Defer every top-level cross-domain-sensitive op (exfiltrate,
+/// overwrite, delete) into one setTimeout per script, so document order
+/// stops mattering: a consent manager parsed before the Facebook pixel
+/// still deletes _fbp. Ops already inside an explicit kAsync are left alone.
+void defer_cross_actions(script::ScriptSpec& spec) {
+  using script::OpKind;
+  std::vector<script::ScriptOp> sync_ops;
+  std::vector<script::ScriptOp> deferred;
+  for (auto& op : spec.ops) {
+    const bool cross_sensitive = op.kind == OpKind::kExfiltrate ||
+                                 op.kind == OpKind::kOverwriteCookie ||
+                                 op.kind == OpKind::kDeleteCookie;
+    if (cross_sensitive) {
+      deferred.push_back(std::move(op));
+    } else {
+      sync_ops.push_back(std::move(op));
+    }
+  }
+  if (deferred.empty()) {
+    spec.ops = std::move(sync_ops);
+    return;
+  }
+  // Deletions (consent passes) run later than pixels' exfiltration so the
+  // identifiers are observed before they are wiped — matching the paper's
+  // event ordering, where both actions appear in the same visit.
+  bool has_delete = false;
+  for (const auto& op : deferred) {
+    if (op.kind == OpKind::kDeleteCookie) has_delete = true;
+  }
+  const TimeMillis delay =
+      (has_delete ? 1500 : 100) + static_cast<TimeMillis>(
+                                      hash_id(spec.id) % (has_delete ? 400
+                                                                     : 700));
+  sync_ops.push_back(script::run_async(delay, std::move(deferred)));
+  spec.ops = std::move(sync_ops);
+}
+
+std::string find_cookie_in_header(const std::string& header,
+                                  const std::string& name) {
+  const auto pos = header.find(name + "=");
+  if (pos == std::string::npos) return {};
+  const auto start = pos + name.size() + 1;
+  const auto end = header.find(';', start);
+  return header.substr(start, end == std::string::npos ? std::string::npos
+                                                       : end - start);
+}
+
+}  // namespace
+
+Corpus::Corpus(CorpusParams params) : params_(params) {
+  ecosystem_ = build_ecosystem(params_, catalog_);
+  script::Rng master(params_.seed);
+  sites_.reserve(static_cast<std::size_t>(params_.site_count));
+  for (int rank = 1; rank <= params_.site_count; ++rank) {
+    script::Rng site_rng = master.fork(static_cast<std::uint64_t>(rank));
+    sites_.push_back(
+        generate_site(rank, site_rng, ecosystem_, catalog_, params_));
+  }
+  catalog_.transform(defer_cross_actions);
+}
+
+void Corpus::attach(browser::Browser& browser, const SiteBlueprint& bp) const {
+  browser.set_catalog(&catalog_);
+
+  browser::DocumentSpec doc = bp.doc;
+  browser.set_document_provider(
+      [doc](const net::Url&) { return doc; });
+
+  // Expand this visit's Set-Cookie header values once (they stay stable
+  // across the visit's navigations, like a real server session).
+  std::vector<std::string> headers;
+  headers.reserve(bp.http_cookie_templates.size());
+  for (const auto& tpl : bp.http_cookie_templates) {
+    headers.push_back(script::expand_template(tpl, browser.rng(),
+                                              browser.clock().now()));
+  }
+
+  if (bp.has_cloaked_tracker) {
+    browser.dns().add_cname(bp.cloaked_host, "collect.cloaktrack.net");
+  }
+
+  const bool refresh_sso = bp.sso_server_refresh;
+  auto document_requests = std::make_shared<int>(0);
+  browser.network().register_host(
+      bp.host,
+      [headers, refresh_sso, document_requests](const net::HttpRequest& req) {
+        net::HttpResponse response;
+        if (req.destination == net::RequestDestination::kDocument) {
+          ++*document_requests;
+          for (const auto& header : headers) {
+            response.headers.add("Set-Cookie", header);
+          }
+          if (refresh_sso && *document_requests > 1) {
+            // cnn.com-style reload behaviour: the server re-emits the SSO
+            // session cookie it sees in the request. The value is unchanged,
+            // but the Set-Cookie re-attributes the cookie's creator to the
+            // first party in CookieGuard's metadata store — after which the
+            // identity provider's script can no longer see it (§7.2 minor
+            // SSO breakage).
+            if (const auto cookie_header = req.headers.get("Cookie")) {
+              const std::string session =
+                  find_cookie_in_header(*cookie_header, "SSO_session");
+              if (!session.empty()) {
+                response.headers.add("Set-Cookie",
+                                     "SSO_session=" + session + "; Path=/");
+              }
+            }
+          }
+        }
+        return response;
+      });
+}
+
+}  // namespace cg::corpus

@@ -1,0 +1,45 @@
+// The synthetic web: 20,000 generated sites + the vendor ecosystem,
+// attachable to any Browser instance.
+#pragma once
+
+#include <vector>
+
+#include "browser/browser.h"
+#include "browser/catalog.h"
+#include "corpus/ecosystem.h"
+#include "corpus/params.h"
+#include "corpus/site_blueprint.h"
+#include "entities/entity_map.h"
+
+namespace cg::corpus {
+
+class Corpus {
+ public:
+  explicit Corpus(CorpusParams params = {});
+
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  int size() const { return static_cast<int>(sites_.size()); }
+  const CorpusParams& params() const { return params_; }
+  const browser::ScriptCatalog& catalog() const { return catalog_; }
+  const Ecosystem& ecosystem() const { return ecosystem_; }
+  const entities::EntityMap& entities() const {
+    return entities::EntityMap::builtin();
+  }
+
+  /// Blueprint for a 0-based site index (rank = index + 1).
+  const SiteBlueprint& site(int index) const { return sites_.at(index); }
+
+  /// Wires a browser up to visit `bp`'s site: catalog, document provider,
+  /// and the site's HTTP server (cookie-setting document handler).
+  void attach(browser::Browser& browser, const SiteBlueprint& bp) const;
+
+ private:
+  CorpusParams params_;
+  browser::ScriptCatalog catalog_;
+  Ecosystem ecosystem_;
+  std::vector<SiteBlueprint> sites_;
+};
+
+}  // namespace cg::corpus

@@ -1,0 +1,594 @@
+#include "corpus/ecosystem.h"
+
+#include "net/url.h"
+#include "script/rng.h"
+#include "script/script_spec.h"
+
+namespace cg::corpus {
+namespace {
+
+using script::Category;
+using script::Encoding;
+using script::ScriptOp;
+using script::ScriptSpec;
+
+ScriptSpec make_spec(std::string id, std::string url, Category category,
+                     std::vector<ScriptOp> ops) {
+  ScriptSpec spec;
+  spec.id = std::move(id);
+  spec.url_template = std::move(url);
+  spec.category = category;
+  spec.ops = std::move(ops);
+  return spec;
+}
+
+void add_vendor(Ecosystem& eco, browser::ScriptCatalog& catalog,
+                std::string id, std::string url, Category category,
+                double direct_rate, double gtm_weight,
+                std::vector<ScriptOp> ops) {
+  catalog.add(make_spec(id, std::move(url), category, std::move(ops)));
+  eco.vendors.push_back({std::move(id), category, direct_rate, gtm_weight});
+}
+
+void add_rtb_bidder(Ecosystem& eco, browser::ScriptCatalog& catalog,
+                    std::string id, std::string url,
+                    std::vector<ScriptOp> ops) {
+  // Each bidder has a plain (targeted) spec and a "+jar" variant that ships
+  // the entire visible jar in its bid request (§5.4, RTB discussion).
+  ScriptSpec spec = make_spec(id, url, Category::kRtbExchange, std::move(ops));
+  ScriptSpec jar_variant = spec;
+  jar_variant.id = id + "+jar";
+  const std::string host =
+      net::Url::must_parse(spec.url_template).host();
+  jar_variant.ops.push_back(
+      script::exfiltrate_jar(host, Encoding::kRaw, "/bid"));
+  catalog.add(std::move(spec));
+  catalog.add(std::move(jar_variant));
+  eco.rtb_bidder_ids.push_back(std::move(id));
+}
+
+void add_consent_manager(Ecosystem& eco, browser::ScriptCatalog& catalog,
+                         std::string id, std::string url, double share,
+                         std::vector<ScriptOp> accept_ops,
+                         std::vector<ScriptOp> decline_extra_ops) {
+  ScriptSpec accept = make_spec(id, url, Category::kConsent, accept_ops);
+  ScriptSpec decline =
+      make_spec(id + "+decline", std::move(url), Category::kConsent,
+                std::move(accept_ops));
+  for (auto& op : decline_extra_ops) decline.ops.push_back(std::move(op));
+  catalog.add(std::move(accept));
+  catalog.add(std::move(decline));
+  eco.consent_managers.emplace_back(std::move(id), share);
+}
+
+// Common cross-domain victim lists.
+const std::vector<std::string> kGoogleIds = {"_ga", "_gid", "_gcl_au"};
+
+}  // namespace
+
+std::string resolve_script_url(const browser::ScriptCatalog& catalog,
+                               const std::string& id,
+                               const std::string& site_host) {
+  const auto* spec = catalog.find(id);
+  if (spec == nullptr || spec->is_inline) return {};
+  std::string url = spec->url_template;
+  const auto pos = url.find("{site}");
+  if (pos != std::string::npos) url.replace(pos, 6, site_host);
+  return url;
+}
+
+Ecosystem build_ecosystem(const CorpusParams& params,
+                          browser::ScriptCatalog& catalog) {
+  using namespace script;  // builder helpers: set_cookie, exfiltrate, ...
+  Ecosystem eco;
+
+  // ---- Google stack ----------------------------------------------------
+  // gtag.js ghost-writes _ga/_gcl_au (owner: googletagmanager.com, Table 2)
+  // and rewrites consent state (Google as top OptanonConsent overwriter,
+  // Table 5).
+  const std::vector<ScriptOp> gtag_ops = {
+      set_cookie("_ga", "GA1.1.{rand:9}.{ts}"),
+      set_cookie("_gcl_au", "1.1.{rand:10}.{ts}"),
+      overwrite({"OptanonConsent"}, "{hex:32}&groups=C0001:1,C0002:0"),
+      exfiltrate({"_ga", "_gcl_au"}, "www.googletagmanager.com",
+                 Encoding::kRaw, "/a")};
+  add_vendor(eco, catalog, "gtag",
+             "https://www.googletagmanager.com/gtag/js?id=G-1XY",
+             Category::kAnalytics, 0.28, 0.32, gtag_ops);
+  {
+    // Verbatim inline copy of the gtag snippet (§8 "embedded as inline
+    // scripts"): identical behaviour, no script URL. Its behaviour signature
+    // equals gtag's, which is what signature matching keys on.
+    ScriptSpec inline_gtag;
+    inline_gtag.id = "inline-gtag";
+    inline_gtag.category = Category::kAnalytics;
+    inline_gtag.is_inline = true;
+    inline_gtag.ops = gtag_ops;
+    catalog.add(std::move(inline_gtag));
+  }
+
+  // analytics.js: reads the jar and ships identifiers — google-analytics.com
+  // is the paper's #1 cross-domain exfiltrator (Figure 2) because it ships
+  // _ga/_gcl_au ghost-written by googletagmanager.com.
+  add_vendor(eco, catalog, "ga-legacy",
+             "https://www.google-analytics.com/analytics.js",
+             Category::kAnalytics, 0.06, 0.14,
+             {set_cookie("_ga", "GA1.2.{rand:9}.{ts}"),
+              set_cookie("_gid", "GA1.2.{rand:9}.{ts}",
+                         "; Path=/; Max-Age=86400"),
+              set_cookie("__utma", "{rand:9}.{rand:9}.{ts}.{ts}.{ts}.1"),
+              set_cookie("__utmb", "{rand:9}.8.10.{ts}",
+                         "; Path=/; Max-Age=1800"),
+              set_cookie("__utmz", "{rand:9}.{ts}.1.1.utmcsr{rand:8}"),
+              exfiltrate({"_ga", "_gid", "_gcl_au", "__utma", "__utmb",
+                          "__utmz", "OptanonConsent"},
+                         "www.google-analytics.com", Encoding::kRaw,
+                         "/collect")});
+
+  {
+    // Site-configured "custom dimensions" variant: some deployments populate
+    // analytics dimensions from arbitrary cookies, shipping the whole jar —
+    // this is what makes google-analytics.com the paper's top exfiltrator by
+    // unique cookies (Figure 2, 3.3% of all cookies).
+    ScriptSpec dims = *catalog.find("ga-legacy");
+    dims.id = "ga-legacy+dims";
+    dims.ops.push_back(exfiltrate_jar("www.google-analytics.com",
+                                      Encoding::kRaw, "/collect"));
+    catalog.add(std::move(dims));
+  }
+
+  // ---- major pixels ----------------------------------------------------
+  add_vendor(eco, catalog, "fbpixel",
+             "https://connect.facebook.net/en_US/fbevents.js",
+             Category::kSocial, 0.10, 0.30,
+             {set_cookie("_fbp", "fb.1.{ts_ms}.{rand:18}"),
+              exfiltrate({"_fbp"}, "www.facebook.com", Encoding::kRaw,
+                         "/tr")});
+
+  add_vendor(eco, catalog, "bing-uet", "https://bat.bing.com/bat.js",
+             Category::kAdvertising, 0.04, 0.12,
+             {set_cookie("_uetsid", "{hex:32}", "; Path=/; Max-Age=86400"),
+              set_cookie("_uetvid", "{hex:32}"),
+              exfiltrate({"_ga", "_gid", "_gcl_au", "_uetsid", "_uetvid",
+                          "_awl", "keep_alive"},
+                         "bat.bing.com", Encoding::kRaw, "/action")});
+
+  add_vendor(eco, catalog, "clarity", "https://www.clarity.ms/tag/abcdef",
+             Category::kAnalytics, 0.03, 0.09,
+             {set_cookie("_clck", "{hex:12}.1.{ts}.1"),
+              set_cookie("_clsk", "{hex:12}.{ts}.1",
+                         "; Path=/; Max-Age=86400"),
+              exfiltrate({"_ga", "_uetvid", "_clck", "_clsk"},
+                         "www.clarity.ms", Encoding::kRaw, "/collect")});
+
+  add_vendor(eco, catalog, "yandex-metrica",
+             "https://mc.yandex.ru/metrika/tag.js", Category::kAnalytics,
+             0.03, 0.05,
+             {set_cookie("_ym_uid", "{ts}{rand:9}"),
+              set_cookie("_ym_d", "{ts}{rand:8}"),
+              exfiltrate({"_ga", "_gid", "_ym_uid", "_ym_d", "__utma",
+                          "__utmb", "__utmz"},
+                         "mc.yandex.ru", Encoding::kRaw, "/watch")});
+
+  add_vendor(eco, catalog, "pinterest", "https://s.pinimg.com/ct/core.js",
+             Category::kAdvertising, 0.02, 0.06,
+             {set_cookie("_pin_unauth", "{hex:40}"),
+              exfiltrate({"_ga", "_gid", "_gcl_au", "_pin_unauth"},
+                         "ct.pinterest.com", Encoding::kRaw, "/v3")});
+
+  // LinkedIn Insight: the §5.4 case study — parses the _ga client id and
+  // ships it Base64-encoded to px.ads.linkedin.com.
+  add_vendor(eco, catalog, "linkedin-insight",
+             "https://snap.licdn.com/li.lms-analytics/insight.min.js",
+             Category::kAdvertising, 0.03, 0.07,
+             {set_cookie("li_fat_id", "{hex:36}"),
+              exfiltrate({"_ga", "_gcl_au", "li_fat_id"},
+                         "px.ads.linkedin.com", Encoding::kBase64,
+                         "/attribution_trigger")});
+
+  add_vendor(eco, catalog, "tiktok",
+             "https://analytics.tiktok.com/i18n/pixel/events.js",
+             Category::kAdvertising, 0.03, 0.10,
+             {set_cookie("_ttp", "{hex:28}"),
+              exfiltrate({"_ttp"}, "analytics.tiktok.com",
+                         Encoding::kRaw, "/api/v2")});
+
+  add_vendor(eco, catalog, "snap-pixel", "https://sc-static.net/scevent.min.js",
+             Category::kAdvertising, 0.01, 0.05,
+             {set_cookie("_scid", "{hex:30}"),
+              set_cookie("sc_reload", "{hex:10}", "; Path=/; Max-Age=3600"),
+              exfiltrate({"_scid", "_ga"}, "tr.snapchat.com", Encoding::kRaw,
+                         "/v2")});
+
+  // ---- analytics / marketing SaaS ---------------------------------------
+  add_vendor(eco, catalog, "segment", "https://cdn.segment.com/analytics.js",
+             Category::kAnalytics, 0.04, 0.05,
+             {set_cookie("ajs_anonymous_id", "{hex:32}"),
+              overwrite({"_uetsid", "_uetvid"}, "{hex:32}"),
+              exfiltrate({"ajs_anonymous_id", "ajs_user_id", "_ga"},
+                         "api.segment.io", Encoding::kRaw, "/v1/p")});
+
+  add_vendor(eco, catalog, "hubspot", "https://js.hs-scripts.com/8442.js",
+             Category::kAnalytics, 0.05, 0.07,
+             {set_cookie("hubspotutk", "{hex:32}"),
+              set_cookie("__hstc", "{hex:32}.{ts}.{ts}.{ts}.1"),
+              exfiltrate({"_ga", "_gid", "_gcl_au", "hubspotutk", "__hstc",
+                          "gaconnector_GA_Client_ID",
+                          "gaconnector_GA_Session_ID"},
+                         "track.hubspot.com", Encoding::kRaw, "/__ptq.gif")});
+
+  add_vendor(eco, catalog, "marketo", "https://munchkin.marketo.net/munchkin.js",
+             Category::kAnalytics, 0.01, 0.04,
+             {set_cookie("_mkto_trk", "id{rand:8}token{hex:18}{ts}"),
+              exfiltrate({"_mkto_trk", "_ga"}, "munchkin.marketo.net",
+                         Encoding::kRaw, "/mch")});
+
+  add_vendor(eco, catalog, "adobe-launch",
+             "https://assets.adobedtm.com/launch-a1b2.min.js",
+             Category::kAnalytics, 0.03, 0.04,
+             {set_cookie("AMCV_ID", "{rand:19}"),
+              set_cookie("s_ecid", "MCMID{rand:19}"),
+              exfiltrate({"_ga", "_gcl_au", "AMCV_ID", "s_ecid"},
+                         "dpm.demdex.net", Encoding::kRaw, "/id")});
+
+  add_vendor(eco, catalog, "hotjar", "https://static.hotjar.com/c/hotjar.js",
+             Category::kAnalytics, 0.04, 0.08,
+             {set_cookie("_hjSessionUser", "{hex:30}"),
+              beacon("insights.hotjar.com", "/api/v2")});
+
+  add_vendor(eco, catalog, "quantcast", "https://secure.quantserve.com/quant.js",
+             Category::kAnalytics, 0.01, 0.04,
+             {set_cookie("__qca", "P0-{rand:9}-{ts}"),
+              exfiltrate({"__qca"}, "pixel.quantserve.com",
+                         Encoding::kRaw, "/pixel")});
+
+  add_vendor(eco, catalog, "statcounter",
+             "https://www.statcounter.com/counter/counter.js",
+             Category::kAnalytics, 0.015, 0.01,
+             {set_cookie("sc_is_visitor_unique", "rx{rand:12}x"),
+              beacon("c.statcounter.com", "/t.php")});
+
+  add_vendor(eco, catalog, "yahoojp-ytag",
+             "https://s.yimg.jp/images/listing/tool/cv/ytag.js",
+             Category::kAdvertising, 0.01, 0.02,
+             {set_cookie("_yjsu_yjad", "{ts}.{hex:16}"),
+              exfiltrate({"_yjsu_yjad", "_ga"}, "b97.yahoo.co.jp",
+                         Encoding::kRaw, "/t")});
+
+  add_vendor(eco, catalog, "lotame", "https://tags.crwdcntrl.net/lt/c/16589/lt.min.js",
+             Category::kAdvertising, 0.005, 0.03,
+             {set_cookie("lotame_domain_check", "{hex:12}"),
+              set_cookie("_cc_id", "{hex:26}"),
+              exfiltrate({"_cc_id", "lotame_domain_check"}, "bcp.crwdcntrl.net",
+                         Encoding::kRaw, "/5")});
+
+  add_vendor(eco, catalog, "sharethis", "https://platform-api.sharethis.com/js/sharethis.js",
+             Category::kSocial, 0.02, 0.03,
+             {set_cookie("__stid", "{hex:24}"),
+              exfiltrate({"__stid"}, "l.sharethis.com", Encoding::kRaw,
+                         "/log")});
+
+  add_vendor(eco, catalog, "taboola", "https://cdn.taboola.com/libtrc/loader.js",
+             Category::kAdvertising, 0.015, 0.04,
+             {set_cookie("t_gid", "{hex:26}"),
+              exfiltrate({"t_gid", "_ga", "PugT", "SPugT"}, "trc.taboola.com",
+                         Encoding::kRaw, "/trc")});
+
+  add_vendor(eco, catalog, "outbrain", "https://widgets.outbrain.com/outbrain.js",
+             Category::kAdvertising, 0.01, 0.03,
+             {set_cookie("outbrain_cid", "{hex:24}"),
+              exfiltrate({"outbrain_cid", "_ga"}, "log.outbrain.com",
+                         Encoding::kRaw, "/loggerServices")});
+
+  // GA Connector: reads Google ids, copies them into its own cookies, and
+  // forwards everything (Table 2 rows 19-20).
+  add_vendor(eco, catalog, "gaconnector", "https://gaconnector.com/gaconnector.js",
+             Category::kAnalytics, 0.004, 0.02,
+             {set_cookie("gaconnector_GA_Client_ID", "{rand:9}{rand:9}"),
+              set_cookie("gaconnector_GA_Session_ID", "{rand:9}{rand:9}"),
+              exfiltrate({"_ga", "_gid", "gaconnector_GA_Client_ID",
+                          "gaconnector_GA_Session_ID"},
+                         "track.gaconnector.com", Encoding::kRaw, "/collect")});
+
+  // Sentry ("Functional Software" in Table 5): rewrites identifiers it
+  // considers PII — the top cross-domain overwriter of _fbp.
+  add_vendor(eco, catalog, "sentry", "https://browser.sentry-cdn.com/7.2/bundle.min.js",
+             Category::kSupport, 0.05, 0.02,
+             {set_cookie("sentry_sid", "{hex:32}", "; Path=/; Max-Age=7200"),
+              overwrite({"_fbp", "ajs_anonymous_id", "_gid"}, "{hex:32}")});
+
+  add_vendor(eco, catalog, "newrelic", "https://js-agent.newrelic.com/nr-1216.min.js",
+             Category::kPerformance, 0.04, 0.02,
+             {set_cookie("nr_sess", "{hex:16}", "; Path=/; Max-Age=1800"),
+              overwrite({"OptanonConsent"}, "{hex:32}&groups=C0001:1")});
+
+  add_vendor(eco, catalog, "intercom", "https://widget.intercom.io/widget/app1",
+             Category::kSupport, 0.03, 0.01,
+             {set_cookie("intercom-id-app1", "{hex:32}"),
+              read_cookies(), create_dom("div")});
+
+  add_vendor(eco, catalog, "zendesk", "https://static.zdassets.com/ekr/snippet.js",
+             Category::kSupport, 0.03, 0.01,
+             {set_cookie("__zlcmid", "{hex:24}"), create_dom("div")});
+
+  add_vendor(eco, catalog, "optimizely", "https://cdn.optimizely.com/js/128.js",
+             Category::kAnalytics, 0.02, 0.03,
+             {set_cookie("optimizelyEndUserId", "oeu{ts}r{hex:14}"),
+              overwrite({"utag_main"}, "v_id:{hex:26}$_sn:2"),
+              modify_dom("div")});
+
+  // Tealium: tag-management + consent enforcement; top cross-domain deleter
+  // of the Bing UET cookies (Table 5).
+  add_vendor(eco, catalog, "tealium", "https://tags.tiqcdn.com/utag/main/prod/utag.js",
+             Category::kTagManager, 0.04, 0.03,
+             {set_cookie("utag_main", "v_id:{hex:26}$_sn:1"),
+              delete_cookies({"_uetvid", "_uetsid"}),
+              exfiltrate({"utag_main", "_ga"}, "collect.tealiumiq.com",
+                         Encoding::kRaw, "/udw/i.gif")});
+
+  // Mediavine / AdThrive: publisher ad managers reading exchange cookies
+  // (top exfiltrators of openx's i/pd in Table 2).
+  add_vendor(eco, catalog, "mediavine", "https://scripts.mediavine.com/tags/site.js",
+             Category::kAdvertising, 0.025, 0.0,
+             {set_cookie("mv_vid", "{hex:24}"),
+              exfiltrate({"i", "pd", "_ga", "sc_is_visitor_unique"},
+                         "amazon-adsystem.com", Encoding::kRaw, "/e/dtb"),
+              exfiltrate({"i", "pd", "mv_vid"}, "i.liveintent.com",
+                         Encoding::kRaw, "/match")});
+
+  add_vendor(eco, catalog, "adthrive", "https://ads.adthrive.com/sites/abc/ads.min.js",
+             Category::kAdvertising, 0.015, 0.0,
+             {set_cookie("at_id", "{hex:24}"),
+              exfiltrate({"i", "pd", "SPugT", "PugT", "_ga"},
+                         "c.amazon-adsystem.com", Encoding::kRaw, "/aax2"),
+              exfiltrate({"at_id", "_ga"}, "ads.adthrive.com", Encoding::kRaw,
+                         "/bid")});
+
+  // Lazy-loading ad helper: exfiltrates from a setTimeout callback routed
+  // through a shared CDN utility — the §8 async-attribution blind spot.
+  add_vendor(eco, catalog, "lazy-ads", "https://cdn.lazyload-ads.com/l.js",
+             Category::kAdvertising, 0.015, 0.04,
+             {set_cookie("llad_uid", "{hex:20}"),
+              run_async(
+                  800,
+                  {exfiltrate({"_ga", "llad_uid"}, "px.lazyload-ads.com",
+                              Encoding::kRaw, "/sync")},
+                  "https://cdnjs.cloudflare.com/ajax/libs/jquery/3.6.0/"
+                  "jquery.min.js")});
+
+  add_vendor(eco, catalog, "cdnjs-jquery",
+             "https://cdnjs.cloudflare.com/ajax/libs/jquery/3.6.0/jquery.min.js",
+             Category::kCdnUtility, 0.35, 0.0,
+             {read_cookies(), create_dom("div")});
+
+  // ---- RTB bidders (injected by the GPT ad stack) -----------------------
+  add_rtb_bidder(eco, catalog, "gpt-core",
+                 "https://securepubads.g.doubleclick.net/tag/js/gpt.js",
+                 {set_cookie("__gads", "ID{hex:16}T{ts}"),
+                  set_cookie("__gpi", "UID{rand:12}"),
+                  exfiltrate({"_ga", "_gcl_au", "__gads", "__gpi",
+                              "sc_is_visitor_unique", "lotame_domain_check"},
+                             "securepubads.g.doubleclick.net", Encoding::kRaw,
+                             "/gampad/ads")});
+
+  add_rtb_bidder(eco, catalog, "amazon-apstag",
+                 "https://c.amazon-adsystem.com/aax2/apstag.js",
+                 {set_cookie("apsid", "{hex:20}"),
+                  exfiltrate({"_ga", "_gid", "i", "pd", "us_privacy",
+                              "lotame_domain_check", "apsid"},
+                             "c.amazon-adsystem.com", Encoding::kRaw,
+                             "/e/dtb/bid")});
+
+  add_rtb_bidder(eco, catalog, "pubmatic",
+                 "https://ads.pubmatic.com/AdServer/js/pwt/pwt.js",
+                 {set_cookie("PugT", "{ts}{rand:8}"),
+                  set_cookie("SPugT", "{ts}{rand:8}"),
+                  // Deliberate competitor overwrite: Criteo's cto_bundle is
+                  // replaced by a longer PubMatic-format hash (§5.5 case).
+                  overwrite({"cto_bundle"}, "{hex:258}"),
+                  exfiltrate({"_ga", "i", "pd", "PugT", "SPugT"},
+                             "ads.pubmatic.com", Encoding::kRaw, "/bid")});
+
+  add_rtb_bidder(eco, catalog, "openx",
+                 "https://us-u.openx.net/w/1.0/jstag",
+                 {set_cookie("i", "{hex:20}"), set_cookie("pd", "{hex:26}"),
+                  exfiltrate({"_ga", "_gid", "i", "pd"}, "us-u.openx.net",
+                             Encoding::kRaw, "/w/1.0/bid")});
+
+  add_rtb_bidder(eco, catalog, "criteo",
+                 "https://static.criteo.net/js/ld/ld.js",
+                 {set_cookie("cto_bundle", "{hex:194}"),
+                  exfiltrate({"_fbp", "_ga", "cto_bundle"},
+                             "sslwidget.criteo.com", Encoding::kRaw,
+                             "/event")});
+
+  add_rtb_bidder(eco, catalog, "index-exchange",
+                 "https://js-sec.indexww.com/ht/p/ix.js",
+                 {set_cookie("CMID", "{hex:16}"),
+                  set_cookie("CMPS", "{rand:8}{rand:4}"),
+                  exfiltrate({"_ga", "CMID", "i"}, "ssum-sec.casalemedia.com",
+                             Encoding::kRaw, "/usermatch")});
+
+  add_rtb_bidder(eco, catalog, "magnite",
+                 "https://ads.rubiconproject.com/prebid/creative.js",
+                 {set_cookie("khaos", "{hex:20}"),
+                  exfiltrate({"khaos", "_ga", "sc_is_visitor_unique"},
+                             "pixel.rubiconproject.com", Encoding::kRaw,
+                             "/exchange")});
+
+  add_rtb_bidder(eco, catalog, "tradedesk",
+                 "https://js.adsrvr.org/up_loader.1.1.0.js",
+                 {set_cookie("TDID", "{hex:32}"),
+                  exfiltrate({"TDID", "_ga"}, "match.adsrvr.org",
+                             Encoding::kRaw, "/track")});
+
+  add_rtb_bidder(eco, catalog, "liveintent",
+                 "https://b-code.liadm.com/lc2.js",
+                 {set_cookie("lidid", "{hex:26}"),
+                  exfiltrate({"lidid", "i", "pd", "_ga"}, "i.liveintent.com",
+                             Encoding::kRaw, "/idex")});
+
+  // ---- consent managers --------------------------------------------------
+  add_consent_manager(
+      eco, catalog, "onetrust",
+      "https://cdn.cookielaw.org/scripttemplates/otSDKStub.js", 0.55,
+      {set_cookie("OptanonConsent", "{hex:32}&groups=C0001:1,C0002:1"),
+       set_cookie("OptanonAlertBoxClosed", "{ts}")},
+      {delete_cookies({"_fbp", "_uetvid", "cookie_test", "promo_seen"})});
+
+  add_consent_manager(
+      eco, catalog, "cookieyes",
+      "https://cdn-cookieyes.com/client_data/a1b2c3/script.js", 0.18,
+      {set_cookie("cookieyes-consent", "consentid{hex:24}")},
+      {delete_cookies({"_fbp", "_uetvid", "_uetsid", "_ga", "_gid", "_gcl_au",
+                       "cookie_test", "promo_seen", "visitor_id",
+                       "ab_bucket"})});
+
+  add_consent_manager(
+      eco, catalog, "cookie-script",
+      "https://cdn.cookie-script.com/s/d4e5f6.js", 0.12,
+      {set_cookie("CookieScriptConsent", "{hex:20}")},
+      {delete_cookies({"_fbp", "_uetvid", "_uetsid", "_ga", "_gid",
+                       "cookie_test", "visitor_id"})});
+
+  // Osano: the §5.4 cross-company case — a consent manager that reads
+  // Facebook's _fbp and forwards it to Criteo.
+  add_consent_manager(
+      eco, catalog, "osano",
+      "https://cmp.osano.com/1vX3GkPazR/osano.js", 0.08,
+      {set_cookie("osano_consentmanager", "{hex:32}"),
+       exfiltrate({"_fbp"}, "sslwidget.criteo.com", Encoding::kRaw,
+                  "/event")},
+      {delete_cookies({"_fbp", "_ga"})});
+
+  add_consent_manager(
+      eco, catalog, "ketch", "https://global.ketchcdn.com/web/v2/config.js",
+      0.07,
+      {set_cookie("us_privacy", "1YNN{hex:12}")},
+      {delete_cookies({"_fbp", "_gcl_au"})});
+
+  // ---- SSO widgets (crawl-time behaviour only; login flows are driven by
+  // the breakage probes) ---------------------------------------------------
+  catalog.add(make_spec("google-sso", "https://accounts.google.com/gsi/client",
+                        Category::kSso,
+                        {set_cookie("g_state", "{hex:16}"),
+                         beacon("accounts.google.com", "/gsi/status")}));
+  catalog.add(make_spec("fb-sso", "https://connect.facebook.net/en_US/sdk.js",
+                        Category::kSso,
+                        {set_cookie("fb_login_state", "{hex:20}"),
+                         beacon("www.facebook.com", "/x/oauth/status")}));
+  catalog.add(make_spec("ms-sso-a",
+                        "https://secure.aadcdn.microsoft.com/lib/msal.js",
+                        Category::kSso,
+                        {set_cookie("ms_sso_state", "{hex:20}"),
+                         beacon("login.microsoftonline.com", "/common")}));
+  catalog.add(make_spec("ms-sso-b", "https://login.live.com/auth/refresh.js",
+                        Category::kSso,
+                        {read_cookies(),
+                         beacon("login.live.com", "/oauth20")}));
+  // Cross-entity two-domain SSO broker pair (no shared entity — entity
+  // grouping cannot repair these; a per-site domain policy is required).
+  catalog.add(make_spec("sso-broker-a", "https://cdn.authjs.dev/broker.js",
+                        Category::kSso,
+                        {set_cookie("broker_state", "{hex:20}"),
+                         beacon("api.authjs.dev", "/state")}));
+  catalog.add(make_spec("sso-broker-b",
+                        "https://login.ssoprovider.io/check.js",
+                        Category::kSso,
+                        {read_cookies(),
+                         beacon("login.ssoprovider.io", "/session/check")}));
+  catalog.add(make_spec("okta-widget",
+                        "https://ok1static.oktacdn.com/assets/js/sdk/okta.js",
+                        Category::kSso,
+                        {set_cookie("okta_state", "{hex:20}")}));
+  catalog.add(make_spec("auth0-widget", "https://cdn.auth0.com/js/lock.min.js",
+                        Category::kSso,
+                        {set_cookie("auth0_compat", "{hex:20}")}));
+
+  // Facebook Messenger-style widget: served from the entity CDN
+  // (fbcdn.net), reads the pixel's cookie from facebook.net — the §7.2
+  // functionality-breakage case fixed by entity grouping.
+  catalog.add(make_spec("fb-messenger",
+                        "https://static.fbcdn.net/rsrc/chat_widget.js",
+                        Category::kSupport,
+                        {read_cookies(), create_dom("iframe"),
+                         exfiltrate({"_fbp", "fb_login_state"},
+                                    "edge-chat.facebook.com", Encoding::kRaw,
+                                    "/mqtt")}));
+
+  // ---- cookieStore users (§5.2) -----------------------------------------
+  catalog.add(make_spec(
+      "shopify-perf",
+      "https://cdn.shopifycloud.com/perf-kit/shopify-perf-kit-1.6.0.min.js",
+      Category::kPerformance,
+      {store_set_cookie("keep_alive", "{hex:12}-{rand:8}"), store_get_all(),
+       beacon("v.shopify.com", "/internal/perf")}));
+  // Admiral's SDK is added per-site by the generator (it is served from a
+  // different hosting domain on every publisher — that is why the paper sees
+  // 411 cookieStore pairs across 361 domains for ~2 cookie names).
+
+  // ---- inline snippet ----------------------------------------------------
+  {
+    ScriptSpec inline_spec;
+    inline_spec.id = "inline-snippet";
+    inline_spec.category = Category::kFirstParty;
+    inline_spec.is_inline = true;
+    inline_spec.ops = {read_cookies(), create_dom("div")};
+    catalog.add(std::move(inline_spec));
+  }
+
+  // ---- long tail ---------------------------------------------------------
+  script::Rng rng(params.seed ^ 0x7A11ULL);
+  static const char* kTailTlds[] = {"com", "net", "io", "media", "co"};
+  static const char* kTailWords[] = {"metrics", "pixel", "adserve", "track",
+                                     "beacon", "audience", "reach", "spark",
+                                     "vertex", "nimbus"};
+  for (int i = 0; i < params.tail_vendor_count; ++i) {
+    const std::string word = kTailWords[rng.below(std::size(kTailWords))];
+    const std::string domain = word + std::to_string(i) + "." +
+                               kTailTlds[rng.below(std::size(kTailTlds))];
+    const std::string id = "tail-" + std::to_string(i);
+    const double roll = rng.uniform();
+    Category category = Category::kAdvertising;
+    if (roll > 0.70 && roll <= 0.80) category = Category::kSupport;
+    if (roll > 0.80 && roll <= 0.90) category = Category::kCdnUtility;
+    if (roll > 0.90) category = Category::kPerformance;
+
+    const std::string own_cookie = "tl" + std::to_string(i) + "_id";
+    std::vector<ScriptOp> ops;
+    const bool sets_cookie = rng.chance(0.75);
+    if (sets_cookie) ops.push_back(set_cookie(own_cookie, "{hex:16}"));
+    const double behaviour = rng.uniform();
+    if (category == Category::kAdvertising && behaviour < 0.02) {
+      // A minority of tail vendors harvest foreign identifiers too.
+      Encoding enc = Encoding::kRaw;
+      const double enc_roll = rng.uniform();
+      if (enc_roll > 0.80 && enc_roll <= 0.90) enc = Encoding::kBase64;
+      if (enc_roll > 0.90 && enc_roll <= 0.95) enc = Encoding::kMd5;
+      if (enc_roll > 0.95) enc = Encoding::kSha1;
+      ops.push_back(exfiltrate({"_ga", "_gid", "_fbp", own_cookie},
+                               "sync." + domain, enc, "/s"));
+    } else if (category == Category::kAdvertising && behaviour < 0.60 &&
+               sets_cookie) {
+      // Most only report their own identifier (authorized exfiltration).
+      ops.push_back(
+          exfiltrate({own_cookie}, "sync." + domain, Encoding::kRaw, "/s"));
+    } else if (category == Category::kAdvertising && behaviour >= 0.60 &&
+               behaviour < 0.622) {
+      ops.push_back(overwrite(
+          {rng.chance(0.5) ? "user_id" : "cookie_test", "visitor_id"},
+          "{hex:16}"));
+    } else {
+      ops.push_back(beacon("px." + domain, "/p"));
+    }
+    if (rng.chance(0.004)) ops.push_back(modify_dom("div"));
+
+    catalog.add(
+        make_spec(id, "https://cdn." + domain + "/tag.js", category, ops));
+    eco.tail_ids.push_back(id);
+  }
+
+  return eco;
+}
+
+}  // namespace cg::corpus

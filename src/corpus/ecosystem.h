@@ -1,0 +1,50 @@
+// The third-party vendor ecosystem: catalog scripts modelled on the vendors
+// the paper names (Tables 2 and 5, §5.2, §5.4 case studies), plus a
+// long-tail population of generic ad/widget vendors.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "browser/catalog.h"
+#include "corpus/params.h"
+#include "script/exec_context.h"
+
+namespace cg::corpus {
+
+/// Sampling metadata for one vendor script.
+struct VendorInfo {
+  std::string id;
+  script::Category category = script::Category::kAdvertising;
+  /// P(directly included | site has third-party scripts).
+  double direct_rate = 0.0;
+  /// Relative weight for Google-Tag-Manager injection (0 = never injected).
+  double gtm_weight = 0.0;
+};
+
+/// The built ecosystem: a catalog of global ScriptSpecs plus the pools the
+/// site generator samples from.
+struct Ecosystem {
+  /// Vendors eligible for direct inclusion / GTM injection.
+  std::vector<VendorInfo> vendors;
+  /// RTB bidder ids injected by the ad exchange (GPT) container.
+  std::vector<std::string> rtb_bidder_ids;
+  /// Consent-manager ids with their market share; each id also has an
+  /// "<id>+decline" variant that runs the tracker-deletion pass.
+  std::vector<std::pair<std::string, double>> consent_managers;
+  /// Long-tail vendor ids.
+  std::vector<std::string> tail_ids;
+};
+
+/// Populates `catalog` with every global vendor spec and returns the
+/// sampling pools. Deterministic given `params`.
+Ecosystem build_ecosystem(const CorpusParams& params,
+                          browser::ScriptCatalog& catalog);
+
+/// Resolves a catalog script's URL on a given site host ("{site}" expanded).
+std::string resolve_script_url(const browser::ScriptCatalog& catalog,
+                               const std::string& id,
+                               const std::string& site_host);
+
+}  // namespace cg::corpus

@@ -1,0 +1,103 @@
+// All tunable rates of the synthetic web corpus in one place.
+//
+// These constants are calibrated so the population statistics of the
+// generated 20k sites land near the paper's measurement results (§5).
+// EXPERIMENTS.md records paper-vs-measured for every number.
+#pragma once
+
+#include <cstdint>
+
+namespace cg::corpus {
+
+struct CorpusParams {
+  /// Number of sites (paper: Tranco top 20,000).
+  int site_count = 20000;
+  /// Master seed; every random decision derives from it.
+  std::uint64_t seed = 0xC00C1EULL;
+
+  // ---- composition rates -------------------------------------------------
+
+  /// P(site embeds at least one third-party script in the main frame)
+  /// — paper §5.1: 93.3%.
+  double third_party_presence = 0.933;
+  /// P(site's own markup contains an inline script).
+  double inline_script_rate = 0.35;
+  /// P(site uses Google Tag Manager, which then injects more vendors).
+  double gtm_rate = 0.52;
+  /// Mean number of vendors a GTM container injects (±spread).
+  int gtm_inject_min = 2;
+  int gtm_inject_max = 8;
+  /// P(site runs an ad stack: GPT exchange + injected RTB bidders).
+  double ad_stack_rate = 0.143;
+  int rtb_bidders_min = 2;
+  int rtb_bidders_max = 5;
+  /// P(a ga-legacy deployment ships the whole jar via custom dimensions).
+  double ga_dims_rate = 0.07;
+  /// P(an RTB bid request carries the whole jar rather than known names).
+  double rtb_whole_jar_rate = 0.10;
+  /// Number of additional long-tail vendors sampled per site.
+  int tail_min = 3;
+  int tail_max = 26;
+  /// Size of the long-tail vendor population.
+  int tail_vendor_count = 400;
+
+  /// P(consent manager present) and P(visitor declines marketing cookies,
+  /// triggering the manager's delete pass).
+  double consent_manager_rate = 0.30;
+  double consent_decline_rate = 0.17;
+
+  /// SSO widget rates (drives Table 3): single-provider vs the two-domain
+  /// flows (zoom.us-style microsoft.com+live.com) that break under strict
+  /// isolation.
+  double sso_rate = 0.17;
+  double sso_two_domain_share = 0.70;
+  /// P(first-party server refreshes the SSO session cookie on reload —
+  /// the cnn.com-style minor-breakage mechanism).
+  double sso_server_refresh_share = 0.10;
+
+  /// P(site serves a CNAME-cloaked tracker from a first-party subdomain —
+  /// the §8 evasion; attribution sees the first party unless uncloaked).
+  double cname_cloaking_rate = 0.04;
+  /// P(site inlines a well-known vendor snippet verbatim — denied by
+  /// CookieGuard's default policy unless signature matching is enabled, §8).
+  double inline_tracker_rate = 0.025;
+
+  /// P(site embeds the same-entity-CDN widget pair, facebook.com/fbcdn.net
+  /// style: breaks without entity grouping).
+  double entity_cdn_widget_rate = 0.035;
+
+  /// Shopify performance SDK (cookieStore keep_alive) and Admiral (_awl,
+  /// per-site hosting domains) — §5.2 cookieStore users.
+  double shopify_rate = 0.019;
+  double admiral_rate = 0.015;
+
+  /// P(a site with no third-party scripts whose own bundle also avoids
+  /// cookies — yields the paper's 3.7% of sites never touching
+  /// document.cookie).
+  double fp_cookieless_rate = 0.85;
+
+  // ---- first-party behaviour --------------------------------------------
+
+  int fp_cookies_min = 2;
+  int fp_cookies_max = 6;
+  /// P(first-party script deletes tracker cookies itself — the
+  /// prettylittlething.com pattern). Site-owner actions survive CookieGuard
+  /// (full-access policy), so these drive Figure 5's residual bars.
+  double fp_tracker_cleanup_rate = 0.012;
+  /// P(site proxies tracker identifiers through its own backend —
+  /// server-side GTM, §5.7; bypasses CookieGuard by design).
+  double fp_server_gtm_rate = 0.13;
+  /// P(site's own script rewrites third-party cookies, e.g. consent resets).
+  double fp_overwrite_rate = 0.085;
+
+  // ---- crawl --------------------------------------------------------------
+
+  /// Paper §4.2: scroll + up to three random link clicks, 2 s pauses.
+  int max_clicks = 3;
+  std::int64_t interaction_pause_ms = 2000;
+  /// P(a visit loses one of its log channels — models the paper's
+  /// incomplete-data sites: 14,917/20,000 retained).
+  double log_loss_rate = 0.25;
+};
+
+}  // namespace cg::corpus

@@ -1,0 +1,50 @@
+// Per-site composition: everything the generator decided about one site.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "browser/document_spec.h"
+
+namespace cg::corpus {
+
+struct SiteBlueprint {
+  int rank = 0;            // 1-based Tranco-style rank
+  std::string host;        // e.g. "www.site123.com"
+  std::string site;        // eTLD+1
+
+  browser::DocumentSpec doc;
+
+  /// Set-Cookie header *templates* the server sends on document requests
+  /// (placeholders expanded per visit).
+  std::vector<std::string> http_cookie_templates;
+
+  // ---- features the breakage evaluation (Table 3) probes -----------------
+  bool has_sso = false;
+  /// Two different provider domains share the session (zoom.us pattern).
+  bool sso_two_domain = false;
+  std::string sso_provider_a;  // catalog id
+  std::string sso_provider_b;  // catalog id ("" for single-domain SSO)
+  /// Server re-sets the SSO session cookie on reload (cnn.com pattern —
+  /// minor breakage under CookieGuard).
+  bool sso_server_refresh = false;
+  /// Same-entity CDN widget pair (facebook.com/fbcdn.net pattern).
+  bool has_entity_cdn_widget = false;
+  bool serves_ads = false;
+  /// The ad slot visibly depends on a cross-entity targeting cookie —
+  /// CookieGuard hides it even with entity grouping (minor functionality
+  /// breakage, Table 3).
+  bool ads_depend_cross_entity = false;
+  bool has_chat = false;
+  bool uses_cookie_store = false;
+  /// CNAME-cloaked tracker (§8): served from `cloaked_host`, a subdomain of
+  /// the site, which CNAMEs to collect.cloaktrack.net.
+  bool has_cloaked_tracker = false;
+  std::string cloaked_host;
+  /// Site inlines a verbatim copy of the gtag snippet (§8).
+  bool has_inline_tracker = false;
+  /// First-party cookie names this site's own script sets.
+  std::vector<std::string> fp_cookie_names;
+};
+
+}  // namespace cg::corpus

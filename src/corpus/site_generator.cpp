@@ -1,0 +1,392 @@
+#include "corpus/site_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "net/psl.h"
+
+namespace cg::corpus {
+namespace {
+
+using script::Category;
+using script::Encoding;
+using script::ScriptOp;
+using script::ScriptSpec;
+
+const char* kTlds[] = {"com", "com", "com", "com", "com", "com", "net",
+                       "org", "io",  "co",  "de",  "fr",  "ru",  "jp",
+                       "co.uk", "com.au", "shop", "news"};
+
+// First-party cookie name pool. Generic names (user_id, cookie_test,
+// visitor_id) are the collision victims of §5.5; hex-valued ones carry
+// identifier-length values and are therefore exfiltratable via RTB
+// whole-jar requests.
+struct FpCookieTemplate {
+  const char* name;
+  const char* value_template;
+  const char* attributes;
+};
+const FpCookieTemplate kFpCookiePool[] = {
+    {"session_ref", "{hex:16}", "; Path=/"},
+    {"user_prefs", "compact", "; Path=/; Max-Age=31536000"},
+    {"ab_bucket", "{rand:10}", "; Path=/; Max-Age=604800"},
+    {"cart_id", "{hex:20}", "; Path=/"},
+    {"visitor_id", "{hex:16}", "; Path=/; Max-Age=63072000"},
+    {"cookie_test", "1", "; Path=/"},
+    {"user_id", "{rand:10}", "; Path=/; Max-Age=31536000"},
+    {"promo_seen", "{ts}", "; Path=/; Max-Age=2592000"},
+    {"theme", "light", "; Path=/; Max-Age=31536000"},
+    {"locale", "en", "; Path=/; Max-Age=31536000"},
+    {"csrf_token", "{hex:24}", "; Path=/"},
+    {"recently_viewed", "{rand:8}x{rand:8}", "; Path=/; Max-Age=604800"},
+};
+
+// Samples `count` distinct ids from `pool` weighted by `weight(v)`.
+template <typename Weight>
+std::vector<std::string> sample_weighted(const std::vector<VendorInfo>& pool,
+                                         int count, script::Rng& rng,
+                                         Weight weight,
+                                         const std::set<std::string>& exclude) {
+  std::vector<std::string> out;
+  double total = 0;
+  std::vector<double> weights;
+  weights.reserve(pool.size());
+  for (const auto& v : pool) {
+    const double w = exclude.count(v.id) != 0 ? 0.0 : weight(v);
+    weights.push_back(w);
+    total += w;
+  }
+  std::set<std::string> taken;
+  for (int i = 0; i < count && total > 0; ++i) {
+    double roll = rng.uniform() * total;
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      if (weights[j] <= 0) continue;
+      roll -= weights[j];
+      if (roll <= 0) {
+        out.push_back(pool[j].id);
+        total -= weights[j];
+        weights[j] = 0;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// Builds the site's first-party application bundle.
+ScriptSpec make_fp_spec(int rank, script::Rng& rng,
+                        const CorpusParams& params, bool cookieless,
+                        std::vector<std::string>& fp_cookie_names) {
+  ScriptSpec spec;
+  spec.id = "fp#" + std::to_string(rank);
+  spec.url_template = "https://{site}/assets/app.js";
+  spec.category = Category::kFirstParty;
+  if (cookieless) {
+    // A purely static bundle: no cookie API use at all (with no third-party
+    // scripts either, such sites are the paper's ~3.7% of sites where
+    // document.cookie is never invoked).
+    spec.ops = {script::create_dom("div"), script::create_dom("section")};
+    return spec;
+  }
+
+  const int n = static_cast<int>(rng.between(
+      static_cast<std::uint64_t>(params.fp_cookies_min),
+      static_cast<std::uint64_t>(params.fp_cookies_max)));
+  std::set<std::size_t> chosen;
+  while (static_cast<int>(chosen.size()) < n) {
+    chosen.insert(rng.below(std::size(kFpCookiePool)));
+  }
+  for (const auto index : chosen) {
+    const auto& t = kFpCookiePool[index];
+    fp_cookie_names.emplace_back(t.name);
+    spec.ops.push_back(script::set_cookie(t.name, t.value_template,
+                                          t.attributes,
+                                          /*only_if_missing=*/false));
+  }
+  spec.ops.push_back(script::read_cookies());
+  if (rng.chance(0.4)) {
+    spec.ops.push_back(script::exfiltrate(fp_cookie_names, "{site}",
+                                          Encoding::kRaw, "/api/telemetry"));
+  }
+  if (rng.chance(params.fp_server_gtm_rate)) {
+    // Server-side GTM (§5.7): the site's own script proxies tracker
+    // identifiers through a first-party endpoint. Cross-domain by the
+    // paper's definition, and allowed under CookieGuard's site-owner
+    // policy — a residual Figure-5 bar the paper calls out explicitly.
+    spec.ops.push_back(script::exfiltrate({"_ga", "_gid", "_fbp", "_gcl_au"},
+                                          "{site}", Encoding::kRaw,
+                                          "/gtm/collect"));
+  }
+  if (rng.chance(params.fp_overwrite_rate)) {
+    spec.ops.push_back(
+        script::overwrite({"_ga", "_uetsid"}, "GA1.1.{rand:9}.{ts}"));
+  }
+  if (rng.chance(params.fp_tracker_cleanup_rate)) {
+    // Site-owner tracker cleanup (prettylittlething.com pattern, Fig. 6b).
+    spec.ops.push_back(
+        script::delete_cookies({"_ga", "_gid", "_fbp", "_uetvid"}));
+  }
+  spec.ops.push_back(script::create_dom("div"));
+  spec.ops.push_back(script::create_dom("section"));
+  return spec;
+}
+
+// Swaps in per-deployment variants of global vendors.
+std::string maybe_variant(const std::string& id, script::Rng& rng,
+                          const CorpusParams& params) {
+  if (id == "ga-legacy" && rng.chance(params.ga_dims_rate)) {
+    return "ga-legacy+dims";
+  }
+  return id;
+}
+
+}  // namespace
+
+SiteBlueprint generate_site(int rank, script::Rng& rng,
+                            const Ecosystem& ecosystem,
+                            browser::ScriptCatalog& catalog,
+                            const CorpusParams& params) {
+  SiteBlueprint bp;
+  bp.rank = rank;
+  bp.host = "www.site" + std::to_string(rank) + "." +
+            kTlds[rng.below(std::size(kTlds))];
+  bp.site = net::etld_plus_one(bp.host);
+
+  auto& ids = bp.doc.script_ids;
+  const bool has_third_party = rng.chance(params.third_party_presence);
+
+  // 1. First-party bundle (always present).
+  {
+    const bool cookieless =
+        !has_third_party && rng.chance(params.fp_cookieless_rate);
+    ScriptSpec fp =
+        make_fp_spec(rank, rng, params, cookieless, bp.fp_cookie_names);
+    ids.push_back(fp.id);
+    catalog.add(std::move(fp));
+  }
+
+  // 2. Inline snippet.
+  if (rng.chance(params.inline_script_rate)) {
+    ids.push_back("inline-snippet");
+  }
+
+  std::set<std::string> present;
+
+  if (has_third_party) {
+    // 3. Consent manager (accept or decline path).
+    if (rng.chance(params.consent_manager_rate)) {
+      double roll = rng.uniform();
+      std::string cmp_id = ecosystem.consent_managers.back().first;
+      for (const auto& [id, share] : ecosystem.consent_managers) {
+        roll -= share;
+        if (roll <= 0) {
+          cmp_id = id;
+          break;
+        }
+      }
+      if (rng.chance(params.consent_decline_rate)) cmp_id += "+decline";
+      ids.push_back(cmp_id);
+    }
+
+    // 4. SSO widgets.
+    if (rng.chance(params.sso_rate)) {
+      bp.has_sso = true;
+      if (rng.chance(params.sso_two_domain_share)) {
+        bp.sso_two_domain = true;
+        if (rng.chance(0.55)) {
+          // Same-entity pair (zoom.us's microsoft.com + live.com): entity
+          // grouping repairs these.
+          bp.sso_provider_a = "ms-sso-a";
+          bp.sso_provider_b = "ms-sso-b";
+        } else {
+          // Cross-entity broker pair: only a per-site domain policy helps.
+          bp.sso_provider_a = "sso-broker-a";
+          bp.sso_provider_b = "sso-broker-b";
+        }
+        ids.push_back(bp.sso_provider_a);
+        ids.push_back(bp.sso_provider_b);
+      } else {
+        const double roll = rng.uniform();
+        bp.sso_provider_a = roll < 0.5    ? "google-sso"
+                            : roll < 0.8  ? "fb-sso"
+                            : roll < 0.9  ? "okta-widget"
+                                          : "auth0-widget";
+        ids.push_back(bp.sso_provider_a);
+      }
+      bp.sso_server_refresh = rng.chance(params.sso_server_refresh_share);
+    }
+
+    // 5. Same-entity CDN widget pair (pixel + messenger).
+    if (rng.chance(params.entity_cdn_widget_rate)) {
+      bp.has_entity_cdn_widget = true;
+      if (present.insert("fbpixel").second) ids.push_back("fbpixel");
+      ids.push_back("fb-messenger");
+      bp.has_chat = true;
+    }
+
+    // 6. Directly included vendors.
+    for (const auto& vendor : ecosystem.vendors) {
+      if (present.count(vendor.id) != 0) continue;
+      if (rng.chance(vendor.direct_rate)) {
+        present.insert(vendor.id);
+        ids.push_back(maybe_variant(vendor.id, rng, params));
+      }
+    }
+
+    // 7. Google Tag Manager container with injected vendors + tail.
+    std::vector<std::string> gtm_injected;
+    const bool has_gtm = rng.chance(params.gtm_rate);
+    if (has_gtm) {
+      const int k = static_cast<int>(rng.between(
+          static_cast<std::uint64_t>(params.gtm_inject_min),
+          static_cast<std::uint64_t>(params.gtm_inject_max)));
+      gtm_injected = sample_weighted(
+          ecosystem.vendors, k, rng,
+          [](const VendorInfo& v) { return v.gtm_weight; }, present);
+      for (const auto& id : gtm_injected) present.insert(id);
+    }
+
+    // 8. Ad stack: GPT exchange + injected RTB bidders.
+    if (rng.chance(params.ad_stack_rate)) {
+      bp.serves_ads = true;
+      bp.ads_depend_cross_entity = rng.chance(0.20);
+      ScriptSpec adstack;
+      adstack.id = "adstack#" + std::to_string(rank);
+      adstack.url_template =
+          "https://securepubads.g.doubleclick.net/tag/js/gpt.js";
+      adstack.category = Category::kRtbExchange;
+      const auto* gpt = catalog.find("gpt-core");
+      if (gpt != nullptr) adstack.ops = gpt->ops;
+      const int bidders = static_cast<int>(rng.between(
+          static_cast<std::uint64_t>(params.rtb_bidders_min),
+          static_cast<std::uint64_t>(params.rtb_bidders_max)));
+      std::set<std::string> chosen;
+      for (int i = 0; i < bidders; ++i) {
+        std::string bidder = rng.pick(ecosystem.rtb_bidder_ids);
+        if (bidder == "gpt-core" || !chosen.insert(bidder).second) continue;
+        if (rng.chance(params.rtb_whole_jar_rate)) bidder += "+jar";
+        adstack.ops.push_back(script::inject(bidder));
+      }
+      ids.push_back(adstack.id);
+      catalog.add(std::move(adstack));
+    }
+
+    // 9. Long-tail vendors: mostly injected via GTM when present.
+    const int tail_n = static_cast<int>(rng.between(
+        static_cast<std::uint64_t>(params.tail_min),
+        static_cast<std::uint64_t>(params.tail_max)));
+    std::vector<std::string> tail_direct;
+    std::vector<std::string> tail_injected;
+    for (int i = 0; i < tail_n; ++i) {
+      const std::string& id = rng.pick(ecosystem.tail_ids);
+      if (present.count(id) != 0) continue;
+      present.insert(id);
+      if (rng.chance(0.88)) {
+        tail_injected.push_back(id);
+      } else {
+        tail_direct.push_back(id);
+      }
+    }
+    for (const auto& id : tail_direct) ids.push_back(id);
+
+    if (!has_gtm && !tail_injected.empty()) {
+      // Sites without a tag manager still load most widgets through a
+      // third-party bundler/plugin loader — the transitive inclusion chains
+      // of §5.6 ("indirect inclusions outnumber direct by 2.5x").
+      ScriptSpec loader;
+      loader.id = "loader#" + std::to_string(rank);
+      loader.url_template = "https://cdn.sitebundle.io/l/" +
+                            std::to_string(rank) + "/loader.js";
+      loader.category = Category::kCdnUtility;
+      for (const auto& id : tail_injected) {
+        loader.ops.push_back(script::inject(id));
+      }
+      ids.push_back(loader.id);
+      catalog.add(std::move(loader));
+      tail_injected.clear();
+    }
+
+    if (has_gtm) {
+      ScriptSpec gtm;
+      gtm.id = "gtm#" + std::to_string(rank);
+      gtm.url_template =
+          "https://www.googletagmanager.com/gtm.js?id=GTM-" +
+          std::to_string(rank);
+      gtm.category = Category::kTagManager;
+      gtm.ops.push_back(script::read_cookies());
+      for (const auto& id : gtm_injected) {
+        gtm.ops.push_back(script::inject(maybe_variant(id, rng, params)));
+      }
+      for (const auto& id : tail_injected) {
+        gtm.ops.push_back(script::inject(id));
+      }
+      ids.push_back(gtm.id);
+      catalog.add(std::move(gtm));
+    }
+
+    // 10. CNAME-cloaked tracker (§8 evasion): served from a first-party
+    // subdomain that CNAMEs to the tracker's real infrastructure.
+    if (rng.chance(params.cname_cloaking_rate)) {
+      bp.has_cloaked_tracker = true;
+      bp.cloaked_host = "metrics." + bp.site;
+      ScriptSpec cloak;
+      cloak.id = "cloak#" + std::to_string(rank);
+      cloak.url_template = "https://" + bp.cloaked_host + "/ct.js";
+      cloak.category = Category::kAnalytics;
+      cloak.ops = {
+          script::set_cookie("_sA", "{hex:26}"),
+          script::exfiltrate({"_ga", "_gid", "_fbp", "_sA", "cart_id",
+                              "visitor_id", "session_ref", "user_id"},
+                             bp.cloaked_host, Encoding::kRaw, "/event")};
+      ids.push_back(cloak.id);
+      catalog.add(std::move(cloak));
+    }
+
+    // 11. Inline vendor snippet (§8 evasion / over-blocking case).
+    if (rng.chance(params.inline_tracker_rate)) {
+      bp.has_inline_tracker = true;
+      ids.push_back("inline-gtag");
+    }
+
+    // 12. cookieStore users.
+    if (rng.chance(params.shopify_rate)) {
+      ids.push_back("shopify-perf");
+      bp.uses_cookie_store = true;
+    }
+    if (rng.chance(params.admiral_rate)) {
+      // Admiral is served from a different hosting domain per publisher —
+      // every instance is a distinct (cookie, domain) pair (§5.2).
+      ScriptSpec admiral;
+      admiral.id = "admiral#" + std::to_string(rank);
+      admiral.url_template = "https://cdn.deliver" + std::to_string(rank) +
+                             ".media/admiral.js";
+      admiral.category = Category::kAdvertising;
+      admiral.ops = {script::store_set_cookie("_awl", "1.{ts}.{hex:16}"),
+                     script::beacon("collect.getadmiral.com", "/metrics")};
+      ids.push_back(admiral.id);
+      catalog.add(std::move(admiral));
+      bp.uses_cookie_store = true;
+    }
+  }
+
+  // HTTP Set-Cookie headers from the site's own server.
+  bp.http_cookie_templates.push_back("sid={hex:24}; Path=/; HttpOnly");
+  if (rng.chance(0.5)) {
+    bp.http_cookie_templates.push_back("region=us-east-1; Path=/");
+  }
+  if (rng.chance(0.3)) {
+    bp.http_cookie_templates.push_back(
+        "fp_srv_uid={hex:16}; Path=/; Max-Age=31536000");
+  }
+
+  // Links for the crawler's random clicks.
+  const int n_links = static_cast<int>(rng.between(3, 8));
+  for (int i = 0; i < n_links; ++i) {
+    bp.doc.link_paths.push_back("/page/" + std::to_string(i));
+  }
+  bp.doc.static_dom_nodes = static_cast<int>(rng.between(80, 600));
+
+  return bp;
+}
+
+}  // namespace cg::corpus

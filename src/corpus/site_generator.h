@@ -1,0 +1,18 @@
+// Generates one site's blueprint (and its per-site catalog variants:
+// first-party bundle, GTM container, ad stack, Admiral SDK).
+#pragma once
+
+#include "browser/catalog.h"
+#include "corpus/ecosystem.h"
+#include "corpus/params.h"
+#include "corpus/site_blueprint.h"
+#include "script/rng.h"
+
+namespace cg::corpus {
+
+SiteBlueprint generate_site(int rank, script::Rng& rng,
+                            const Ecosystem& ecosystem,
+                            browser::ScriptCatalog& catalog,
+                            const CorpusParams& params);
+
+}  // namespace cg::corpus

@@ -1,0 +1,78 @@
+#include "crawler/crawler.h"
+
+#include <memory>
+
+#include "browser/page.h"
+#include "instrument/recorder.h"
+
+namespace cg::crawler {
+
+instrument::VisitLog Crawler::visit(int index,
+                                    const CrawlOptions& options) const {
+  const auto& bp = corpus_.site(index);
+  const auto& params = corpus_.params();
+
+  // Per-site deterministic seed: results do not depend on crawl order.
+  const std::uint64_t visit_seed =
+      params.seed ^ (0x5EEDULL + static_cast<std::uint64_t>(bp.rank) * 2654435761ULL);
+
+  // Stagger visit start times: the paper's crawl spans days, and identifier
+  // timestamps embedded in cookie values must differ across visits.
+  browser::BrowserConfig browser_config = options.browser_config;
+  browser_config.clock_start +=
+      static_cast<TimeMillis>(bp.rank) * 77'777 +
+      static_cast<TimeMillis>(visit_seed % 37'000);
+
+  browser::Browser browser(browser_config, visit_seed);
+  corpus_.attach(browser, bp);
+
+  instrument::VisitLog log;
+  log.rank = bp.rank;
+
+  instrument::Recorder recorder(options.attribution);
+  recorder.set_visit_log(&log);
+  for (auto* extension : options.extra_extensions) {
+    browser.add_extension(extension);
+  }
+  browser.add_extension(&recorder);
+
+  const net::Url landing = net::Url::must_parse("https://" + bp.host + "/");
+  auto page = browser.navigate(landing);
+  page->simulate_scroll();
+
+  // Up to three random link clicks with 2 s pauses (§4.2).
+  for (int click = 0; click < params.max_clicks; ++click) {
+    const auto& links = page->spec().link_paths;
+    if (links.empty()) break;
+    browser.clock().advance(params.interaction_pause_ms);
+    const auto& path = links[browser.rng().below(links.size())];
+    page = browser.navigate(landing.resolve(path));
+    page->simulate_scroll();
+  }
+
+  // Model the paper's collection losses: a fixed per-site subset of visits
+  // lacks one log channel and is excluded from analysis.
+  if (options.simulate_log_loss) {
+    script::Rng loss_rng(params.seed ^
+                         (0x10557ULL + static_cast<std::uint64_t>(bp.rank)));
+    if (loss_rng.chance(params.log_loss_rate)) {
+      if (loss_rng.chance(0.5)) {
+        log.has_request_logs = false;
+      } else {
+        log.has_cookie_logs = false;
+      }
+    }
+  }
+  return log;
+}
+
+void Crawler::crawl(
+    int count, const CrawlOptions& options,
+    const std::function<void(instrument::VisitLog&&)>& sink) const {
+  const int n = std::min(count, corpus_.size());
+  for (int i = 0; i < n; ++i) {
+    sink(visit(i, options));
+  }
+}
+
+}  // namespace cg::crawler

@@ -1,0 +1,87 @@
+#include "crypto/base64.h"
+
+#include <array>
+#include <cstdint>
+
+namespace cg::crypto {
+namespace {
+
+constexpr char kStd[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+constexpr char kUrl[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+std::string encode_impl(std::string_view input, const char* alphabet,
+                        bool pad) {
+  std::string out;
+  out.reserve((input.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= input.size()) {
+    const std::uint32_t n = (static_cast<unsigned char>(input[i]) << 16) |
+                            (static_cast<unsigned char>(input[i + 1]) << 8) |
+                            static_cast<unsigned char>(input[i + 2]);
+    out.push_back(alphabet[(n >> 18) & 63]);
+    out.push_back(alphabet[(n >> 12) & 63]);
+    out.push_back(alphabet[(n >> 6) & 63]);
+    out.push_back(alphabet[n & 63]);
+    i += 3;
+  }
+  const std::size_t remain = input.size() - i;
+  if (remain == 1) {
+    const std::uint32_t n = static_cast<unsigned char>(input[i]) << 16;
+    out.push_back(alphabet[(n >> 18) & 63]);
+    out.push_back(alphabet[(n >> 12) & 63]);
+    if (pad) out += "==";
+  } else if (remain == 2) {
+    const std::uint32_t n = (static_cast<unsigned char>(input[i]) << 16) |
+                            (static_cast<unsigned char>(input[i + 1]) << 8);
+    out.push_back(alphabet[(n >> 18) & 63]);
+    out.push_back(alphabet[(n >> 12) & 63]);
+    out.push_back(alphabet[(n >> 6) & 63]);
+    if (pad) out.push_back('=');
+  }
+  return out;
+}
+
+int decode_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+' || c == '-') return 62;
+  if (c == '/' || c == '_') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string base64_encode(std::string_view input) {
+  return encode_impl(input, kStd, /*pad=*/true);
+}
+
+std::string base64url_encode(std::string_view input) {
+  return encode_impl(input, kUrl, /*pad=*/false);
+}
+
+std::optional<std::string> base64_decode(std::string_view input) {
+  // Strip trailing padding.
+  while (!input.empty() && input.back() == '=') input.remove_suffix(1);
+  if (input.size() % 4 == 1) return std::nullopt;
+
+  std::string out;
+  out.reserve(input.size() * 3 / 4);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (const char c : input) {
+    const int v = decode_value(c);
+    if (v < 0) return std::nullopt;
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<char>((buffer >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+}  // namespace cg::crypto

@@ -1,0 +1,23 @@
+// Base64 codec (RFC 4648, standard and URL-safe alphabets).
+//
+// Trackers in the paper exfiltrate cookie fragments Base64-encoded (e.g.
+// LinkedIn's insight.min.js sends `_ga` as "NDQ0MzMyMzY0..."); the detection
+// pipeline must generate the same encodings to match them (§4.3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cg::crypto {
+
+/// Standard alphabet, '=' padded.
+std::string base64_encode(std::string_view input);
+
+/// URL-safe alphabet ('-' '_'), unpadded — the form trackers embed in URLs.
+std::string base64url_encode(std::string_view input);
+
+/// Decodes either alphabet; padding optional. nullopt on invalid input.
+std::optional<std::string> base64_decode(std::string_view input);
+
+}  // namespace cg::crypto

@@ -1,0 +1,13 @@
+// Hex codec for digest serialisation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace cg::crypto {
+
+/// Lower-case hex of raw bytes ("deadbeef").
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace cg::crypto

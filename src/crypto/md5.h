@@ -1,0 +1,35 @@
+// MD5 (RFC 1321), implemented from the specification.
+//
+// Used only for identifier matching in the exfiltration-detection pipeline
+// (paper §4.3 computes MD5 of candidate identifiers) — never for security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cg::crypto {
+
+class Md5 {
+ public:
+  Md5();
+
+  void update(std::string_view data);
+  /// Finalises and returns the 16-byte digest. The object must not be
+  /// updated afterwards.
+  std::array<std::uint8_t, 16> digest();
+
+  /// One-shot convenience: lower-case hex digest of `data`.
+  static std::string hex(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace cg::crypto

@@ -1,0 +1,34 @@
+// SHA-1 (FIPS 180-4), implemented from the specification.
+//
+// Like MD5, used solely to match hashed identifiers in outbound requests
+// against cookie-derived candidates (paper §4.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cg::crypto {
+
+class Sha1 {
+ public:
+  Sha1();
+
+  void update(std::string_view data);
+  /// Finalises and returns the 20-byte digest.
+  std::array<std::uint8_t, 20> digest();
+
+  /// One-shot convenience: lower-case hex digest of `data`.
+  static std::string hex(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace cg::crypto

@@ -1,0 +1,100 @@
+#include "entities/entity_map.h"
+
+namespace cg::entities {
+
+void EntityMap::add(std::string_view entity,
+                    std::initializer_list<std::string_view> domains) {
+  for (const auto domain : domains) add_domain(entity, domain);
+}
+
+void EntityMap::add_domain(std::string_view entity, std::string_view domain) {
+  domain_to_entity_.insert_or_assign(std::string(domain),
+                                     std::string(entity));
+}
+
+std::string EntityMap::entity_for(std::string_view domain) const {
+  const auto it = domain_to_entity_.find(domain);
+  return it == domain_to_entity_.end() ? std::string(domain) : it->second;
+}
+
+bool EntityMap::same_entity(std::string_view domain_a,
+                            std::string_view domain_b) const {
+  return !domain_a.empty() && entity_for(domain_a) == entity_for(domain_b);
+}
+
+std::vector<std::string> EntityMap::domains_of(std::string_view entity) const {
+  std::vector<std::string> out;
+  for (const auto& [domain, owner] : domain_to_entity_) {
+    if (owner == entity) out.push_back(domain);
+  }
+  return out;
+}
+
+const EntityMap& EntityMap::builtin() {
+  static const EntityMap map = [] {
+    EntityMap m;
+    m.add("Google", {"google.com", "googletagmanager.com",
+                     "google-analytics.com", "doubleclick.net",
+                     "googlesyndication.com", "googleadservices.com",
+                     "gstatic.com", "youtube.com", "googleapis.com"});
+    m.add("Meta", {"facebook.com", "facebook.net", "fbcdn.net",
+                   "instagram.com"});
+    m.add("Microsoft", {"microsoft.com", "bing.com", "live.com",
+                        "clarity.ms", "microsoftonline.com", "msauth.net",
+                        "azureedge.net"});
+    m.add("LinkedIn", {"linkedin.com", "licdn.com", "ads-linkedin.com"});
+    m.add("Amazon", {"amazon.com", "amazon-adsystem.com", "media-amazon.com"});
+    m.add("Criteo", {"criteo.com", "criteo.net"});
+    m.add("Yandex", {"yandex.ru", "ya.ru", "yastatic.net", "webvisor.org"});
+    m.add("Pinterest", {"pinterest.com", "pinimg.com"});
+    m.add("HubSpot", {"hubspot.com", "hs-scripts.com", "hs-analytics.net",
+                      "hsforms.com", "hubapi.com"});
+    m.add("Adobe", {"adobe.com", "adobedtm.com", "omtrdc.net", "demdex.net",
+                    "everesttech.net", "marketo.net", "marketo.com"});
+    m.add("OpenX", {"openx.net", "openx.com"});
+    m.add("PubMatic", {"pubmatic.com"});
+    m.add("Lotame", {"crwdcntrl.net", "lotame.com"});
+    m.add("Ketch", {"ketchjs.com", "ketchcdn.com"});
+    m.add("Shopify", {"shopify.com", "shopifycloud.com", "shopifysvc.com"});
+    m.add("Admiral", {"getadmiral.com", "admiral.media"});
+    m.add("OneTrust", {"onetrust.com", "cookielaw.org", "cookiepro.com"});
+    m.add("Osano", {"osano.com"});
+    m.add("CookieYes", {"cookieyes.com", "cdn-cookieyes.com"});
+    m.add("CookieScript", {"cookie-script.com"});
+    m.add("Tealium", {"tealium.com", "tiqcdn.com", "tealiumiq.com"});
+    m.add("Segment.io", {"segment.com", "segment.io", "segmentcdn.com"});
+    m.add("X", {"twitter.com", "x.com", "twimg.com", "ads-twitter.com"});
+    m.add("TikTok", {"tiktok.com", "tiktokcdn.com", "ttwstatic.com"});
+    m.add("Taboola", {"taboola.com", "taboolasyndication.com"});
+    m.add("Outbrain", {"outbrain.com", "outbrainimg.com"});
+    m.add("Hotjar", {"hotjar.com", "hotjar.io"});
+    m.add("Functional Software", {"sentry.io", "sentry-cdn.com"});
+    m.add("New Relic", {"newrelic.com", "nr-data.net"});
+    m.add("Snap", {"snapchat.com", "sc-static.net"});
+    m.add("StatCounter", {"statcounter.com"});
+    m.add("Quantcast", {"quantcast.com", "quantserve.com", "quantcount.com"});
+    m.add("LiveIntent", {"liveintent.com", "licasd.com"});
+    m.add("The Trade Desk", {"thetradedesk.com", "adsrvr.org"});
+    m.add("Magnite", {"magnite.com", "rubiconproject.com"});
+    m.add("Index Exchange", {"indexexchange.com", "casalemedia.com"});
+    m.add("ShareThis", {"sharethis.com"});
+    m.add("Cloudflare", {"cloudflare.com", "cdnjs.com", "jsdelivr.net"});
+    m.add("Okta", {"okta.com", "oktacdn.com"});
+    m.add("Auth0", {"auth0.com"});
+    m.add("Intercom", {"intercom.io", "intercomcdn.com"});
+    m.add("Zendesk", {"zendesk.com", "zdassets.com"});
+    m.add("Mediavine", {"mediavine.com"});
+    m.add("AdThrive", {"adthrive.com", "raptive.com"});
+    m.add("Yahoo Japan", {"yimg.jp", "yahoo.co.jp"});
+    m.add("GA Connector", {"gaconnector.com"});
+    m.add("Optimizely", {"optimizely.com"});
+    m.add("Salesforce.com", {"salesforce.com", "pardot.com", "krxd.net"});
+    m.add("Oracle", {"bluekai.com", "addthis.com", "bkrtx.com"});
+    m.add("Cxense", {"cxense.com"});
+    m.add("Zoom", {"zoom.us", "zoomgov.com"});
+    return m;
+  }();
+  return map;
+}
+
+}  // namespace cg::entities

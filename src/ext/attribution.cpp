@@ -1,0 +1,39 @@
+#include "ext/attribution.h"
+
+#include "net/psl.h"
+#include "net/url.h"
+
+namespace cg::ext {
+
+Attribution attribute_stack(const webplat::StackTrace& stack,
+                            AttributionMode mode) {
+  Attribution out;
+  std::optional<std::string> url;
+  switch (mode) {
+    case AttributionMode::kLastExternal:
+      url = stack.last_external_script_url();
+      break;
+    case AttributionMode::kTopFrameOnly: {
+      // Ignore async-recovered frames: only a genuine top frame counts.
+      const auto& frames = stack.frames();
+      if (!frames.empty() && !frames.back().async &&
+          !frames.back().script_url.empty()) {
+        url = frames.back().script_url;
+      }
+      break;
+    }
+  }
+  if (!url) {
+    out.unknown = true;
+    return out;
+  }
+  out.script_url = *url;
+  if (const auto parsed = net::Url::parse(*url)) {
+    out.domain = parsed->site();
+  } else {
+    out.unknown = true;
+  }
+  return out;
+}
+
+}  // namespace cg::ext

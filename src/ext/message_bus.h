@@ -1,0 +1,53 @@
+// Topic-based message channel between an extension's content-script side and
+// its background service.
+//
+// The paper's CookieGuard is split into cookieGuard.js / contentScript.js /
+// background.js with postMessage relaying between them (§6.2, Figure 4).
+// The simulator keeps that separation: the page-side hooks never touch the
+// metadata store directly — they go through a MessageBus, whose round trips
+// are counted (they are the main source of the runtime overhead in Table 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace cg::ext {
+
+class MessageBus {
+ public:
+  /// Request/response handler for a topic (background side).
+  using Handler = std::function<std::string(const std::string& payload)>;
+
+  void register_handler(std::string_view topic, Handler handler) {
+    handlers_.insert_or_assign(std::string(topic), std::move(handler));
+  }
+
+  /// Synchronous RPC from the content-script side to the background.
+  /// Returns the handler's response ("" when no handler is registered).
+  std::string request(std::string_view topic, const std::string& payload) {
+    ++round_trips_;
+    const auto it = handlers_.find(std::string(topic));
+    return it == handlers_.end() ? std::string{} : it->second(payload);
+  }
+
+  /// Fire-and-forget notification (a postMessage without a reply).
+  void post(std::string_view topic, const std::string& payload) {
+    ++posts_;
+    const auto it = handlers_.find(std::string(topic));
+    if (it != handlers_.end()) it->second(payload);
+  }
+
+  std::uint64_t round_trips() const { return round_trips_; }
+  std::uint64_t posts() const { return posts_; }
+  void reset_counters() { round_trips_ = posts_ = 0; }
+
+ private:
+  std::map<std::string, Handler, std::less<>> handlers_;
+  std::uint64_t round_trips_ = 0;
+  std::uint64_t posts_ = 0;
+};
+
+}  // namespace cg::ext

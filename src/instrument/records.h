@@ -1,0 +1,118 @@
+// Log record schema shared by the measurement extension and the analysis
+// framework — the C++ equivalent of the JSON logs the paper's extension
+// posts to its background service (§4.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cookies/cookie.h"
+#include "cookies/cookie_jar.h"
+#include "net/clock.h"
+#include "net/http.h"
+#include "script/exec_context.h"
+#include "webplat/frame.h"
+
+namespace cg::instrument {
+
+/// A script-initiated cookie write/delete, attributed from the stack trace.
+struct ScriptCookieSetRecord {
+  std::string cookie_name;
+  std::string value;
+  /// Stack-attributed setter (what a real extension can know).
+  std::string setter_url;
+  std::string setter_domain;  // eTLD+1; empty = inline/unknown
+  /// Ground truth (simulator-only; used for attribution-accuracy evaluation,
+  /// never by detection logic).
+  std::string true_domain;
+  cookies::CookieSource api = cookies::CookieSource::kDocumentCookie;
+  cookies::CookieChange::Type change_type =
+      cookies::CookieChange::Type::kCreated;
+  script::Category category = script::Category::kFirstParty;
+  script::Inclusion inclusion = script::Inclusion::kDirect;
+  /// Attribute diffs for overwrite events (paper §5.5 reports these).
+  bool value_changed = false;
+  bool expires_changed = false;
+  bool domain_changed = false;
+  bool path_changed = false;
+  /// Expiry before/after the overwrite (absolute ms; 0 = session cookie) —
+  /// drives the tracking-lifespan-extension analysis.
+  TimeMillis prev_expires = 0;
+  TimeMillis new_expires = 0;
+  TimeMillis time = 0;
+};
+
+/// A Set-Cookie header observed via webRequest.onHeadersReceived.
+struct HttpCookieSetRecord {
+  std::string cookie_name;
+  std::string value;
+  std::string response_host;
+  std::string setter_domain;  // eTLD+1 of the response host
+  bool http_only = false;
+  bool first_party = false;  // response same-site with the visited page
+  cookies::CookieChange::Type change_type =
+      cookies::CookieChange::Type::kCreated;
+  TimeMillis time = 0;
+};
+
+/// A bulk cookie read (document.cookie getter or cookieStore.getAll()).
+struct CookieReadRecord {
+  std::string reader_url;
+  std::string reader_domain;  // eTLD+1; empty = inline/unknown
+  cookies::CookieSource api = cookies::CookieSource::kDocumentCookie;
+  int cookies_returned = 0;
+  TimeMillis time = 0;
+};
+
+/// An outbound network request (Network.requestWillBeSent + stack).
+struct RequestRecord {
+  std::string url;            // full URL including query
+  std::string host;
+  std::string dest_domain;    // eTLD+1 of the request host
+  std::string initiator_url;  // stack-attributed initiating script
+  std::string initiator_domain;
+  net::RequestDestination destination = net::RequestDestination::kOther;
+  TimeMillis time = 0;
+};
+
+/// A DOM mutation with cross-domain provenance (pilot study, §8).
+struct DomModRecord {
+  std::string modifier_domain;
+  std::string target_domain;
+};
+
+/// A script entering the main frame.
+struct ScriptIncludeRecord {
+  std::string script_id;
+  std::string url;
+  std::string domain;  // eTLD+1; empty for inline
+  script::Category category = script::Category::kFirstParty;
+  script::Inclusion inclusion = script::Inclusion::kDirect;
+  bool is_inline = false;
+};
+
+/// Everything collected during one site visit (landing page + clicks).
+struct VisitLog {
+  std::string site_host;
+  std::string site;  // eTLD+1
+  int rank = 0;
+
+  std::vector<ScriptCookieSetRecord> script_sets;
+  std::vector<HttpCookieSetRecord> http_sets;
+  std::vector<CookieReadRecord> reads;
+  std::vector<RequestRecord> requests;
+  std::vector<DomModRecord> dom_mods;
+  std::vector<ScriptIncludeRecord> includes;
+
+  /// Landing-page lifecycle timings (Table 4 inputs).
+  webplat::PageTimings landing_timings;
+  int pages_visited = 0;
+
+  /// The paper keeps only sites with both cookie logs and request logs
+  /// (14,917 of 20,000 satisfied this).
+  bool complete() const { return has_cookie_logs && has_request_logs; }
+  bool has_cookie_logs = false;
+  bool has_request_logs = false;
+};
+
+}  // namespace cg::instrument

@@ -1,0 +1,44 @@
+// Simulated wall-clock used throughout the CookieGuard reproduction.
+//
+// Everything in the simulator (cookie expiry, page-load timings, event-loop
+// scheduling, crawl pauses) is driven by a deterministic millisecond clock so
+// that crawls of the synthetic corpus are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace cg {
+
+/// Milliseconds since the Unix epoch (simulated).
+using TimeMillis = std::int64_t;
+
+/// A deterministic, manually-advanced clock.
+///
+/// The simulator never reads the real system clock: all components that need
+/// "now" hold a pointer to a SimClock owned by the Browser (or test fixture)
+/// and the crawl driver advances it as simulated work happens.
+class SimClock {
+ public:
+  /// Starts at `start` (defaults to 2025-05-09T00:00:00Z, inside the paper's
+  /// crawl window — cookie values embed this timestamp like real trackers do).
+  explicit SimClock(TimeMillis start = kDefaultStart) : now_(start) {}
+
+  TimeMillis now() const { return now_; }
+
+  /// Advances time; negative deltas are ignored (time is monotonic).
+  void advance(TimeMillis delta_ms) {
+    if (delta_ms > 0) now_ += delta_ms;
+  }
+
+  /// Jumps to an absolute time if it is in the future.
+  void advance_to(TimeMillis t) {
+    if (t > now_) now_ = t;
+  }
+
+  static constexpr TimeMillis kDefaultStart = 1746748800000;  // 2025-05-09 UTC
+
+ private:
+  TimeMillis now_;
+};
+
+}  // namespace cg

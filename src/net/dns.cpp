@@ -1,0 +1,20 @@
+#include "net/dns.h"
+
+namespace cg::net {
+
+void DnsResolver::add_cname(std::string_view host, std::string_view target) {
+  cnames_.insert_or_assign(std::string(host), std::string(target));
+}
+
+std::string DnsResolver::resolve_canonical(std::string_view host) const {
+  std::string current(host);
+  // RFC 1034 implementations bound chain length; 8 is generous.
+  for (int hops = 0; hops < 8; ++hops) {
+    const auto it = cnames_.find(current);
+    if (it == cnames_.end()) return current;
+    current = it->second;
+  }
+  return current;
+}
+
+}  // namespace cg::net

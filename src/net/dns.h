@@ -1,0 +1,35 @@
+// Minimal DNS model: CNAME chains.
+//
+// CNAME cloaking (paper §8) hides a tracker behind a first-party subdomain:
+// metrics.example.com CNAMEs to collect.tracker.net, so script-URL
+// attribution sees a first-party script while the traffic really belongs to
+// the tracker. CookieGuard can optionally resolve canonical names to
+// uncloak such scripts.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace cg::net {
+
+class DnsResolver {
+ public:
+  /// Adds `host CNAME target`. Chains are followed on resolution.
+  void add_cname(std::string_view host, std::string_view target);
+
+  /// Follows the CNAME chain from `host` to its canonical name (bounded
+  /// against loops). Hosts without records resolve to themselves.
+  std::string resolve_canonical(std::string_view host) const;
+
+  bool has_cname(std::string_view host) const {
+    return cnames_.find(host) != cnames_.end();
+  }
+
+  std::size_t record_count() const { return cnames_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> cnames_;
+};
+
+}  // namespace cg::net

@@ -1,0 +1,60 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cg::net {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+}  // namespace
+
+void HttpHeaders::add(std::string_view name, std::string_view value) {
+  fields_.push_back({std::string(name), std::string(value)});
+}
+
+void HttpHeaders::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+void HttpHeaders::remove(std::string_view name) {
+  std::erase_if(fields_,
+                [&](const Field& f) { return iequals(f.name, name); });
+}
+
+std::optional<std::string> HttpHeaders::get(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (iequals(f.name, name)) return f.value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> HttpHeaders::get_all(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& f : fields_) {
+    if (iequals(f.name, name)) out.push_back(f.value);
+  }
+  return out;
+}
+
+std::string_view to_string(HttpMethod method) {
+  switch (method) {
+    case HttpMethod::kGet:
+      return "GET";
+    case HttpMethod::kPost:
+      return "POST";
+    case HttpMethod::kHead:
+      return "HEAD";
+  }
+  return "GET";
+}
+
+}  // namespace cg::net

@@ -1,0 +1,82 @@
+// HTTP message model: case-insensitive headers, requests and responses.
+//
+// The simulator's network layer exchanges these objects instead of bytes on
+// a socket; header semantics (notably Set-Cookie, which may repeat) follow
+// RFC 9110 field rules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/url.h"
+
+namespace cg::net {
+
+/// Ordered multimap of header fields with case-insensitive names.
+class HttpHeaders {
+ public:
+  void add(std::string_view name, std::string_view value);
+  /// Replaces all values of `name` with a single `value`.
+  void set(std::string_view name, std::string_view value);
+  void remove(std::string_view name);
+
+  /// First value for `name`, if any.
+  std::optional<std::string> get(std::string_view name) const;
+  /// All values for `name` in insertion order (needed for Set-Cookie).
+  std::vector<std::string> get_all(std::string_view name) const;
+  bool has(std::string_view name) const { return get(name).has_value(); }
+
+  std::size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  struct Field {
+    std::string name;
+    std::string value;
+  };
+  const std::vector<Field>& fields() const { return fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+enum class HttpMethod { kGet, kPost, kHead };
+
+std::string_view to_string(HttpMethod method);
+
+/// The context a request was issued from, used for first/third-party
+/// classification and (for script-initiated requests) attribution.
+enum class RequestDestination {
+  kDocument,   // top-level navigation
+  kScript,     // <script src=...>
+  kSubframe,   // <iframe src=...>
+  kImage,      // pixels/beacons
+  kXhr,        // fetch/XHR/sendBeacon from script
+  kOther,
+};
+
+struct HttpRequest {
+  HttpMethod method = HttpMethod::kGet;
+  Url url;
+  HttpHeaders headers;
+  std::string body;
+  RequestDestination destination = RequestDestination::kOther;
+  /// URL of the document (or script) that caused this request; empty for
+  /// top-level navigations. Mirrors Chrome's `initiator`.
+  std::string initiator;
+};
+
+struct HttpResponse {
+  int status = 200;
+  HttpHeaders headers;
+  std::string body;
+
+  /// Convenience: all Set-Cookie header values in order.
+  std::vector<std::string> set_cookie_headers() const {
+    return headers.get_all("Set-Cookie");
+  }
+};
+
+}  // namespace cg::net

@@ -1,0 +1,175 @@
+#include "net/http_date.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace cg::net {
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "jan", "feb", "mar", "apr", "may", "jun",
+    "jul", "aug", "sep", "oct", "nov", "dec"};
+
+constexpr std::array<std::string_view, 7> kWeekdays = {
+    "Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"};  // epoch was a Thursday
+
+// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+long long days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const long long era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<long long>(doe) - 719468;
+}
+
+// Inverse of days_from_civil.
+void civil_from_days(long long z, int& y, int& m, int& d) {
+  z += 719468;
+  const long long era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const long long yy = static_cast<long long>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+bool is_delimiter(char c) {
+  // RFC 6265 §5.1.1 delimiter set.
+  const auto u = static_cast<unsigned char>(c);
+  return c == 0x09 || (u >= 0x20 && u <= 0x2F) || (u >= 0x3B && u <= 0x40) ||
+         (u >= 0x5B && u <= 0x60) || (u >= 0x7B && u <= 0x7E);
+}
+
+struct TimeFields {
+  int hour = -1, minute = -1, second = -1;
+};
+
+bool parse_time_token(std::string_view token, TimeFields& out) {
+  int h = 0, m = 0, s = 0;
+  int consumed = 0;
+  if (std::sscanf(std::string(token).c_str(), "%2d:%2d:%2d%n", &h, &m, &s,
+                  &consumed) == 3 &&
+      consumed >= 5) {
+    out.hour = h;
+    out.minute = m;
+    out.second = s;
+    return true;
+  }
+  return false;
+}
+
+std::optional<int> parse_leading_digits(std::string_view token, int min_len,
+                                        int max_len) {
+  int len = 0;
+  int value = 0;
+  while (len < static_cast<int>(token.size()) && len < max_len &&
+         std::isdigit(static_cast<unsigned char>(token[len]))) {
+    value = value * 10 + (token[len] - '0');
+    ++len;
+  }
+  if (len < min_len) return std::nullopt;
+  // RFC 6265: non-digit trailing characters are ignored ("94 GMT" cases are
+  // handled by tokenisation; "21-Jun" style handled by the caller).
+  return value;
+}
+
+}  // namespace
+
+std::optional<TimeMillis> parse_cookie_date(std::string_view s) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_delimiter(s[i]) && s[i] != ':') ++i;
+    std::size_t start = i;
+    while (i < s.size() && (!is_delimiter(s[i]) || s[i] == ':')) ++i;
+    if (i > start) tokens.push_back(s.substr(start, i - start));
+  }
+
+  TimeFields time;
+  int day = -1, month = -1, year = -1;
+  for (const auto token : tokens) {
+    if (time.hour < 0 && token.find(':') != std::string_view::npos &&
+        parse_time_token(token, time)) {
+      continue;
+    }
+    if (month < 0 && token.size() >= 3) {
+      std::string lower3;
+      for (int k = 0; k < 3; ++k) {
+        lower3.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(token[k]))));
+      }
+      bool matched = false;
+      for (std::size_t m = 0; m < kMonths.size(); ++m) {
+        if (kMonths[m] == lower3) {
+          month = static_cast<int>(m) + 1;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    if (day < 0) {
+      if (auto v = parse_leading_digits(token, 1, 2);
+          v && *v >= 1 && *v <= 31) {
+        day = *v;
+        continue;
+      }
+    }
+    if (year < 0) {
+      if (auto v = parse_leading_digits(token, 2, 4)) {
+        year = *v;
+        continue;
+      }
+    }
+  }
+
+  if (day < 0 || month < 0 || year < 0 || time.hour < 0) return std::nullopt;
+  // Two-digit year mapping per RFC 6265.
+  if (year >= 70 && year <= 99) year += 1900;
+  if (year >= 0 && year <= 69) year += 2000;
+  if (year < 1601 || time.hour > 23 || time.minute > 59 || time.second > 59) {
+    return std::nullopt;
+  }
+
+  const long long days = days_from_civil(year, month, day);
+  const long long secs =
+      days * 86400LL + time.hour * 3600LL + time.minute * 60LL + time.second;
+  return secs * 1000;
+}
+
+std::string format_http_date(TimeMillis t) {
+  long long secs = t / 1000;
+  long long days = secs / 86400;
+  long long rem = secs % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  int y = 0, m = 0, d = 0;
+  civil_from_days(days, y, m, d);
+  const int hour = static_cast<int>(rem / 3600);
+  const int minute = static_cast<int>((rem % 3600) / 60);
+  const int second = static_cast<int>(rem % 60);
+  // days_from_civil(1970,1,1)==0 was a Thursday.
+  long long wd = days % 7;
+  if (wd < 0) wd += 7;
+
+  char buf[40];
+  std::string mon(kMonths[m - 1]);
+  mon[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(mon[0])));
+  std::snprintf(buf, sizeof(buf), "%s, %02d %s %04d %02d:%02d:%02d GMT",
+                std::string(kWeekdays[wd]).c_str(), d, mon.c_str(), y, hour,
+                minute, second);
+  return buf;
+}
+
+}  // namespace cg::net

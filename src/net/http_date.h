@@ -1,0 +1,25 @@
+// Cookie date parsing and formatting (RFC 6265 §5.1.1 / RFC 1123).
+//
+// Cookie deletion on the real web is "set the cookie with Expires in the
+// past" — consent managers in the paper delete `_fbp`/`_uetvid` exactly this
+// way — so faithful Expires handling is load-bearing for manipulation
+// detection.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/clock.h"
+
+namespace cg::net {
+
+/// Parses a cookie-date per the RFC 6265 §5.1.1 tolerant algorithm
+/// (e.g. "Wed, 09 Jun 2021 10:18:14 GMT", "09-Jun-21 10:18:14").
+/// Returns milliseconds since the Unix epoch, or nullopt on failure.
+std::optional<TimeMillis> parse_cookie_date(std::string_view s);
+
+/// Formats as an RFC 1123 date: "Sun, 06 Nov 1994 08:49:37 GMT".
+std::string format_http_date(TimeMillis t);
+
+}  // namespace cg::net

@@ -1,0 +1,72 @@
+#include "net/percent.h"
+
+#include <array>
+
+namespace cg::net {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+bool is_unreserved(unsigned char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' ||
+         c == '~';
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string decode_impl(std::string_view input, bool plus_as_space) {
+  std::string out;
+  out.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const char c = input[i];
+    if (c == '%' && i + 2 < input.size()) {
+      const int hi = hex_value(input[i + 1]);
+      const int lo = hex_value(input[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    if (plus_as_space && c == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string percent_encode(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (const char ch : input) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (is_unreserved(c)) {
+      out.push_back(ch);
+    } else {
+      out.push_back('%');
+      out.push_back(kHexDigits[c >> 4]);
+      out.push_back(kHexDigits[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string percent_decode(std::string_view input) {
+  return decode_impl(input, /*plus_as_space=*/false);
+}
+
+std::string form_decode(std::string_view input) {
+  return decode_impl(input, /*plus_as_space=*/true);
+}
+
+}  // namespace cg::net

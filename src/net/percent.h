@@ -1,0 +1,20 @@
+// Percent-encoding (RFC 3986) helpers used by URL and query-string handling.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cg::net {
+
+/// Percent-encodes every byte outside the RFC 3986 "unreserved" set
+/// (ALPHA / DIGIT / "-" / "." / "_" / "~").
+std::string percent_encode(std::string_view input);
+
+/// Decodes %XX escapes; malformed escapes are passed through verbatim.
+/// '+' is NOT treated as space (use `form_decode` for form data).
+std::string percent_decode(std::string_view input);
+
+/// application/x-www-form-urlencoded decode: '+' becomes ' ', then %XX.
+std::string form_decode(std::string_view input);
+
+}  // namespace cg::net

@@ -1,0 +1,100 @@
+#include "net/psl.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace cg::net {
+namespace {
+
+// Embedded public-suffix subset. Sorted not required; looked up via linear
+// scan over a small array (the hot path caches eTLD+1 per URL elsewhere).
+constexpr std::array<std::string_view, 58> kSuffixes = {
+    // Generic TLDs used throughout the corpus.
+    "com", "org", "net", "io", "co", "ai", "de", "fr", "jp", "ru", "uk",
+    "us", "eu", "info", "biz", "tv", "me", "app", "dev", "cloud", "media",
+    "agency", "online", "shop", "store", "site", "xyz", "news", "blog",
+    "edu", "gov", "mil", "int", "ac",
+    // Multi-label public suffixes.
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "co.jp", "ne.jp", "or.jp",
+    "com.au", "net.au", "org.au", "com.br", "com.cn", "com.tr", "co.in",
+    "co.kr", "com.mx", "co.za",
+    // Private-section suffixes (sites hosted on shared platforms).
+    "github.io", "gitlab.io", "netlify.app", "herokuapp.com",
+    "blogspot.com", "myshopify.com", "amazonaws.com",
+};
+
+bool is_ip_literal(std::string_view host) {
+  return !host.empty() &&
+         host.find_first_not_of("0123456789.") == std::string_view::npos &&
+         std::count(host.begin(), host.end(), '.') == 3;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// Returns the length (in bytes) of the public suffix of `host`, or 0 if none.
+std::size_t suffix_length(std::string_view host) {
+  std::size_t best = 0;
+  for (const auto suffix : kSuffixes) {
+    if (host.size() == suffix.size() && host == suffix) {
+      best = std::max(best, suffix.size());
+    } else if (host.size() > suffix.size() &&
+               host.ends_with(suffix) &&
+               host[host.size() - suffix.size() - 1] == '.') {
+      best = std::max(best, suffix.size());
+    }
+  }
+  if (best == 0) {
+    // PSL fallback rule "*": the last label is a public suffix.
+    const auto dot = host.rfind('.');
+    best = (dot == std::string_view::npos) ? host.size() : host.size() - dot - 1;
+  }
+  return best;
+}
+
+}  // namespace
+
+bool is_public_suffix(std::string_view host) {
+  const std::string lower = to_lower(host);
+  return !lower.empty() && suffix_length(lower) == lower.size();
+}
+
+std::string etld_plus_one(std::string_view host) {
+  std::string lower = to_lower(host);
+  while (!lower.empty() && lower.back() == '.') lower.pop_back();
+  if (lower.empty()) return {};
+  if (is_ip_literal(lower)) return lower;
+
+  const std::size_t suffix_len = suffix_length(lower);
+  if (suffix_len >= lower.size()) return {};  // bare public suffix
+
+  // Strip "<suffix>" plus the preceding dot, then take the last label of
+  // what remains as the "+1".
+  const std::string_view rest =
+      std::string_view(lower).substr(0, lower.size() - suffix_len - 1);
+  const auto dot = rest.rfind('.');
+  const std::size_t start = (dot == std::string_view::npos) ? 0 : dot + 1;
+  return lower.substr(start);
+}
+
+bool same_site(std::string_view host_a, std::string_view host_b) {
+  const std::string a = etld_plus_one(host_a);
+  return !a.empty() && a == etld_plus_one(host_b);
+}
+
+bool domain_matches(std::string_view host, std::string_view domain) {
+  const std::string h = to_lower(host);
+  std::string d = to_lower(domain);
+  if (!d.empty() && d.front() == '.') d.erase(d.begin());
+  if (h == d) return true;
+  return h.size() > d.size() && h.ends_with(d) &&
+         h[h.size() - d.size() - 1] == '.' && !is_ip_literal(h);
+}
+
+}  // namespace cg::net

@@ -1,0 +1,39 @@
+// Minimal embedded public-suffix list and eTLD+1 ("registrable domain")
+// computation.
+//
+// The paper attributes every script and cookie to a domain at eTLD+1
+// granularity ("we log ... the ETLD+1 of the script or server that created
+// it", §6.1). A full Mozilla PSL is ~9k rules; the embedded subset here
+// covers every suffix that occurs in the synthetic corpus plus the common
+// multi-label suffixes needed for correctness tests (co.uk, com.au,
+// github.io, ...). Unknown TLDs fall back to the last label, matching PSL
+// semantics ("If no rules match, the prevailing rule is '*'").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cg::net {
+
+/// True if `host` is exactly a public suffix (e.g. "com", "co.uk").
+bool is_public_suffix(std::string_view host);
+
+/// Returns the registrable domain (eTLD+1) of `host`, lower-cased.
+///
+/// Examples:
+///   etld_plus_one("www.example.co.uk")     == "example.co.uk"
+///   etld_plus_one("cdn.shopifycloud.com")  == "shopifycloud.com"
+///   etld_plus_one("example.com")           == "example.com"
+///   etld_plus_one("com")                   == ""   (a bare suffix has no +1)
+///   etld_plus_one("127.0.0.1")             == "127.0.0.1" (IP literals)
+std::string etld_plus_one(std::string_view host);
+
+/// True if both hosts share the same registrable domain. The paper's
+/// "cross-domain" definition compares eTLD+1, not full origins (§3, fn. 1).
+bool same_site(std::string_view host_a, std::string_view host_b);
+
+/// True iff `host` equals `domain` or is a subdomain of it
+/// (RFC 6265 §5.1.3 domain-matching, for host-vs-cookie-domain checks).
+bool domain_matches(std::string_view host, std::string_view domain);
+
+}  // namespace cg::net

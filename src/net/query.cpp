@@ -1,0 +1,47 @@
+#include "net/query.h"
+
+#include "net/percent.h"
+
+namespace cg::net {
+
+std::vector<QueryParam> parse_query(std::string_view query) {
+  std::vector<QueryParam> out;
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    auto amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view segment = query.substr(pos, amp - pos);
+    if (!segment.empty()) {
+      const auto eq = segment.find('=');
+      if (eq == std::string_view::npos) {
+        out.push_back({form_decode(segment), ""});
+      } else {
+        out.push_back({form_decode(segment.substr(0, eq)),
+                       form_decode(segment.substr(eq + 1))});
+      }
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+std::string build_query(const std::vector<QueryParam>& params) {
+  std::string out;
+  for (const auto& p : params) {
+    if (!out.empty()) out += '&';
+    out += percent_encode(p.key);
+    out += '=';
+    out += percent_encode(p.value);
+  }
+  return out;
+}
+
+std::string query_value(const std::vector<QueryParam>& params,
+                        std::string_view key) {
+  for (const auto& p : params) {
+    if (p.key == key) return p.value;
+  }
+  return {};
+}
+
+}  // namespace cg::net

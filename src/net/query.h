@@ -1,0 +1,32 @@
+// Query-string codec.
+//
+// Exfiltration detection (paper §4.3) extracts candidate identifiers from
+// "the query strings of all outbound URLs initiated by third-party scripts";
+// this module provides the parsing half of that pipeline.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cg::net {
+
+struct QueryParam {
+  std::string key;
+  std::string value;
+  friend bool operator==(const QueryParam&, const QueryParam&) = default;
+};
+
+/// Parses "a=1&b=two" into decoded key/value pairs. Keys without '=' yield
+/// an empty value; empty segments are skipped.
+std::vector<QueryParam> parse_query(std::string_view query);
+
+/// Serialises pairs back into a percent-encoded query string.
+std::string build_query(const std::vector<QueryParam>& params);
+
+/// Returns the first value for `key`, or empty string.
+std::string query_value(const std::vector<QueryParam>& params,
+                        std::string_view key);
+
+}  // namespace cg::net

@@ -1,0 +1,119 @@
+#include "net/set_cookie.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "net/http_date.h"
+
+namespace cg::net {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string ascii_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(SameSite s) {
+  switch (s) {
+    case SameSite::kUnspecified:
+      return "Unspecified";
+    case SameSite::kNone:
+      return "None";
+    case SameSite::kLax:
+      return "Lax";
+    case SameSite::kStrict:
+      return "Strict";
+  }
+  return "Unspecified";
+}
+
+std::optional<ParsedSetCookie> parse_set_cookie(std::string_view header) {
+  // Split off the name-value pair from the attributes.
+  const auto semi = header.find(';');
+  std::string_view pair = (semi == std::string_view::npos)
+                              ? header
+                              : header.substr(0, semi);
+  std::string_view attrs = (semi == std::string_view::npos)
+                               ? std::string_view{}
+                               : header.substr(semi + 1);
+
+  ParsedSetCookie out;
+  const auto eq = pair.find('=');
+  if (eq == std::string_view::npos) {
+    // "flag" style header: treated as a cookie with empty name.
+    out.value = std::string(trim(pair));
+    if (out.value.empty()) return std::nullopt;
+  } else {
+    out.name = std::string(trim(pair.substr(0, eq)));
+    out.value = std::string(trim(pair.substr(eq + 1)));
+    if (out.name.empty() && out.value.empty()) return std::nullopt;
+  }
+
+  while (!attrs.empty()) {
+    auto next = attrs.find(';');
+    std::string_view av =
+        (next == std::string_view::npos) ? attrs : attrs.substr(0, next);
+    attrs = (next == std::string_view::npos) ? std::string_view{}
+                                             : attrs.substr(next + 1);
+    av = trim(av);
+    if (av.empty()) continue;
+
+    std::string_view attr_name = av;
+    std::string_view attr_value;
+    if (const auto aeq = av.find('='); aeq != std::string_view::npos) {
+      attr_name = trim(av.substr(0, aeq));
+      attr_value = trim(av.substr(aeq + 1));
+    }
+    const std::string lower = ascii_lower(attr_name);
+
+    if (lower == "domain") {
+      std::string d = ascii_lower(attr_value);
+      if (!d.empty() && d.front() == '.') d.erase(d.begin());
+      out.domain = d;
+    } else if (lower == "path") {
+      out.path = std::string(attr_value);
+      if (out.path.empty() || out.path[0] != '/') out.path.clear();
+    } else if (lower == "expires") {
+      if (auto t = parse_cookie_date(attr_value)) out.expires = *t;
+    } else if (lower == "max-age") {
+      const std::string v(attr_value);
+      char* end = nullptr;
+      const long long secs = std::strtoll(v.c_str(), &end, 10);
+      if (end != v.c_str() && *end == '\0') {
+        out.max_age_ms = secs * 1000;
+      }
+    } else if (lower == "secure") {
+      out.secure = true;
+    } else if (lower == "httponly") {
+      out.http_only = true;
+    } else if (lower == "samesite") {
+      const std::string v = ascii_lower(attr_value);
+      if (v == "none") {
+        out.same_site = SameSite::kNone;
+      } else if (v == "lax") {
+        out.same_site = SameSite::kLax;
+      } else if (v == "strict") {
+        out.same_site = SameSite::kStrict;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cg::net

@@ -1,0 +1,39 @@
+// Set-Cookie header parsing (RFC 6265 §5.2).
+//
+// The measurement extension captures "non-HttpOnly Set-Cookie values" from
+// HTTP responses (paper §4.1); CookieGuard's background component records
+// the setter domain of every header-set cookie (§6.2). Both paths start here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/clock.h"
+
+namespace cg::net {
+
+enum class SameSite { kUnspecified, kNone, kLax, kStrict };
+
+/// A parsed Set-Cookie header, attributes normalised but not yet subjected
+/// to the storage-model rules (domain-match checks etc. happen in
+/// cookies::CookieJar).
+struct ParsedSetCookie {
+  std::string name;
+  std::string value;
+  std::string domain;            // lower-case, leading dot stripped; "" = host-only
+  std::string path;              // "" = use default path of request URL
+  std::optional<TimeMillis> expires;   // from Expires attribute
+  std::optional<TimeMillis> max_age_ms;  // from Max-Age (relative, wins over Expires)
+  bool secure = false;
+  bool http_only = false;
+  SameSite same_site = SameSite::kUnspecified;
+};
+
+/// Parses one Set-Cookie header value. Returns nullopt for unparseable
+/// headers (no '=' in the name-value pair and empty name).
+std::optional<ParsedSetCookie> parse_set_cookie(std::string_view header);
+
+std::string_view to_string(SameSite s);
+
+}  // namespace cg::net

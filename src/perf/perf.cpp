@@ -1,0 +1,57 @@
+#include "perf/perf.h"
+
+#include <algorithm>
+
+#include "crawler/crawler.h"
+
+namespace cg::perf {
+
+TimingSummary summarize(std::vector<TimeMillis> samples) {
+  TimingSummary out;
+  if (samples.empty()) return out;
+  double sum = 0;
+  for (const auto v : samples) sum += static_cast<double>(v);
+  out.mean_ms = sum / static_cast<double>(samples.size());
+  auto mid = samples.begin() + static_cast<std::ptrdiff_t>(samples.size() / 2);
+  std::nth_element(samples.begin(), mid, samples.end());
+  out.median_ms = *mid;
+  return out;
+}
+
+Comparison compare_page_load(const corpus::Corpus& corpus, int site_count,
+                             const cookieguard::CookieGuardConfig& config) {
+  crawler::Crawler crawl(corpus);
+
+  struct Collected {
+    std::vector<TimeMillis> dcl, interactive, load;
+  };
+  auto run = [&](bool with_guard) {
+    Collected collected;
+    cookieguard::CookieGuard guard(config);
+    crawler::CrawlOptions options;
+    options.simulate_log_loss = false;
+    if (with_guard) options.extra_extensions.push_back(&guard);
+    crawl.crawl(site_count, options,
+                [&](instrument::VisitLog&& log) {
+                  collected.dcl.push_back(log.landing_timings.dom_content_loaded);
+                  collected.interactive.push_back(
+                      log.landing_timings.dom_interactive);
+                  collected.load.push_back(log.landing_timings.load_event);
+                });
+    return collected;
+  };
+
+  const Collected normal = run(false);
+  const Collected guarded = run(true);
+
+  Comparison out;
+  out.normal = {summarize(normal.dcl), summarize(normal.interactive),
+                summarize(normal.load)};
+  out.guarded = {summarize(guarded.dcl), summarize(guarded.interactive),
+                 summarize(guarded.load)};
+  out.mean_overhead_ms =
+      out.guarded.load_event.mean_ms - out.normal.load_event.mean_ms;
+  return out;
+}
+
+}  // namespace cg::perf

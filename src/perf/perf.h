@@ -1,0 +1,42 @@
+// Page-load performance comparison (paper §7.3, Table 4).
+//
+// Crawls a slice of the corpus twice — plain browser vs CookieGuard
+// installed — and summarizes the three lifecycle metrics the paper reports
+// (dom_content_loaded, dom_interactive, load_event) as mean and median.
+// The per-call interception cost fed into the simulation is itself measured
+// by the google-benchmark microbenchmarks in bench/bench_table4_perf.cpp.
+#pragma once
+
+#include <vector>
+
+#include "cookieguard/cookieguard.h"
+#include "corpus/corpus.h"
+#include "net/clock.h"
+
+namespace cg::perf {
+
+struct TimingSummary {
+  double mean_ms = 0;
+  TimeMillis median_ms = 0;
+};
+
+TimingSummary summarize(std::vector<TimeMillis> samples);
+
+struct Metrics {
+  TimingSummary dom_content_loaded;
+  TimingSummary dom_interactive;
+  TimingSummary load_event;
+};
+
+struct Comparison {
+  Metrics normal;
+  Metrics guarded;
+  /// Mean added load-event time, the paper's "average overhead" headline.
+  double mean_overhead_ms = 0;
+};
+
+/// Runs the paired crawl over the first `site_count` corpus sites.
+Comparison compare_page_load(const corpus::Corpus& corpus, int site_count,
+                             const cookieguard::CookieGuardConfig& config);
+
+}  // namespace cg::perf

@@ -1,0 +1,112 @@
+#include "report/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cg::report {
+
+std::string Json::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int depth, int indent) const {
+  const std::string pad(static_cast<std::size_t>(depth) *
+                            static_cast<std::size_t>(indent),
+                        ' ');
+  const std::string pad_in(static_cast<std::size_t>(depth + 1) *
+                               static_cast<std::size_t>(indent),
+                           ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    if (std::isfinite(*d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", *d);
+      out += buf;
+    } else {
+      out += "null";
+    }
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out += '"';
+    out += escape(*s);
+    out += '"';
+  } else if (const auto* array = std::get_if<Array>(&value_)) {
+    if (array->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t j = 0; j < array->size(); ++j) {
+      out += pad_in;
+      (*array)[j].dump_to(out, depth + 1, indent);
+      if (j + 1 < array->size()) out += ',';
+      out += nl;
+    }
+    out += pad;
+    out += ']';
+  } else if (const auto* object = std::get_if<Object>(&value_)) {
+    if (object->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    std::size_t j = 0;
+    for (const auto& [key, value] : *object) {
+      out += pad_in;
+      out += '"';
+      out += escape(key);
+      out += "\":";
+      if (indent > 0) out += ' ';
+      value.dump_to(out, depth + 1, indent);
+      if (++j < object->size()) out += ',';
+      out += nl;
+    }
+    out += pad;
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, 0, indent);
+  return out;
+}
+
+}  // namespace cg::report

@@ -1,0 +1,67 @@
+// Minimal JSON value tree + serializer (no external dependencies).
+//
+// Used by the report writers to dump crawl results in a machine-readable
+// form, and by the cgsim CLI. Supports the JSON subset the library needs:
+// objects, arrays, strings, doubles, integers, booleans, null.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace cg::report {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(long long i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(std::uint64_t i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  /// Object field access (creates the field; the Json must be an object).
+  Json& operator[](const std::string& key) {
+    return std::get<Object>(value_)[key];
+  }
+
+  /// Array append (the Json must be an array).
+  void push_back(Json item) {
+    std::get<Array>(value_).push_back(std::move(item));
+  }
+
+  /// Serialises with 2-space indentation.
+  std::string dump(int indent = 0) const;
+
+  /// Escapes a string for embedding in JSON (exposed for tests).
+  static std::string escape(std::string_view raw);
+
+ private:
+  void dump_to(std::string& out, int depth, int indent) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace cg::report

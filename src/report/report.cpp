@@ -1,0 +1,154 @@
+#include "report/report.h"
+
+#include <algorithm>
+#include <array>
+
+#include "perf/perf.h"
+
+namespace cg::report {
+namespace {
+
+std::string join_top(const std::map<std::string, int>& counts,
+                     std::size_t n) {
+  std::string out;
+  for (const auto& [entity, count] : analysis::top_counts(counts, n)) {
+    if (!out.empty()) out += "; ";
+    out += entity;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+Json totals_to_json(const analysis::Totals& t) {
+  Json out = Json::object();
+  out["sites_crawled"] = t.sites_crawled;
+  out["sites_complete"] = t.sites_complete;
+  out["sites_with_third_party"] = t.sites_with_third_party;
+  out["third_party_script_count"] = t.third_party_script_count;
+  out["third_party_ad_tracking_count"] = t.third_party_ad_tracking_count;
+  out["tp_cookies_set"] = t.tp_cookies_set;
+  out["fp_cookies_set"] = t.fp_cookies_set;
+  out["direct_inclusions"] = t.direct_inclusions;
+  out["indirect_inclusions"] = t.indirect_inclusions;
+  out["sites_using_document_cookie"] = t.sites_using_document_cookie;
+  out["sites_using_cookie_store"] = t.sites_using_cookie_store;
+  out["sites_doc_exfil"] = t.sites_doc_exfil;
+  out["sites_doc_overwrite"] = t.sites_doc_overwrite;
+  out["sites_doc_delete"] = t.sites_doc_delete;
+  out["sites_store_exfil"] = t.sites_store_exfil;
+  out["cross_overwrites"] = t.cross_overwrites;
+  out["overwrite_value_changed"] = t.overwrite_value_changed;
+  out["overwrite_expires_changed"] = t.overwrite_expires_changed;
+  out["overwrite_domain_changed"] = t.overwrite_domain_changed;
+  out["overwrite_path_changed"] = t.overwrite_path_changed;
+  out["overwrite_expiry_extended"] = t.overwrite_expiry_extended;
+  out["expiry_days_added"] = t.expiry_days_added;
+  out["sites_with_cross_dom_modification"] =
+      t.sites_with_cross_dom_modification;
+  out["attributed_sets"] = t.attributed_sets;
+  out["attribution_correct"] = t.attribution_correct;
+  out["attribution_unknown"] = t.attribution_unknown;
+
+  auto timing = [](std::vector<TimeMillis> samples) {
+    const auto summary = perf::summarize(std::move(samples));
+    Json j = Json::object();
+    j["mean_ms"] = summary.mean_ms;
+    j["median_ms"] = summary.median_ms;
+    return j;
+  };
+  Json timings = Json::object();
+  timings["dom_content_loaded"] = timing(t.dom_content_loaded);
+  timings["dom_interactive"] = timing(t.dom_interactive);
+  timings["load_event"] = timing(t.load_event);
+  out["timings"] = std::move(timings);
+  return out;
+}
+
+void write_pairs_csv(const analysis::Analyzer& analyzer, std::size_t n,
+                     std::ostream& out) {
+  out << "cookie_name,owner_domain,action,entity_count,top_entities\n";
+  const auto emit = [&](const std::vector<analysis::Analyzer::RankedPair>&
+                            rows,
+                        const char* action,
+                        const std::map<std::string, int> analysis::PairStats::*
+                            field) {
+    for (const auto& row : rows) {
+      const auto& counts = row.stats->*field;
+      out << csv_escape(row.pair.name) << ','
+          << csv_escape(row.pair.owner_domain) << ',' << action << ','
+          << counts.size() << ',' << csv_escape(join_top(counts, 3)) << '\n';
+    }
+  };
+  emit(analyzer.top_exfiltrated(n), "exfiltrated",
+       &analysis::PairStats::exfiltrator_entities);
+  emit(analyzer.top_overwritten(n), "overwritten",
+       &analysis::PairStats::overwriter_entities);
+  emit(analyzer.top_deleted(n), "deleted",
+       &analysis::PairStats::deleter_entities);
+}
+
+void write_domains_csv(const analysis::Analyzer& analyzer, std::size_t n,
+                       std::ostream& out) {
+  out << "domain,exfiltrated,overwritten,deleted\n";
+  std::map<std::string, std::array<int, 3>> merged;
+  for (const auto& [domain, count] : analyzer.top_exfiltrator_domains(n)) {
+    merged[domain][0] = count;
+  }
+  for (const auto& [domain, count] : analyzer.top_overwriter_domains(n)) {
+    merged[domain][1] = count;
+  }
+  for (const auto& [domain, count] : analyzer.top_deleter_domains(n)) {
+    merged[domain][2] = count;
+  }
+  for (const auto& [domain, counts] : merged) {
+    out << csv_escape(domain) << ',' << counts[0] << ',' << counts[1] << ','
+        << counts[2] << '\n';
+  }
+}
+
+Json summary_to_json(const analysis::Analyzer& analyzer, std::size_t top_n) {
+  Json out = Json::object();
+  out["totals"] = totals_to_json(analyzer.totals());
+
+  Json pairs = Json::array();
+  for (const auto& row : analyzer.top_exfiltrated(top_n)) {
+    Json entry = Json::object();
+    entry["name"] = row.pair.name;
+    entry["owner_domain"] = row.pair.owner_domain;
+    entry["exfiltrator_entities"] =
+        static_cast<std::int64_t>(row.stats->exfiltrator_entities.size());
+    entry["destination_entities"] =
+        static_cast<std::int64_t>(row.stats->destination_entities.size());
+    entry["top_exfiltrators"] = join_top(row.stats->exfiltrator_entities, 3);
+    entry["top_destinations"] = join_top(row.stats->destination_entities, 3);
+    pairs.push_back(std::move(entry));
+  }
+  out["top_exfiltrated"] = std::move(pairs);
+
+  Json domains = Json::array();
+  for (const auto& [domain, count] :
+       analyzer.top_exfiltrator_domains(top_n)) {
+    Json entry = Json::object();
+    entry["domain"] = domain;
+    entry["unique_cookies"] = count;
+    domains.push_back(std::move(entry));
+  }
+  out["top_exfiltrator_domains"] = std::move(domains);
+  return out;
+}
+
+}  // namespace cg::report

@@ -1,0 +1,36 @@
+// Structured exports of crawl results: CSV tables and a JSON summary.
+//
+// The paper promises to "release the source code ... to support
+// reproducibility and future research"; these writers make every
+// aggregate the benches print available to downstream tooling.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "report/json.h"
+
+namespace cg::report {
+
+/// One CSV cell, quoted/escaped per RFC 4180 when needed.
+std::string csv_escape(std::string_view cell);
+
+/// Dataset-level totals as a JSON object (everything in analysis::Totals
+/// except the raw timing vectors, which are summarised).
+Json totals_to_json(const analysis::Totals& totals);
+
+/// Top-N exfiltrated/overwritten/deleted pairs as CSV:
+/// name,owner_domain,action,entity_count,top_entities
+void write_pairs_csv(const analysis::Analyzer& analyzer, std::size_t n,
+                     std::ostream& out);
+
+/// Per-domain manipulation counts (Figures 2/6 data) as CSV:
+/// domain,exfiltrated,overwritten,deleted
+void write_domains_csv(const analysis::Analyzer& analyzer, std::size_t n,
+                       std::ostream& out);
+
+/// Full machine-readable summary (totals + top pairs + top domains).
+Json summary_to_json(const analysis::Analyzer& analyzer, std::size_t top_n);
+
+}  // namespace cg::report

@@ -1,0 +1,45 @@
+#include "script/exec_context.h"
+
+namespace cg::script {
+
+const char* to_string(Category category) {
+  switch (category) {
+    case Category::kFirstParty:
+      return "first-party";
+    case Category::kAnalytics:
+      return "analytics";
+    case Category::kAdvertising:
+      return "advertising";
+    case Category::kRtbExchange:
+      return "rtb-exchange";
+    case Category::kTagManager:
+      return "tag-manager";
+    case Category::kConsent:
+      return "consent";
+    case Category::kSocial:
+      return "social";
+    case Category::kSso:
+      return "sso";
+    case Category::kCdnUtility:
+      return "cdn-utility";
+    case Category::kSupport:
+      return "support";
+    case Category::kPerformance:
+      return "performance";
+  }
+  return "unknown";
+}
+
+bool is_ad_or_tracking(Category category) {
+  switch (category) {
+    case Category::kAnalytics:
+    case Category::kAdvertising:
+    case Category::kRtbExchange:
+    case Category::kSocial:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace cg::script

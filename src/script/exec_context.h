@@ -1,0 +1,46 @@
+// Identity and provenance of an executing script.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cg::script {
+
+/// Script taxonomy used by the corpus and the analysis (paper §5.1 reports
+/// 70% of third-party scripts are advertising/tracking-affiliated).
+enum class Category {
+  kFirstParty,
+  kAnalytics,
+  kAdvertising,
+  kRtbExchange,
+  kTagManager,
+  kConsent,
+  kSocial,
+  kSso,
+  kCdnUtility,
+  kSupport,
+  kPerformance,
+};
+
+const char* to_string(Category category);
+
+/// True for categories the paper groups as "advertising or tracking".
+bool is_ad_or_tracking(Category category);
+
+/// How a script arrived in the main frame (paper §5.6: direct <script> tags
+/// vs dynamic insertion by another script).
+enum class Inclusion { kDirect, kIndirect };
+
+struct ExecContext {
+  std::string script_id;      // catalog id ("" for ad-hoc/test scripts)
+  std::string script_url;     // resolved URL; empty for inline scripts
+  std::string script_domain;  // eTLD+1 of script_url; empty for inline
+  bool inline_script = false;
+  Category category = Category::kFirstParty;
+  Inclusion inclusion = Inclusion::kDirect;
+  /// Catalog ids of the scripts that (transitively) included this one,
+  /// outermost first. Empty for directly included scripts.
+  std::vector<std::string> inclusion_chain;
+};
+
+}  // namespace cg::script

@@ -1,0 +1,36 @@
+// Executes a ScriptOp program against a page.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "script/exec_context.h"
+#include "script/ops.h"
+#include "script/page_services.h"
+
+namespace cg::script {
+
+/// Expands value-template placeholders: {ts} seconds, {ts_ms} millis,
+/// {rand:N} N decimal digits, {hex:N} N hex chars.
+std::string expand_template(std::string_view tpl, Rng& rng, TimeMillis now);
+
+/// Splits a document.cookie string ("a=1; b=2") into pairs.
+std::vector<StoreCookie> parse_cookie_string(std::string_view cookie_string);
+
+/// Extracts candidate identifier segments from a cookie value: split on
+/// non-alphanumeric delimiters, keep segments of at least `min_len` chars.
+/// This is both what trackers harvest and what the detector (analysis
+/// module) searches for — the paper uses the same rule on both sides (§4.3).
+std::vector<std::string> extract_identifier_segments(std::string_view value,
+                                                     std::size_t min_len = 8);
+
+/// Applies an Encoding to an identifier segment.
+std::string encode_identifier(std::string_view segment, Encoding encoding);
+
+/// Runs `ops` as `ctx` against `services`. The caller (browser script host)
+/// is responsible for stack-frame management around this call.
+void run_program(const std::vector<ScriptOp>& ops, const ExecContext& ctx,
+                 PageServices& services);
+
+}  // namespace cg::script

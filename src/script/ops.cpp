@@ -1,0 +1,178 @@
+#include "script/ops.h"
+
+namespace cg::script {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSetCookie:
+      return "set_cookie";
+    case OpKind::kStoreSetCookie:
+      return "store_set_cookie";
+    case OpKind::kReadCookies:
+      return "read_cookies";
+    case OpKind::kStoreGetAll:
+      return "store_get_all";
+    case OpKind::kStoreGet:
+      return "store_get";
+    case OpKind::kOverwriteCookie:
+      return "overwrite_cookie";
+    case OpKind::kDeleteCookie:
+      return "delete_cookie";
+    case OpKind::kStoreDeleteCookie:
+      return "store_delete_cookie";
+    case OpKind::kExfiltrate:
+      return "exfiltrate";
+    case OpKind::kSendBeacon:
+      return "send_beacon";
+    case OpKind::kInjectScript:
+      return "inject_script";
+    case OpKind::kModifyDom:
+      return "modify_dom";
+    case OpKind::kCreateDomElement:
+      return "create_dom_element";
+    case OpKind::kAsync:
+      return "async";
+  }
+  return "unknown";
+}
+
+const char* to_string(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kRaw:
+      return "raw";
+    case Encoding::kBase64:
+      return "base64";
+    case Encoding::kBase64Url:
+      return "base64url";
+    case Encoding::kMd5:
+      return "md5";
+    case Encoding::kSha1:
+      return "sha1";
+  }
+  return "raw";
+}
+
+ScriptOp set_cookie(std::string name, std::string value_template,
+                    std::string attributes, bool only_if_missing) {
+  ScriptOp op;
+  op.kind = OpKind::kSetCookie;
+  op.cookie_name = std::move(name);
+  op.value_template = std::move(value_template);
+  op.attributes = std::move(attributes);
+  op.only_if_missing = only_if_missing;
+  return op;
+}
+
+ScriptOp store_set_cookie(std::string name, std::string value_template) {
+  ScriptOp op;
+  op.kind = OpKind::kStoreSetCookie;
+  op.cookie_name = std::move(name);
+  op.value_template = std::move(value_template);
+  return op;
+}
+
+ScriptOp read_cookies() {
+  ScriptOp op;
+  op.kind = OpKind::kReadCookies;
+  return op;
+}
+
+ScriptOp store_get_all() {
+  ScriptOp op;
+  op.kind = OpKind::kStoreGetAll;
+  return op;
+}
+
+ScriptOp store_get(std::string name) {
+  ScriptOp op;
+  op.kind = OpKind::kStoreGet;
+  op.cookie_name = std::move(name);
+  return op;
+}
+
+ScriptOp overwrite(std::vector<std::string> targets,
+                   std::string value_template, std::string attributes) {
+  ScriptOp op;
+  op.kind = OpKind::kOverwriteCookie;
+  op.target_cookie_names = std::move(targets);
+  op.value_template = std::move(value_template);
+  op.attributes = std::move(attributes);
+  return op;
+}
+
+ScriptOp delete_cookies(std::vector<std::string> targets) {
+  ScriptOp op;
+  op.kind = OpKind::kDeleteCookie;
+  op.target_cookie_names = std::move(targets);
+  return op;
+}
+
+ScriptOp store_delete(std::string name) {
+  ScriptOp op;
+  op.kind = OpKind::kStoreDeleteCookie;
+  op.cookie_name = std::move(name);
+  return op;
+}
+
+ScriptOp exfiltrate(std::vector<std::string> targets, std::string dest_host,
+                    Encoding encoding, std::string dest_path) {
+  ScriptOp op;
+  op.kind = OpKind::kExfiltrate;
+  op.target_cookie_names = std::move(targets);
+  op.dest_host = std::move(dest_host);
+  op.dest_path = std::move(dest_path);
+  op.encoding = encoding;
+  return op;
+}
+
+ScriptOp exfiltrate_jar(std::string dest_host, Encoding encoding,
+                        std::string dest_path) {
+  ScriptOp op;
+  op.kind = OpKind::kExfiltrate;
+  op.exfiltrate_whole_jar = true;
+  op.dest_host = std::move(dest_host);
+  op.dest_path = std::move(dest_path);
+  op.encoding = encoding;
+  return op;
+}
+
+ScriptOp beacon(std::string dest_host, std::string dest_path) {
+  ScriptOp op;
+  op.kind = OpKind::kSendBeacon;
+  op.dest_host = std::move(dest_host);
+  op.dest_path = std::move(dest_path);
+  return op;
+}
+
+ScriptOp inject(std::string script_id) {
+  ScriptOp op;
+  op.kind = OpKind::kInjectScript;
+  op.inject_script_id = std::move(script_id);
+  return op;
+}
+
+ScriptOp modify_dom(std::string tag) {
+  ScriptOp op;
+  op.kind = OpKind::kModifyDom;
+  op.dom_tag = std::move(tag);
+  return op;
+}
+
+ScriptOp create_dom(std::string tag) {
+  ScriptOp op;
+  op.kind = OpKind::kCreateDomElement;
+  op.dom_tag = std::move(tag);
+  return op;
+}
+
+ScriptOp run_async(TimeMillis delay_ms, std::vector<ScriptOp> nested,
+                   std::string helper_script_url) {
+  ScriptOp op;
+  op.kind = OpKind::kAsync;
+  op.delay_ms = delay_ms;
+  op.nested = std::move(nested);
+  op.helper_script_url = std::move(helper_script_url);
+  return op;
+}
+
+}  // namespace cg::script

@@ -1,0 +1,127 @@
+// Declarative script behaviours.
+//
+// Instead of a JavaScript engine, every catalog script is a small program of
+// ScriptOps whose *effects* match what the paper observed real scripts doing:
+// setting/reading cookies through either API, overwriting and deleting other
+// parties' cookies, parsing identifiers out of cookie values and shipping
+// them to third-party endpoints, injecting further scripts, and touching the
+// DOM. The interpreter executes ops through the page's real API surface, so
+// interception layers (measurement extension, CookieGuard) see exactly what
+// they would see in a browser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/clock.h"
+
+namespace cg::script {
+
+enum class OpKind {
+  /// document.cookie = "<name>=<value-template><attributes>"
+  kSetCookie,
+  /// cookieStore.set(name, value) — async (runs as a microtask).
+  kStoreSetCookie,
+  /// Read document.cookie and remember the result (models bulk access).
+  kReadCookies,
+  /// cookieStore.getAll() — async read.
+  kStoreGetAll,
+  /// cookieStore.get(name) — async single-cookie read.
+  kStoreGet,
+  /// Read the jar, then rewrite each target cookie that is visible with a
+  /// fresh value (cross-domain overwriting when the target isn't ours).
+  kOverwriteCookie,
+  /// document.cookie = "<name>=; Expires=<past>" for each target name.
+  kDeleteCookie,
+  /// cookieStore.delete(name).
+  kStoreDeleteCookie,
+  /// Read the jar, extract identifier segments from target cookies (or the
+  /// whole jar), encode them, and send them in a request's query string.
+  kExfiltrate,
+  /// Plain tracking beacon carrying no cookie-derived payload.
+  kSendBeacon,
+  /// Dynamically insert another catalog script into the main frame
+  /// (indirect inclusion, §5.6).
+  kInjectScript,
+  /// Modify a DOM node created by someone else (pilot study, §8).
+  kModifyDom,
+  /// Create and insert a DOM element owned by this script.
+  kCreateDomElement,
+  /// Run nested ops later via setTimeout — exercises async attribution.
+  kAsync,
+};
+
+enum class Encoding { kRaw, kBase64, kBase64Url, kMd5, kSha1 };
+
+const char* to_string(OpKind kind);
+const char* to_string(Encoding encoding);
+
+/// One operation. Fields are interpreted per kind; unused fields stay empty.
+struct ScriptOp {
+  OpKind kind = OpKind::kReadCookies;
+
+  /// kSetCookie / kStoreSetCookie: cookie name.
+  std::string cookie_name;
+  /// Value template. Placeholders: {ts} seconds, {ts_ms} millis,
+  /// {rand:N} N decimal digits, {hex:N} N hex chars.
+  std::string value_template;
+  /// Raw attribute suffix appended to document.cookie writes,
+  /// e.g. "; Path=/; Max-Age=63072000".
+  std::string attributes;
+  /// Only set the cookie if a cookie of this name is not already visible.
+  bool only_if_missing = false;
+
+  /// kOverwriteCookie / kDeleteCookie / kExfiltrate: victim cookie names.
+  std::vector<std::string> target_cookie_names;
+
+  /// kExfiltrate / kSendBeacon: destination endpoint.
+  std::string dest_host;
+  std::string dest_path = "/collect";
+  Encoding encoding = Encoding::kRaw;
+  /// kExfiltrate: ship every visible cookie (RTB bid-request style) instead
+  /// of only target_cookie_names.
+  bool exfiltrate_whole_jar = false;
+
+  /// kInjectScript: catalog id of the script to insert.
+  std::string inject_script_id;
+
+  /// kAsync: delay and nested program.
+  TimeMillis delay_ms = 0;
+  std::vector<ScriptOp> nested;
+  /// kAsync: when non-empty, the callback executes through a helper script
+  /// at this URL (e.g. a utility library), so a synchronous stack trace
+  /// shows the helper — the attribution gap of paper §8.
+  std::string helper_script_url;
+
+  /// kModifyDom / kCreateDomElement.
+  std::string dom_tag = "div";
+};
+
+// ---- tiny builder helpers (keep catalog definitions readable) -----------
+
+ScriptOp set_cookie(std::string name, std::string value_template,
+                    std::string attributes = "; Path=/; Max-Age=63072000",
+                    bool only_if_missing = true);
+ScriptOp store_set_cookie(std::string name, std::string value_template);
+ScriptOp read_cookies();
+ScriptOp store_get_all();
+ScriptOp store_get(std::string name);
+ScriptOp overwrite(std::vector<std::string> targets,
+                   std::string value_template,
+                   std::string attributes = "; Path=/; Max-Age=63072000");
+ScriptOp delete_cookies(std::vector<std::string> targets);
+ScriptOp store_delete(std::string name);
+ScriptOp exfiltrate(std::vector<std::string> targets, std::string dest_host,
+                    Encoding encoding = Encoding::kRaw,
+                    std::string dest_path = "/collect");
+ScriptOp exfiltrate_jar(std::string dest_host,
+                        Encoding encoding = Encoding::kRaw,
+                        std::string dest_path = "/bid");
+ScriptOp beacon(std::string dest_host, std::string dest_path = "/ping");
+ScriptOp inject(std::string script_id);
+ScriptOp modify_dom(std::string tag = "div");
+ScriptOp create_dom(std::string tag = "div");
+ScriptOp run_async(TimeMillis delay_ms, std::vector<ScriptOp> nested,
+                   std::string helper_script_url = "");
+
+}  // namespace cg::script

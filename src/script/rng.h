@@ -1,0 +1,79 @@
+// Deterministic RNG (SplitMix64) used everywhere randomness is needed.
+//
+// One seed drives the whole reproduction: corpus composition, cookie value
+// generation, crawl link choices. Streams can be forked per site so results
+// are independent of iteration order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cg::script {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ^ kGolden) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += kGolden);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// True with probability `p` (0..1).
+  bool chance(double p) {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// N random decimal digits, no leading zero (tracker-id style).
+  std::string digits(std::size_t n) {
+    std::string out;
+    out.reserve(n);
+    out.push_back(static_cast<char>('1' + below(9)));
+    while (out.size() < n) {
+      out.push_back(static_cast<char>('0' + below(10)));
+    }
+    return out;
+  }
+
+  /// N random lower-case hex characters.
+  std::string hex(std::size_t n) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(kDigits[below(16)]);
+    }
+    return out;
+  }
+
+  /// Forks an independent stream (e.g. one per site, keyed by rank).
+  Rng fork(std::uint64_t key) {
+    return Rng(next() ^ (key * 0x9E3779B97F4A7C15ULL) ^ kGolden2);
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[below(items.size())];
+  }
+
+ private:
+  static constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+  static constexpr std::uint64_t kGolden2 = 0xD1B54A32D192ED03ULL;
+  std::uint64_t state_;
+};
+
+}  // namespace cg::script

@@ -1,0 +1,24 @@
+// A catalog script: URL, category, and behaviour program.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "script/exec_context.h"
+#include "script/ops.h"
+
+namespace cg::script {
+
+struct ScriptSpec {
+  /// Stable catalog id, e.g. "ga" or "fp-app".
+  std::string id;
+  /// Script URL. First-party scripts use the placeholder "{site}" for the
+  /// visited host, e.g. "https://{site}/assets/app.js".
+  std::string url_template;
+  Category category = Category::kFirstParty;
+  /// Inline scripts have no URL at all (attribution blind spot, §6.1).
+  bool is_inline = false;
+  std::vector<ScriptOp> ops;
+};
+
+}  // namespace cg::script

@@ -1,0 +1,80 @@
+#include "webplat/dom.h"
+
+#include <algorithm>
+
+namespace cg::webplat {
+
+std::string Node::attribute(std::string_view name) const {
+  const auto it = attributes_.find(name);
+  return it == attributes_.end() ? std::string{} : it->second;
+}
+
+bool Node::has_attribute(std::string_view name) const {
+  return attributes_.find(name) != attributes_.end();
+}
+
+Document::Document(net::Url url) : url_(std::move(url)) {
+  arena_.push_back(std::make_unique<Node>("body", ""));
+  body_ = arena_.back().get();
+}
+
+Node& Document::create_element(std::string_view tag,
+                               std::string_view creator_domain) {
+  arena_.push_back(
+      std::make_unique<Node>(std::string(tag), std::string(creator_domain)));
+  return *arena_.back();
+}
+
+void Document::append_child(Node& parent, Node& child,
+                            std::string_view actor_domain) {
+  child.parent_ = &parent;
+  parent.children_.push_back(&child);
+  notify(DomMutation::Kind::kInsert, child, actor_domain, child.tag());
+}
+
+void Document::remove_node(Node& node, std::string_view actor_domain) {
+  if (node.parent_ != nullptr) {
+    auto& siblings = node.parent_->children_;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), &node),
+                   siblings.end());
+    node.parent_ = nullptr;
+  }
+  notify(DomMutation::Kind::kRemove, node, actor_domain, node.tag());
+}
+
+void Document::set_attribute(Node& node, std::string_view name,
+                             std::string_view value,
+                             std::string_view actor_domain) {
+  node.attributes_[std::string(name)] = std::string(value);
+  notify(DomMutation::Kind::kSetAttribute, node, actor_domain, name);
+}
+
+void Document::set_text(Node& node, std::string_view text,
+                        std::string_view actor_domain) {
+  node.text_ = std::string(text);
+  notify(DomMutation::Kind::kSetText, node, actor_domain, node.tag());
+}
+
+void Document::set_style(Node& node, std::string_view css,
+                         std::string_view actor_domain) {
+  node.attributes_["style"] = std::string(css);
+  notify(DomMutation::Kind::kSetStyle, node, actor_domain, "style");
+}
+
+std::vector<Node*> Document::elements_by_tag(std::string_view tag) {
+  std::vector<Node*> out;
+  for (const auto& node : arena_) {
+    if (node->tag() == tag) out.push_back(node.get());
+  }
+  return out;
+}
+
+void Document::notify(DomMutation::Kind kind, const Node& target,
+                      std::string_view actor_domain, std::string_view detail) {
+  if (observers_.empty()) return;
+  const DomMutation mutation{kind, std::string(actor_domain),
+                             target.creator_domain(), std::string(detail)};
+  for (const auto& observer : observers_) observer(mutation);
+}
+
+}  // namespace cg::webplat

@@ -1,0 +1,103 @@
+// Minimal DOM: enough structure for script inclusion, link clicking, and the
+// cross-domain DOM-modification pilot study (paper §8).
+//
+// Every node remembers which script domain created it, and every mutation is
+// reported to observers with (modifier domain, target's creator domain) so
+// the analysis can flag cross-domain DOM modifications exactly as the paper
+// does for cookies.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/url.h"
+
+namespace cg::webplat {
+
+class Document;
+
+class Node {
+ public:
+  Node(std::string tag, std::string creator_domain)
+      : tag_(std::move(tag)), creator_domain_(std::move(creator_domain)) {}
+
+  const std::string& tag() const { return tag_; }
+  /// eTLD+1 of the script that created this node ("" = parser/first-party
+  /// markup).
+  const std::string& creator_domain() const { return creator_domain_; }
+
+  const std::string& text() const { return text_; }
+  std::string attribute(std::string_view name) const;
+  bool has_attribute(std::string_view name) const;
+
+  const std::vector<Node*>& children() const { return children_; }
+  Node* parent() const { return parent_; }
+
+ private:
+  friend class Document;
+
+  std::string tag_;
+  std::string creator_domain_;
+  std::string text_;
+  std::map<std::string, std::string, std::less<>> attributes_;
+  std::vector<Node*> children_;
+  Node* parent_ = nullptr;
+};
+
+/// A DOM mutation event, attributed like cookie accesses: who changed what.
+struct DomMutation {
+  enum class Kind { kInsert, kRemove, kSetAttribute, kSetText, kSetStyle };
+  Kind kind;
+  std::string modifier_domain;        // eTLD+1 of the acting script
+  std::string target_creator_domain;  // eTLD+1 of the node's creator
+  std::string detail;                 // tag or attribute name
+};
+
+class Document {
+ public:
+  explicit Document(net::Url url);
+
+  // Non-copyable: nodes hold pointers into the arena.
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  const net::Url& url() const { return url_; }
+  Node& body() { return *body_; }
+
+  /// All mutating operations take the acting script's domain so mutations
+  /// can be attributed.
+  Node& create_element(std::string_view tag, std::string_view creator_domain);
+  void append_child(Node& parent, Node& child, std::string_view actor_domain);
+  void remove_node(Node& node, std::string_view actor_domain);
+  void set_attribute(Node& node, std::string_view name, std::string_view value,
+                     std::string_view actor_domain);
+  void set_text(Node& node, std::string_view text,
+                std::string_view actor_domain);
+  void set_style(Node& node, std::string_view css,
+                 std::string_view actor_domain);
+
+  /// Depth-first collection of elements with tag `tag`.
+  std::vector<Node*> elements_by_tag(std::string_view tag);
+
+  using MutationObserver = std::function<void(const DomMutation&)>;
+  void add_mutation_observer(MutationObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  std::size_t node_count() const { return arena_.size(); }
+
+ private:
+  void notify(DomMutation::Kind kind, const Node& target,
+              std::string_view actor_domain, std::string_view detail);
+
+  net::Url url_;
+  std::vector<std::unique_ptr<Node>> arena_;
+  Node* body_;
+  std::vector<MutationObserver> observers_;
+};
+
+}  // namespace cg::webplat

@@ -1,0 +1,49 @@
+#include "webplat/event_loop.h"
+
+#include <utility>
+
+namespace cg::webplat {
+
+void EventLoop::post_task(Task task, TimeMillis delay_ms,
+                          StackTrace scheduling_stack) {
+  macro_.push(PendingTask{clock_->now() + (delay_ms > 0 ? delay_ms : 0),
+                          next_seq_++, std::move(task),
+                          std::move(scheduling_stack)});
+}
+
+void EventLoop::post_microtask(Task task, StackTrace scheduling_stack) {
+  micro_.push(MicroTask{std::move(task), std::move(scheduling_stack)});
+}
+
+void EventLoop::drain_microtasks() {
+  while (!micro_.empty()) {
+    MicroTask mt = std::move(micro_.front());
+    micro_.pop();
+    current_scheduling_stack_ = std::move(mt.scheduling_stack);
+    mt.task();
+  }
+  current_scheduling_stack_ = {};
+}
+
+bool EventLoop::run_one() {
+  drain_microtasks();
+  if (macro_.empty()) return false;
+  // priority_queue::top is const; the task is moved out via const_cast-free
+  // copy of the handle then popped.
+  PendingTask next = macro_.top();
+  macro_.pop();
+  clock_->advance_to(next.due);
+  current_scheduling_stack_ = std::move(next.scheduling_stack);
+  next.task();
+  current_scheduling_stack_ = {};
+  drain_microtasks();
+  return true;
+}
+
+std::size_t EventLoop::run_until_idle() {
+  std::size_t count = 0;
+  while (run_one()) ++count;
+  return count;
+}
+
+}  // namespace cg::webplat

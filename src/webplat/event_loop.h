@@ -1,0 +1,79 @@
+// Single-threaded event loop: macrotasks with due times, microtasks, and the
+// page-lifecycle checkpoints the performance evaluation measures.
+//
+// Cookie accesses happening inside setTimeout callbacks or promise reactions
+// are the async-attribution edge cases of paper §8; the loop carries each
+// task's scheduling stack so the browser can (optionally) reconstruct async
+// stack traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/clock.h"
+#include "webplat/stack_trace.h"
+
+namespace cg::webplat {
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+
+  explicit EventLoop(SimClock* clock) : clock_(clock) {}
+
+  /// Schedules a macrotask to run `delay_ms` from now. `scheduling_stack` is
+  /// the JS stack at scheduling time (what async stack traces would recover).
+  void post_task(Task task, TimeMillis delay_ms = 0,
+                 StackTrace scheduling_stack = {});
+
+  /// Schedules a microtask (runs before the next macrotask, same turn).
+  void post_microtask(Task task, StackTrace scheduling_stack = {});
+
+  /// Runs tasks until both queues are empty, advancing the clock to each
+  /// macrotask's due time. Returns the number of tasks executed.
+  std::size_t run_until_idle();
+
+  /// Runs at most one macrotask (draining microtasks first and after).
+  /// Returns false when nothing was runnable.
+  bool run_one();
+
+  bool idle() const { return macro_.empty() && micro_.empty(); }
+  std::size_t pending() const { return macro_.size() + micro_.size(); }
+
+  /// Stack that scheduled the currently running task ({} outside tasks).
+  const StackTrace& current_task_scheduling_stack() const {
+    return current_scheduling_stack_;
+  }
+
+  SimClock& clock() { return *clock_; }
+
+ private:
+  struct PendingTask {
+    TimeMillis due;
+    std::uint64_t seq;  // FIFO tie-break
+    Task task;
+    StackTrace scheduling_stack;
+    bool operator>(const PendingTask& other) const {
+      if (due != other.due) return due > other.due;
+      return seq > other.seq;
+    }
+  };
+
+  void drain_microtasks();
+
+  SimClock* clock_;
+  std::priority_queue<PendingTask, std::vector<PendingTask>,
+                      std::greater<PendingTask>>
+      macro_;
+  struct MicroTask {
+    Task task;
+    StackTrace scheduling_stack;
+  };
+  std::queue<MicroTask> micro_;
+  std::uint64_t next_seq_ = 0;
+  StackTrace current_scheduling_stack_;
+};
+
+}  // namespace cg::webplat

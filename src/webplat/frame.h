@@ -1,0 +1,62 @@
+// Frame tree: a main frame plus (possibly cross-origin) subframes.
+//
+// SOP boundaries in the paper's threat model live here: a script in a
+// cross-origin iframe cannot reach the main frame's document or cookie jar,
+// whereas any script *in the main frame* — whatever its source — can
+// (paper §3, Figure 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/url.h"
+#include "webplat/dom.h"
+
+namespace cg::webplat {
+
+class Frame {
+ public:
+  Frame(net::Url url, Frame* parent)
+      : url_(url), parent_(parent), document_(std::move(url)) {}
+
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+
+  const net::Url& url() const { return url_; }
+  Document& document() { return document_; }
+  const Document& document() const { return document_; }
+
+  bool is_main_frame() const { return parent_ == nullptr; }
+  Frame* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Frame>>& children() const {
+    return children_;
+  }
+
+  Frame& create_subframe(const net::Url& url) {
+    children_.push_back(std::make_unique<Frame>(url, this));
+    return *children_.back();
+  }
+
+  /// SOP check: may a script running in this frame access `other`'s
+  /// document/cookies? True only for same-origin frames (§2.1).
+  bool same_origin(const Frame& other) const {
+    return url_.origin() == other.url_.origin();
+  }
+
+ private:
+  net::Url url_;
+  Frame* parent_;
+  Document document_;
+  std::vector<std::unique_ptr<Frame>> children_;
+};
+
+/// Page-lifecycle timing checkpoints, in simulated milliseconds from
+/// navigation start — the three metrics of the paper's Table 4.
+struct PageTimings {
+  TimeMillis dom_interactive = 0;
+  TimeMillis dom_content_loaded = 0;
+  TimeMillis load_event = 0;
+};
+
+}  // namespace cg::webplat

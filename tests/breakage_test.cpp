@@ -1,0 +1,151 @@
+// Tests for the breakage evaluator: SSO, functionality, and policy repair
+// behaviour under the four deployment modes (paper §7.2).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "breakage/breakage.h"
+
+namespace cg::breakage {
+namespace {
+
+corpus::CorpusParams params_for(int n) {
+  corpus::CorpusParams params;
+  params.site_count = n;
+  return params;
+}
+
+// Finds a site index satisfying `pred`, or nullopt.
+template <typename Pred>
+std::optional<int> find_site(const corpus::Corpus& corpus, Pred pred) {
+  for (int i = 0; i < corpus.size(); ++i) {
+    if (pred(corpus.site(i))) return i;
+  }
+  return std::nullopt;
+}
+
+class BreakageTest : public ::testing::Test {
+ protected:
+  corpus::Corpus corpus_{params_for(1200)};
+  BreakageEvaluator evaluator_{corpus_};
+};
+
+TEST_F(BreakageTest, NoExtensionNothingBreaks) {
+  for (const int i : evaluator_.sample_sites(20, corpus_.size())) {
+    const auto result = evaluator_.evaluate_site(i, GuardMode::kOff);
+    EXPECT_FALSE(result.any()) << "site index " << i;
+  }
+}
+
+TEST_F(BreakageTest, NavigationAndAppearanceNeverBreak) {
+  for (const int i : evaluator_.sample_sites(20, corpus_.size())) {
+    const auto result = evaluator_.evaluate_site(i, GuardMode::kStrict);
+    EXPECT_EQ(result[Aspect::kNavigation], Severity::kNone);
+    EXPECT_EQ(result[Aspect::kAppearance], Severity::kNone);
+  }
+}
+
+TEST_F(BreakageTest, TwoDomainSsoBreaksUnderStrictIsolation) {
+  const auto index = find_site(corpus_, [](const corpus::SiteBlueprint& bp) {
+    return bp.sso_two_domain;
+  });
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(evaluator_.evaluate_site(*index, GuardMode::kStrict)[Aspect::kSso],
+            Severity::kMajor);
+  EXPECT_EQ(evaluator_.evaluate_site(*index, GuardMode::kOff)[Aspect::kSso],
+            Severity::kNone);
+}
+
+TEST_F(BreakageTest, SameEntitySsoRepairedByGrouping) {
+  const auto index = find_site(corpus_, [](const corpus::SiteBlueprint& bp) {
+    return bp.sso_two_domain && bp.sso_provider_a == "ms-sso-a";
+  });
+  ASSERT_TRUE(index.has_value());
+  // microsoft.com + live.com are both Microsoft: grouping repairs it.
+  EXPECT_EQ(evaluator_.evaluate_site(
+                *index, GuardMode::kEntityGrouping)[Aspect::kSso],
+            Severity::kNone);
+}
+
+TEST_F(BreakageTest, CrossEntitySsoNeedsSitePolicy) {
+  const auto index = find_site(corpus_, [](const corpus::SiteBlueprint& bp) {
+    return bp.sso_two_domain && bp.sso_provider_a == "sso-broker-a";
+  });
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(evaluator_.evaluate_site(
+                *index, GuardMode::kEntityGrouping)[Aspect::kSso],
+            Severity::kMajor);
+  EXPECT_EQ(evaluator_.evaluate_site(
+                *index, GuardMode::kGroupingPlusPolicies)[Aspect::kSso],
+            Severity::kNone);
+}
+
+TEST_F(BreakageTest, SingleDomainSsoSurvivesStrictMode) {
+  const auto index = find_site(corpus_, [](const corpus::SiteBlueprint& bp) {
+    return bp.has_sso && !bp.sso_two_domain && !bp.sso_server_refresh;
+  });
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(evaluator_.evaluate_site(*index, GuardMode::kStrict)[Aspect::kSso],
+            Severity::kNone);
+}
+
+TEST_F(BreakageTest, ServerRefreshCausesMinorSsoBreakage) {
+  const auto index = find_site(corpus_, [](const corpus::SiteBlueprint& bp) {
+    return bp.has_sso && !bp.sso_two_domain && bp.sso_server_refresh;
+  });
+  ASSERT_TRUE(index.has_value());
+  // The cnn.com pattern: login works, the reload logs the user out.
+  EXPECT_EQ(evaluator_.evaluate_site(*index, GuardMode::kStrict)[Aspect::kSso],
+            Severity::kMinor);
+  EXPECT_EQ(evaluator_.evaluate_site(*index, GuardMode::kOff)[Aspect::kSso],
+            Severity::kNone);
+}
+
+TEST_F(BreakageTest, EntityCdnWidgetMajorBreakageRepairedByGrouping) {
+  const auto index = find_site(corpus_, [](const corpus::SiteBlueprint& bp) {
+    return bp.has_entity_cdn_widget;
+  });
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(evaluator_.evaluate_site(
+                *index, GuardMode::kStrict)[Aspect::kFunctionality],
+            Severity::kMajor);
+  EXPECT_EQ(evaluator_.evaluate_site(
+                *index, GuardMode::kEntityGrouping)[Aspect::kFunctionality],
+            Severity::kNone);
+}
+
+TEST_F(BreakageTest, SummaryCountsAreConsistent) {
+  const auto sample = evaluator_.sample_sites(60, corpus_.size());
+  const auto summary = evaluator_.summarize(sample, GuardMode::kStrict);
+  EXPECT_EQ(summary.sites, 60);
+  int minor_total = 0, major_total = 0;
+  for (int aspect = 0; aspect < 4; ++aspect) {
+    minor_total += summary.minor[aspect];
+    major_total += summary.major[aspect];
+  }
+  EXPECT_LE(summary.sites_minor, minor_total);
+  EXPECT_LE(summary.sites_major, major_total);
+  EXPECT_LE(summary.sites_major, summary.sites);
+}
+
+TEST_F(BreakageTest, GroupingPlusPoliciesNeverWorseThanStrict) {
+  const auto sample = evaluator_.sample_sites(60, corpus_.size());
+  const auto strict = evaluator_.summarize(sample, GuardMode::kStrict);
+  const auto repaired =
+      evaluator_.summarize(sample, GuardMode::kGroupingPlusPolicies);
+  EXPECT_LE(repaired.sites_major, strict.sites_major);
+}
+
+TEST_F(BreakageTest, SampleSitesDeterministicAndBounded) {
+  const auto a = evaluator_.sample_sites(100, 1000);
+  const auto b = evaluator_.sample_sites(100, 1000);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 100u);
+  for (const int i : a) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 1000);
+  }
+}
+
+}  // namespace
+}  // namespace cg::breakage

@@ -1,0 +1,252 @@
+// Tests for the synthetic corpus: determinism, composition statistics,
+// catalog integrity, and the attach() wiring.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "browser/page.h"
+#include "corpus/corpus.h"
+#include "net/psl.h"
+#include "cookieguard/signatures.h"
+#include "script/interpreter.h"
+
+namespace cg::corpus {
+namespace {
+
+CorpusParams small_params(int n = 400) {
+  CorpusParams params;
+  params.site_count = n;
+  return params;
+}
+
+TEST(CorpusTest, DeterministicAcrossConstructions) {
+  Corpus a(small_params(60));
+  Corpus b(small_params(60));
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.site(i).host, b.site(i).host);
+    EXPECT_EQ(a.site(i).doc.script_ids, b.site(i).doc.script_ids);
+    EXPECT_EQ(a.site(i).has_sso, b.site(i).has_sso);
+  }
+  EXPECT_EQ(a.catalog().size(), b.catalog().size());
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer) {
+  CorpusParams p1 = small_params(40);
+  CorpusParams p2 = small_params(40);
+  p2.seed = 0xDEAD;
+  Corpus a(p1), b(p2);
+  int differing = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (a.site(i).doc.script_ids != b.site(i).doc.script_ids) ++differing;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(CorpusTest, EveryDocumentScriptIdResolvesInCatalog) {
+  Corpus corpus(small_params());
+  for (int i = 0; i < corpus.size(); ++i) {
+    for (const auto& id : corpus.site(i).doc.script_ids) {
+      EXPECT_NE(corpus.catalog().find(id), nullptr) << id;
+    }
+  }
+}
+
+TEST(CorpusTest, EveryInjectedScriptIdResolves) {
+  Corpus corpus(small_params());
+  std::set<std::string> missing;
+  std::function<void(const std::vector<script::ScriptOp>&)> walk =
+      [&](const std::vector<script::ScriptOp>& ops) {
+        for (const auto& op : ops) {
+          if (op.kind == script::OpKind::kInjectScript &&
+              corpus.catalog().find(op.inject_script_id) == nullptr) {
+            missing.insert(op.inject_script_id);
+          }
+          if (!op.nested.empty()) walk(op.nested);
+        }
+      };
+  for (const auto& [id, spec] : corpus.catalog().all()) walk(spec.ops);
+  EXPECT_TRUE(missing.empty()) << *missing.begin();
+}
+
+TEST(CorpusTest, FirstPartyBundlePerSite) {
+  Corpus corpus(small_params(50));
+  for (int i = 0; i < corpus.size(); ++i) {
+    const auto& ids = corpus.site(i).doc.script_ids;
+    EXPECT_EQ(ids.front(), "fp#" + std::to_string(i + 1));
+  }
+}
+
+TEST(CorpusTest, ThirdPartyPresenceNearPaperRate) {
+  Corpus corpus(small_params(2000));
+  int with_tp = 0;
+  for (int i = 0; i < corpus.size(); ++i) {
+    const auto& bp = corpus.site(i);
+    for (const auto& id : bp.doc.script_ids) {
+      const auto url = resolve_script_url(corpus.catalog(), id, bp.host);
+      if (url.empty()) continue;
+      if (net::etld_plus_one(net::Url::must_parse(url).host()) != bp.site) {
+        ++with_tp;
+        break;
+      }
+    }
+  }
+  const double rate = static_cast<double>(with_tp) / corpus.size();
+  EXPECT_NEAR(rate, 0.933, 0.03);  // paper §5.1
+}
+
+TEST(CorpusTest, CrossActionOpsAreDeferredToAsync) {
+  Corpus corpus(small_params(30));
+  // After post-processing, no top-level exfiltrate/overwrite/delete ops
+  // remain: they all moved into a trailing setTimeout.
+  for (const auto& [id, spec] : corpus.catalog().all()) {
+    for (const auto& op : spec.ops) {
+      EXPECT_NE(op.kind, script::OpKind::kExfiltrate) << id;
+      EXPECT_NE(op.kind, script::OpKind::kOverwriteCookie) << id;
+      EXPECT_NE(op.kind, script::OpKind::kDeleteCookie) << id;
+    }
+  }
+}
+
+TEST(CorpusTest, ConsentDeclineVariantsDeferDeletesLate) {
+  Corpus corpus(small_params(10));
+  const auto* decline = corpus.catalog().find("cookieyes+decline");
+  ASSERT_NE(decline, nullptr);
+  bool has_late_delete = false;
+  for (const auto& op : decline->ops) {
+    if (op.kind != script::OpKind::kAsync) continue;
+    for (const auto& nested : op.nested) {
+      if (nested.kind == script::OpKind::kDeleteCookie) {
+        has_late_delete = true;
+        EXPECT_GE(op.delay_ms, 1500);
+      }
+    }
+  }
+  EXPECT_TRUE(has_late_delete);
+}
+
+TEST(CorpusTest, SsoBlueprintsConsistent) {
+  Corpus corpus(small_params(2000));
+  int sso = 0, two_domain = 0;
+  for (int i = 0; i < corpus.size(); ++i) {
+    const auto& bp = corpus.site(i);
+    if (!bp.has_sso) {
+      EXPECT_TRUE(bp.sso_provider_a.empty());
+      continue;
+    }
+    ++sso;
+    EXPECT_FALSE(bp.sso_provider_a.empty());
+    if (bp.sso_two_domain) {
+      ++two_domain;
+      EXPECT_FALSE(bp.sso_provider_b.empty());
+      EXPECT_NE(bp.sso_provider_a, bp.sso_provider_b);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(sso) / corpus.size(), 0.17 * 0.933, 0.03);
+  EXPECT_GT(two_domain, 0);
+}
+
+TEST(CorpusTest, AdmiralVariantsUseDistinctDomains) {
+  Corpus corpus(small_params(3000));
+  std::set<std::string> admiral_domains;
+  for (const auto& [id, spec] : corpus.catalog().all()) {
+    if (id.starts_with("admiral#")) {
+      admiral_domains.insert(
+          net::Url::must_parse(spec.url_template).site());
+    }
+  }
+  // Every Admiral deployment is hosted on its own domain — the mechanism
+  // behind the paper's 411 cookieStore pairs across 361 domains (§5.2).
+  EXPECT_GT(admiral_domains.size(), 10u);
+}
+
+TEST(CorpusTest, AttachServesDocumentCookies) {
+  Corpus corpus(small_params(5));
+  const auto& bp = corpus.site(0);
+  browser::Browser browser({}, 1);
+  corpus.attach(browser, bp);
+  auto page = browser.navigate(net::Url::must_parse("https://" + bp.host + "/"));
+  // The site server always sets at least the HttpOnly sid cookie.
+  bool has_sid = false;
+  for (const auto& cookie : browser.jar().all()) {
+    if (cookie.name == "sid") {
+      has_sid = true;
+      EXPECT_TRUE(cookie.http_only);
+    }
+  }
+  EXPECT_TRUE(has_sid);
+  EXPECT_EQ(page->spec().link_paths.size(), bp.doc.link_paths.size());
+}
+
+TEST(CorpusTest, GaDimsVariantExists) {
+  Corpus corpus(small_params(5));
+  const auto* dims = corpus.catalog().find("ga-legacy+dims");
+  ASSERT_NE(dims, nullptr);
+  bool ships_jar = false;
+  for (const auto& op : dims->ops) {
+    if (op.kind == script::OpKind::kAsync) {
+      for (const auto& nested : op.nested) {
+        if (nested.kind == script::OpKind::kExfiltrate &&
+            nested.exfiltrate_whole_jar) {
+          ships_jar = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(ships_jar);
+}
+
+}  // namespace
+}  // namespace cg::corpus
+
+// Appended: §8 evasion features in the corpus.
+namespace cg::corpus {
+namespace {
+
+TEST(CorpusEvasionTest, CloakedTrackerSitesAreRegistered) {
+  Corpus corpus(small_params(2000));
+  int cloaked = 0;
+  for (int i = 0; i < corpus.size(); ++i) {
+    const auto& bp = corpus.site(i);
+    if (!bp.has_cloaked_tracker) continue;
+    ++cloaked;
+    EXPECT_EQ(bp.cloaked_host, "metrics." + bp.site);
+    // The cloaked spec exists and is served from the first-party subdomain.
+    const auto* spec =
+        corpus.catalog().find("cloak#" + std::to_string(bp.rank));
+    ASSERT_NE(spec, nullptr);
+    EXPECT_NE(spec->url_template.find(bp.cloaked_host), std::string::npos);
+  }
+  EXPECT_NEAR(static_cast<double>(cloaked) / corpus.size(),
+              corpus.params().cname_cloaking_rate * 0.933, 0.02);
+}
+
+TEST(CorpusEvasionTest, AttachRegistersCnameRecord) {
+  Corpus corpus(small_params(2000));
+  for (int i = 0; i < corpus.size(); ++i) {
+    const auto& bp = corpus.site(i);
+    if (!bp.has_cloaked_tracker) continue;
+    browser::Browser browser({}, 1);
+    corpus.attach(browser, bp);
+    EXPECT_EQ(browser.dns().resolve_canonical(bp.cloaked_host),
+              "collect.cloaktrack.net");
+    return;  // one site suffices
+  }
+  FAIL() << "no cloaked site generated";
+}
+
+TEST(CorpusEvasionTest, InlineGtagMatchesGtagSignature) {
+  Corpus corpus(small_params(10));
+  const auto* gtag = corpus.catalog().find("gtag");
+  const auto* inline_gtag = corpus.catalog().find("inline-gtag");
+  ASSERT_NE(gtag, nullptr);
+  ASSERT_NE(inline_gtag, nullptr);
+  EXPECT_TRUE(inline_gtag->is_inline);
+  // The whole point: the verbatim inline copy has the same behaviour
+  // signature as the hosted script (delays excluded).
+  EXPECT_EQ(cookieguard::SignatureDb::signature_of(*gtag),
+            cookieguard::SignatureDb::signature_of(*inline_gtag));
+}
+
+}  // namespace
+}  // namespace cg::corpus

@@ -1,0 +1,108 @@
+// Tests for the crawl driver: determinism, interaction model, completeness
+// filtering, clock staggering.
+#include <gtest/gtest.h>
+
+#include "crawler/crawler.h"
+
+namespace cg::crawler {
+namespace {
+
+corpus::CorpusParams small_params(int n) {
+  corpus::CorpusParams params;
+  params.site_count = n;
+  return params;
+}
+
+TEST(CrawlerTest, VisitIsDeterministic) {
+  corpus::Corpus corpus(small_params(20));
+  Crawler crawler(corpus);
+  CrawlOptions options;
+  const auto a = crawler.visit(3, options);
+  const auto b = crawler.visit(3, options);
+  EXPECT_EQ(a.script_sets.size(), b.script_sets.size());
+  EXPECT_EQ(a.requests.size(), b.requests.size());
+  EXPECT_EQ(a.landing_timings.load_event, b.landing_timings.load_event);
+  for (std::size_t i = 0; i < a.script_sets.size(); ++i) {
+    EXPECT_EQ(a.script_sets[i].value, b.script_sets[i].value);
+  }
+}
+
+TEST(CrawlerTest, VisitOrderDoesNotMatter) {
+  corpus::Corpus corpus(small_params(20));
+  Crawler crawler(corpus);
+  CrawlOptions options;
+  const auto early = crawler.visit(7, options);
+  crawler.visit(1, options);
+  crawler.visit(2, options);
+  const auto late = crawler.visit(7, options);
+  EXPECT_EQ(early.script_sets.size(), late.script_sets.size());
+}
+
+TEST(CrawlerTest, ClicksVisitMultiplePages) {
+  corpus::Corpus corpus(small_params(5));
+  Crawler crawler(corpus);
+  CrawlOptions options;
+  const auto log = crawler.visit(0, options);
+  // Landing + up to three clicks (§4.2); every blueprint has links.
+  EXPECT_EQ(log.pages_visited, 1 + corpus.params().max_clicks);
+}
+
+TEST(CrawlerTest, LogLossMatchesConfiguredRate) {
+  corpus::Corpus corpus(small_params(400));
+  Crawler crawler(corpus);
+  CrawlOptions options;
+  int complete = 0;
+  crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
+    complete += log.complete() ? 1 : 0;
+  });
+  const double rate = static_cast<double>(complete) / corpus.size();
+  // Paper retains 14,917/20,000 = 74.6%.
+  EXPECT_NEAR(rate, 1.0 - corpus.params().log_loss_rate, 0.06);
+}
+
+TEST(CrawlerTest, LogLossCanBeDisabled) {
+  corpus::Corpus corpus(small_params(30));
+  Crawler crawler(corpus);
+  CrawlOptions options;
+  options.simulate_log_loss = false;
+  crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
+    EXPECT_TRUE(log.complete());
+  });
+}
+
+TEST(CrawlerTest, VisitClocksAreStaggered) {
+  corpus::Corpus corpus(small_params(3));
+  Crawler crawler(corpus);
+  CrawlOptions options;
+  const auto a = crawler.visit(0, options);
+  const auto b = crawler.visit(1, options);
+  ASSERT_FALSE(a.script_sets.empty());
+  ASSERT_FALSE(b.script_sets.empty());
+  // Timestamps embedded in the logs come from different simulated days.
+  EXPECT_NE(a.script_sets[0].time / 60000, b.script_sets[0].time / 60000);
+}
+
+TEST(CrawlerTest, ExtraExtensionInstalledBeforeRecorder) {
+  // An extension that blocks every write must leave the recorder blind to
+  // script cookie changes (they never happen).
+  struct Blocker final : browser::Extension {
+    std::string name() const override { return "blocker"; }
+    bool allow_document_cookie_write(browser::Page&,
+                                     const script::ExecContext&,
+                                     const webplat::StackTrace&,
+                                     std::string_view) override {
+      return false;
+    }
+  } blocker;
+  corpus::Corpus corpus(small_params(3));
+  Crawler crawler(corpus);
+  CrawlOptions options;
+  options.extra_extensions.push_back(&blocker);
+  const auto log = crawler.visit(0, options);
+  for (const auto& record : log.script_sets) {
+    EXPECT_EQ(record.api, cookies::CookieSource::kCookieStore);
+  }
+}
+
+}  // namespace
+}  // namespace cg::crawler

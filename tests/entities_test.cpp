@@ -1,0 +1,60 @@
+// Tests for the entity map (Tracker-Radar substitute).
+#include <gtest/gtest.h>
+
+#include "entities/entity_map.h"
+
+namespace cg::entities {
+namespace {
+
+TEST(EntityMapTest, BuiltinCoversPaperCriticalPairs) {
+  const auto& map = EntityMap::builtin();
+  // The §7.2 facebook.com breakage case hinges on this grouping.
+  EXPECT_EQ(map.entity_for("facebook.com"), "Meta");
+  EXPECT_EQ(map.entity_for("fbcdn.net"), "Meta");
+  EXPECT_TRUE(map.same_entity("facebook.net", "fbcdn.net"));
+  // The zoom.us SSO case: both providers are Microsoft.
+  EXPECT_TRUE(map.same_entity("microsoft.com", "live.com"));
+  // Google consolidation for Table 2.
+  EXPECT_TRUE(map.same_entity("googletagmanager.com", "google-analytics.com"));
+  EXPECT_TRUE(map.same_entity("doubleclick.net", "google.com"));
+  // Sentry is "Functional Software" (Table 5 naming).
+  EXPECT_EQ(map.entity_for("sentry-cdn.com"), "Functional Software");
+}
+
+TEST(EntityMapTest, UnknownDomainIsItsOwnEntity) {
+  const auto& map = EntityMap::builtin();
+  EXPECT_EQ(map.entity_for("smallsite123.com"), "smallsite123.com");
+  EXPECT_TRUE(map.same_entity("smallsite123.com", "smallsite123.com"));
+  EXPECT_FALSE(map.same_entity("smallsite123.com", "othersite.com"));
+}
+
+TEST(EntityMapTest, CrossEntityDomainsNotGrouped) {
+  const auto& map = EntityMap::builtin();
+  EXPECT_FALSE(map.same_entity("amazon-adsystem.com", "doubleclick.net"));
+  EXPECT_FALSE(map.same_entity("criteo.com", "pubmatic.com"));
+}
+
+TEST(EntityMapTest, EmptyDomainNeverMatches) {
+  const auto& map = EntityMap::builtin();
+  EXPECT_FALSE(map.same_entity("", ""));
+  EXPECT_FALSE(map.same_entity("", "facebook.com"));
+}
+
+TEST(EntityMapTest, AddAndQueryCustomEntities) {
+  EntityMap map;
+  map.add("Acme", {"acme.com", "acme-cdn.net"});
+  EXPECT_TRUE(map.same_entity("acme.com", "acme-cdn.net"));
+  const auto domains = map.domains_of("Acme");
+  EXPECT_EQ(domains.size(), 2u);
+  EXPECT_TRUE(map.domains_of("Nobody").empty());
+}
+
+TEST(EntityMapTest, LaterRegistrationWins) {
+  EntityMap map;
+  map.add_domain("A", "x.com");
+  map.add_domain("B", "x.com");
+  EXPECT_EQ(map.entity_for("x.com"), "B");
+}
+
+}  // namespace
+}  // namespace cg::entities

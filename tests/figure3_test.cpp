@@ -1,0 +1,108 @@
+// Reproduces the paper's Figure 3 walkthrough, step by step, as an
+// executable specification of CookieGuard's design (§6.1):
+//
+//   (1) site.com's server sets "c0" via Set-Cookie  -> creator site.com
+//   (2) a site.com script sets "c1"                 -> creator site.com
+//   (3) an ad.com script sets "c2"                  -> browser: first-party,
+//                                                      CookieGuard: ad.com
+//   (4) the ad.com script reads document.cookie     -> sees only "c2"
+//   (5) a site.com script reads document.cookie     -> sees c0, c1, c2
+#include <gtest/gtest.h>
+
+#include "cookieguard/cookieguard.h"
+#include "script/interpreter.h"
+#include "test_support.h"
+
+namespace cg {
+namespace {
+
+class Figure3Test : public ::testing::Test {
+ protected:
+  Figure3Test() {
+    // Step 1 happens during load: site.com's server sets c0.
+    site_.emplace(std::vector<std::string>{});
+    site_->browser().network().register_host(
+        "www.shop.example", [](const net::HttpRequest& req) {
+          net::HttpResponse res;
+          if (req.destination == net::RequestDestination::kDocument) {
+            res.headers.add("Set-Cookie", "c0=server-side; Path=/");
+          }
+          return res;
+        });
+    site_->browser().add_extension(&guard_);
+    page_ = site_->open();
+
+    // Step 2: a first-party script sets c1.
+    const auto fp = testsupport::context_for_url(
+        "https://www.shop.example/assets/app.js");
+    page_->run_as(fp, [&](script::PageServices& services) {
+      services.document_cookie_write(fp, "c1=first-party; Path=/");
+    });
+
+    // Step 3: ad.com's script, embedded in the main frame, sets c2.
+    const auto ad = testsupport::context_for_url("https://cdn.ad-corp.net/a.js");
+    page_->run_as(ad, [&](script::PageServices& services) {
+      services.document_cookie_write(ad, "c2=ghost-written; Path=/");
+    });
+  }
+
+  std::string read_as(const std::string& url) {
+    const auto ctx = testsupport::context_for_url(url);
+    std::string out;
+    page_->run_as(ctx, [&](script::PageServices& services) {
+      out = services.document_cookie_read(ctx);
+    });
+    return out;
+  }
+
+  cookieguard::CookieGuard guard_;
+  std::optional<testsupport::TestSite> site_;
+  std::unique_ptr<browser::Page> page_;
+};
+
+TEST_F(Figure3Test, BrowserTreatsAllThreeAsFirstParty) {
+  // The original cookie jar's domain column: all site.com (www.shop.example).
+  ASSERT_EQ(site_->browser().jar().size(), 3u);
+  for (const auto& cookie : site_->browser().jar().all()) {
+    EXPECT_EQ(cookie.domain, "www.shop.example") << cookie.name;
+  }
+}
+
+TEST_F(Figure3Test, CookieGuardRecordsTrueCreators) {
+  EXPECT_EQ(guard_.store().creator("c0"), "shop.example");
+  EXPECT_EQ(guard_.store().creator("c1"), "shop.example");
+  EXPECT_EQ(guard_.store().creator("c2"), "ad-corp.net");
+}
+
+TEST_F(Figure3Test, Step4AdScriptSeesOnlyItsOwnCookie) {
+  EXPECT_EQ(read_as("https://cdn.ad-corp.net/a.js"), "c2=ghost-written");
+}
+
+TEST_F(Figure3Test, Step5SiteScriptSeesAllFirstPartyCookies) {
+  const auto jar = read_as("https://www.shop.example/assets/app.js");
+  EXPECT_NE(jar.find("c0=server-side"), std::string::npos);
+  EXPECT_NE(jar.find("c1=first-party"), std::string::npos);
+  EXPECT_NE(jar.find("c2=ghost-written"), std::string::npos);
+}
+
+TEST_F(Figure3Test, WithoutCookieGuardAdScriptSeesEverything) {
+  // Control: the same walkthrough in a plain browser shows why the paper's
+  // Figure 1 calls the jar a shared resource.
+  testsupport::TestSite plain;
+  auto page = plain.open();
+  const auto fp =
+      testsupport::context_for_url("https://www.shop.example/assets/app.js");
+  const auto ad = testsupport::context_for_url("https://cdn.ad-corp.net/a.js");
+  page->run_as(fp, [&](script::PageServices& services) {
+    services.document_cookie_write(fp, "c1=first-party; Path=/");
+  });
+  page->run_as(ad, [&](script::PageServices& services) {
+    services.document_cookie_write(ad, "c2=ghost-written; Path=/");
+    const auto jar = services.document_cookie_read(ad);
+    EXPECT_NE(jar.find("c1="), std::string::npos);
+    EXPECT_NE(jar.find("c2="), std::string::npos);
+  });
+}
+
+}  // namespace
+}  // namespace cg

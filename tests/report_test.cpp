@@ -1,0 +1,114 @@
+// Tests for the report module: JSON writer, CSV escaping, summary exports.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/analyzer.h"
+#include "report/report.h"
+
+namespace cg::report {
+namespace {
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7LL).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(Json::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(Json(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectsSortedAndNested) {
+  Json j = Json::object();
+  j["b"] = 2;
+  j["a"] = Json::array();
+  j["a"].push_back(1);
+  j["a"].push_back("x");
+  EXPECT_EQ(j.dump(), "{\"a\":[1,\"x\"],\"b\":2}");
+}
+
+TEST(JsonTest, IndentedOutputIsStable) {
+  Json j = Json::object();
+  j["k"] = Json::object();
+  j["k"]["v"] = 1;
+  EXPECT_EQ(j.dump(2), "{\n  \"k\": {\n    \"v\": 1\n  }\n}");
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(2), "{}");
+  EXPECT_EQ(Json::array().dump(2), "[]");
+}
+
+TEST(CsvTest, EscapeRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  ReportFixture() : analyzer_(entities::EntityMap::builtin()) {
+    instrument::VisitLog log;
+    log.site_host = "www.example.com";
+    log.site = "example.com";
+    log.has_cookie_logs = true;
+    log.has_request_logs = true;
+    instrument::ScriptCookieSetRecord set;
+    set.cookie_name = "_ga";
+    set.value = "GA1.1.444332364.1746838827";
+    set.setter_domain = "googletagmanager.com";
+    set.setter_url = "https://www.googletagmanager.com/gtag/js";
+    set.true_domain = "googletagmanager.com";
+    set.time = 1;
+    log.script_sets.push_back(set);
+    instrument::RequestRecord req;
+    req.url = "https://bat.bing.com/a?g=444332364";
+    req.host = "bat.bing.com";
+    req.dest_domain = "bing.com";
+    req.initiator_domain = "bing.com";
+    req.time = 5;
+    log.requests.push_back(req);
+    analyzer_.ingest(log);
+  }
+  analysis::Analyzer analyzer_;
+};
+
+TEST_F(ReportFixture, TotalsJsonCarriesCounters) {
+  const auto json = totals_to_json(analyzer_.totals());
+  const auto dumped = json.dump();
+  EXPECT_NE(dumped.find("\"sites_doc_exfil\":1"), std::string::npos);
+  EXPECT_NE(dumped.find("\"sites_complete\":1"), std::string::npos);
+  EXPECT_NE(dumped.find("\"timings\""), std::string::npos);
+}
+
+TEST_F(ReportFixture, PairsCsvListsDetectedExfiltration) {
+  std::ostringstream out;
+  write_pairs_csv(analyzer_, 10, out);
+  const auto csv = out.str();
+  EXPECT_NE(csv.find("cookie_name,owner_domain,action"), std::string::npos);
+  EXPECT_NE(csv.find("_ga,googletagmanager.com,exfiltrated,1,Microsoft"),
+            std::string::npos);
+}
+
+TEST_F(ReportFixture, DomainsCsvMergesActionCounts) {
+  std::ostringstream out;
+  write_domains_csv(analyzer_, 10, out);
+  EXPECT_NE(out.str().find("bing.com,1,0,0"), std::string::npos);
+}
+
+TEST_F(ReportFixture, SummaryJsonHasTopSections) {
+  const auto dumped = summary_to_json(analyzer_, 5).dump(2);
+  EXPECT_NE(dumped.find("\"top_exfiltrated\""), std::string::npos);
+  EXPECT_NE(dumped.find("\"top_exfiltrator_domains\""), std::string::npos);
+  EXPECT_NE(dumped.find("\"_ga\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cg::report
