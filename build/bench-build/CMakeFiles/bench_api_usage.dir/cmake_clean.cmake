@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_api_usage"
+  "../bench/bench_api_usage.pdb"
+  "CMakeFiles/bench_api_usage.dir/bench_api_usage.cpp.o"
+  "CMakeFiles/bench_api_usage.dir/bench_api_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_api_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dom_pilot"
+  "../bench/bench_dom_pilot.pdb"
+  "CMakeFiles/bench_dom_pilot.dir/bench_dom_pilot.cpp.o"
+  "CMakeFiles/bench_dom_pilot.dir/bench_dom_pilot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dom_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_evasion.cpp" "bench-build/CMakeFiles/bench_evasion.dir/bench_evasion.cpp.o" "gcc" "bench-build/CMakeFiles/bench_evasion.dir/bench_evasion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crawler/CMakeFiles/crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cookieguard/CMakeFiles/cookieguard.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/entities/CMakeFiles/entities.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/browsercore.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/scriptengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptocore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cookies/CMakeFiles/cookiecore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/exthost.dir/DependInfo.cmake"
+  "/root/repo/build/src/webplat/CMakeFiles/webplat.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_prevalence"
+  "../bench/bench_prevalence.pdb"
+  "CMakeFiles/bench_prevalence.dir/bench_prevalence.cpp.o"
+  "CMakeFiles/bench_prevalence.dir/bench_prevalence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_breakage"
+  "../bench/bench_table3_breakage.pdb"
+  "CMakeFiles/bench_table3_breakage.dir/bench_table3_breakage.cpp.o"
+  "CMakeFiles/bench_table3_breakage.dir/bench_table3_breakage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_breakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

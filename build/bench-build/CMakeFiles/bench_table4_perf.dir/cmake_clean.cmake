@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_perf"
+  "../bench/bench_table4_perf.pdb"
+  "CMakeFiles/bench_table4_perf.dir/bench_table4_perf.cpp.o"
+  "CMakeFiles/bench_table4_perf.dir/bench_table4_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authenticated_session.dir/authenticated_session.cpp.o"
+  "CMakeFiles/authenticated_session.dir/authenticated_session.cpp.o.d"
+  "authenticated_session"
+  "authenticated_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authenticated_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consent_manager.dir/consent_manager.cpp.o"
+  "CMakeFiles/consent_manager.dir/consent_manager.cpp.o.d"
+  "consent_manager"
+  "consent_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consent_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

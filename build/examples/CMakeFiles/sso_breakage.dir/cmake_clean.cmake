@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sso_breakage.dir/sso_breakage.cpp.o"
+  "CMakeFiles/sso_breakage.dir/sso_breakage.cpp.o.d"
+  "sso_breakage"
+  "sso_breakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sso_breakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sso_breakage.
+# This may be replaced when dependencies are built.

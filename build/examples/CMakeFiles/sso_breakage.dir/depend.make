@@ -1,0 +1,2 @@
+# Empty dependencies file for sso_breakage.
+# This may be replaced when dependencies are built.

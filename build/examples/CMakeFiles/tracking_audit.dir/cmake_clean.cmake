@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracking_audit.dir/tracking_audit.cpp.o"
+  "CMakeFiles/tracking_audit.dir/tracking_audit.cpp.o.d"
+  "tracking_audit"
+  "tracking_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracking_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("crypto")
+subdirs("cookies")
+subdirs("webplat")
+subdirs("script")
+subdirs("browser")
+subdirs("ext")
+subdirs("instrument")
+subdirs("entities")
+subdirs("corpus")
+subdirs("crawler")
+subdirs("analysis")
+subdirs("cookieguard")
+subdirs("baselines")
+subdirs("breakage")
+subdirs("perf")
+subdirs("report")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis.dir/analyzer.cpp.o"
+  "CMakeFiles/analysis.dir/analyzer.cpp.o.d"
+  "libanalysis.a"
+  "libanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

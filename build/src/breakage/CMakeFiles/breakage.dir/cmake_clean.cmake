@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakage.dir/breakage.cpp.o"
+  "CMakeFiles/breakage.dir/breakage.cpp.o.d"
+  "libbreakage.a"
+  "libbreakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browsercore.dir/browser.cpp.o"
+  "CMakeFiles/browsercore.dir/browser.cpp.o.d"
+  "CMakeFiles/browsercore.dir/network.cpp.o"
+  "CMakeFiles/browsercore.dir/network.cpp.o.d"
+  "CMakeFiles/browsercore.dir/page.cpp.o"
+  "CMakeFiles/browsercore.dir/page.cpp.o.d"
+  "libbrowsercore.a"
+  "libbrowsercore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browsercore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for browsercore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cookieguard.dir/cookieguard.cpp.o"
+  "CMakeFiles/cookieguard.dir/cookieguard.cpp.o.d"
+  "CMakeFiles/cookieguard.dir/signatures.cpp.o"
+  "CMakeFiles/cookieguard.dir/signatures.cpp.o.d"
+  "libcookieguard.a"
+  "libcookieguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cookieguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cookiecore.dir/cookie_jar.cpp.o"
+  "CMakeFiles/cookiecore.dir/cookie_jar.cpp.o.d"
+  "libcookiecore.a"
+  "libcookiecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cookiecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

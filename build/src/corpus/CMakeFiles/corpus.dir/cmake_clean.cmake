@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus.dir/corpus.cpp.o"
+  "CMakeFiles/corpus.dir/corpus.cpp.o.d"
+  "CMakeFiles/corpus.dir/ecosystem.cpp.o"
+  "CMakeFiles/corpus.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/corpus.dir/site_generator.cpp.o"
+  "CMakeFiles/corpus.dir/site_generator.cpp.o.d"
+  "libcorpus.a"
+  "libcorpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

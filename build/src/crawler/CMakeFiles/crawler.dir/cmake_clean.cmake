@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawler.dir/crawler.cpp.o"
+  "CMakeFiles/crawler.dir/crawler.cpp.o.d"
+  "libcrawler.a"
+  "libcrawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/base64.cpp" "src/crypto/CMakeFiles/cryptocore.dir/base64.cpp.o" "gcc" "src/crypto/CMakeFiles/cryptocore.dir/base64.cpp.o.d"
+  "/root/repo/src/crypto/hex.cpp" "src/crypto/CMakeFiles/cryptocore.dir/hex.cpp.o" "gcc" "src/crypto/CMakeFiles/cryptocore.dir/hex.cpp.o.d"
+  "/root/repo/src/crypto/md5.cpp" "src/crypto/CMakeFiles/cryptocore.dir/md5.cpp.o" "gcc" "src/crypto/CMakeFiles/cryptocore.dir/md5.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/cryptocore.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/cryptocore.dir/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptocore.dir/base64.cpp.o"
+  "CMakeFiles/cryptocore.dir/base64.cpp.o.d"
+  "CMakeFiles/cryptocore.dir/hex.cpp.o"
+  "CMakeFiles/cryptocore.dir/hex.cpp.o.d"
+  "CMakeFiles/cryptocore.dir/md5.cpp.o"
+  "CMakeFiles/cryptocore.dir/md5.cpp.o.d"
+  "CMakeFiles/cryptocore.dir/sha1.cpp.o"
+  "CMakeFiles/cryptocore.dir/sha1.cpp.o.d"
+  "libcryptocore.a"
+  "libcryptocore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptocore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entities.dir/entity_map.cpp.o"
+  "CMakeFiles/entities.dir/entity_map.cpp.o.d"
+  "libentities.a"
+  "libentities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exthost.dir/attribution.cpp.o"
+  "CMakeFiles/exthost.dir/attribution.cpp.o.d"
+  "libexthost.a"
+  "libexthost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exthost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument.dir/recorder.cpp.o"
+  "CMakeFiles/instrument.dir/recorder.cpp.o.d"
+  "libinstrument.a"
+  "libinstrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/netcore.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/netcore.dir/dns.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/netcore.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/netcore.dir/http.cpp.o.d"
+  "/root/repo/src/net/http_date.cpp" "src/net/CMakeFiles/netcore.dir/http_date.cpp.o" "gcc" "src/net/CMakeFiles/netcore.dir/http_date.cpp.o.d"
+  "/root/repo/src/net/percent.cpp" "src/net/CMakeFiles/netcore.dir/percent.cpp.o" "gcc" "src/net/CMakeFiles/netcore.dir/percent.cpp.o.d"
+  "/root/repo/src/net/psl.cpp" "src/net/CMakeFiles/netcore.dir/psl.cpp.o" "gcc" "src/net/CMakeFiles/netcore.dir/psl.cpp.o.d"
+  "/root/repo/src/net/query.cpp" "src/net/CMakeFiles/netcore.dir/query.cpp.o" "gcc" "src/net/CMakeFiles/netcore.dir/query.cpp.o.d"
+  "/root/repo/src/net/set_cookie.cpp" "src/net/CMakeFiles/netcore.dir/set_cookie.cpp.o" "gcc" "src/net/CMakeFiles/netcore.dir/set_cookie.cpp.o.d"
+  "/root/repo/src/net/url.cpp" "src/net/CMakeFiles/netcore.dir/url.cpp.o" "gcc" "src/net/CMakeFiles/netcore.dir/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcore.dir/dns.cpp.o"
+  "CMakeFiles/netcore.dir/dns.cpp.o.d"
+  "CMakeFiles/netcore.dir/http.cpp.o"
+  "CMakeFiles/netcore.dir/http.cpp.o.d"
+  "CMakeFiles/netcore.dir/http_date.cpp.o"
+  "CMakeFiles/netcore.dir/http_date.cpp.o.d"
+  "CMakeFiles/netcore.dir/percent.cpp.o"
+  "CMakeFiles/netcore.dir/percent.cpp.o.d"
+  "CMakeFiles/netcore.dir/psl.cpp.o"
+  "CMakeFiles/netcore.dir/psl.cpp.o.d"
+  "CMakeFiles/netcore.dir/query.cpp.o"
+  "CMakeFiles/netcore.dir/query.cpp.o.d"
+  "CMakeFiles/netcore.dir/set_cookie.cpp.o"
+  "CMakeFiles/netcore.dir/set_cookie.cpp.o.d"
+  "CMakeFiles/netcore.dir/url.cpp.o"
+  "CMakeFiles/netcore.dir/url.cpp.o.d"
+  "libnetcore.a"
+  "libnetcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

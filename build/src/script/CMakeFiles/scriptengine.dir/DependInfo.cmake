@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/exec_context.cpp" "src/script/CMakeFiles/scriptengine.dir/exec_context.cpp.o" "gcc" "src/script/CMakeFiles/scriptengine.dir/exec_context.cpp.o.d"
+  "/root/repo/src/script/interpreter.cpp" "src/script/CMakeFiles/scriptengine.dir/interpreter.cpp.o" "gcc" "src/script/CMakeFiles/scriptengine.dir/interpreter.cpp.o.d"
+  "/root/repo/src/script/ops.cpp" "src/script/CMakeFiles/scriptengine.dir/ops.cpp.o" "gcc" "src/script/CMakeFiles/scriptengine.dir/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptocore.dir/DependInfo.cmake"
+  "/root/repo/build/src/webplat/CMakeFiles/webplat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

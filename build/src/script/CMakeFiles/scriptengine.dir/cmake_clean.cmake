@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scriptengine.dir/exec_context.cpp.o"
+  "CMakeFiles/scriptengine.dir/exec_context.cpp.o.d"
+  "CMakeFiles/scriptengine.dir/interpreter.cpp.o"
+  "CMakeFiles/scriptengine.dir/interpreter.cpp.o.d"
+  "CMakeFiles/scriptengine.dir/ops.cpp.o"
+  "CMakeFiles/scriptengine.dir/ops.cpp.o.d"
+  "libscriptengine.a"
+  "libscriptengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scriptengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

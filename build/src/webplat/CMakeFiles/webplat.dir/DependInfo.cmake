@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webplat/dom.cpp" "src/webplat/CMakeFiles/webplat.dir/dom.cpp.o" "gcc" "src/webplat/CMakeFiles/webplat.dir/dom.cpp.o.d"
+  "/root/repo/src/webplat/event_loop.cpp" "src/webplat/CMakeFiles/webplat.dir/event_loop.cpp.o" "gcc" "src/webplat/CMakeFiles/webplat.dir/event_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webplat.dir/dom.cpp.o"
+  "CMakeFiles/webplat.dir/dom.cpp.o.d"
+  "CMakeFiles/webplat.dir/event_loop.cpp.o"
+  "CMakeFiles/webplat.dir/event_loop.cpp.o.d"
+  "libwebplat.a"
+  "libwebplat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webplat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakage_test.dir/breakage_test.cpp.o"
+  "CMakeFiles/breakage_test.dir/breakage_test.cpp.o.d"
+  "breakage_test"
+  "breakage_test.pdb"
+  "breakage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

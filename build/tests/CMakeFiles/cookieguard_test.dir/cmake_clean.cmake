@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cookieguard_test.dir/cookieguard_test.cpp.o"
+  "CMakeFiles/cookieguard_test.dir/cookieguard_test.cpp.o.d"
+  "cookieguard_test"
+  "cookieguard_test.pdb"
+  "cookieguard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cookieguard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cookies_test.dir/cookies_test.cpp.o"
+  "CMakeFiles/cookies_test.dir/cookies_test.cpp.o.d"
+  "cookies_test"
+  "cookies_test.pdb"
+  "cookies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cookies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entities_test.dir/entities_test.cpp.o"
+  "CMakeFiles/entities_test.dir/entities_test.cpp.o.d"
+  "entities_test"
+  "entities_test.pdb"
+  "entities_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

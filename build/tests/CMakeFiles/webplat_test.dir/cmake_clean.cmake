@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webplat_test.dir/webplat_test.cpp.o"
+  "CMakeFiles/webplat_test.dir/webplat_test.cpp.o.d"
+  "webplat_test"
+  "webplat_test.pdb"
+  "webplat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webplat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/cookies_test[1]_include.cmake")
+include("/root/repo/build/tests/webplat_test[1]_include.cmake")
+include("/root/repo/build/tests/script_test[1]_include.cmake")
+include("/root/repo/build/tests/browser_test[1]_include.cmake")
+include("/root/repo/build/tests/ext_test[1]_include.cmake")
+include("/root/repo/build/tests/instrument_test[1]_include.cmake")
+include("/root/repo/build/tests/entities_test[1]_include.cmake")
+include("/root/repo/build/tests/cookieguard_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/crawler_test[1]_include.cmake")
+include("/root/repo/build/tests/breakage_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/figure3_test[1]_include.cmake")
