@@ -1,7 +1,9 @@
 // cgsim: command-line driver for the CookieGuard simulator.
 //
-//   cgsim crawl    [--sites N] [--guard] [--json FILE] [--pairs-csv FILE]
-//                  [--domains-csv FILE]
+//   cgsim crawl    [--sites N] [--guard] [--no-faults] [--json FILE]
+//                  [--pairs-csv FILE] [--domains-csv FILE]
+//                  [--health FILE] [--checkpoint FILE] [--checkpoint-every N]
+//                  [--resume FILE]
 //   cgsim audit    [--sites N] --site INDEX
 //   cgsim breakage [--sites N] [--sample K]
 //   cgsim perf     [--sites N]
@@ -12,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 
@@ -73,12 +76,56 @@ int cmd_crawl(const Args& args) {
   cookieguard::CookieGuard guard;
   crawler::CrawlOptions options;
   if (args.has("guard")) options.extra_extensions.push_back(&guard);
+  if (args.has("no-faults")) options.simulate_log_loss = false;
 
-  std::printf("crawling %d sites%s...\n", corpus.size(),
-              args.has("guard") ? " with CookieGuard" : "");
-  crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
-    analyzer.ingest(log);
-  });
+  // Crash-safe progress: persist a checkpoint every N sites; --resume
+  // continues a killed crawl from the persisted file.
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  if (!checkpoint_path.empty()) {
+    options.checkpoint_interval = args.get_int("checkpoint-every", 100);
+    options.on_checkpoint = [&](const crawler::CrawlCheckpoint& checkpoint) {
+      std::ofstream out(checkpoint_path);
+      out << checkpoint.to_json_string() << '\n';
+    };
+  }
+
+  const auto sink = [&](instrument::VisitLog&& log) { analyzer.ingest(log); };
+  crawler::CrawlHealth health;
+  if (args.has("resume")) {
+    const std::string path = args.get("resume", "");
+    std::ifstream in(path);
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const auto checkpoint = crawler::CrawlCheckpoint::from_json_string(text);
+    if (!checkpoint) {
+      std::fprintf(stderr, "cgsim: cannot parse checkpoint %s\n", path.c_str());
+      return 1;
+    }
+    if (checkpoint->corpus_seed != corpus.params().seed ||
+        checkpoint->target_count > corpus.size()) {
+      std::fprintf(stderr, "cgsim: checkpoint does not match this corpus\n");
+      return 1;
+    }
+    std::printf("resuming at site %d of %d...\n", checkpoint->next_index,
+                checkpoint->target_count);
+    health = crawler.resume(*checkpoint, options, sink);
+  } else {
+    std::printf("crawling %d sites%s...\n", corpus.size(),
+                args.has("guard") ? " with CookieGuard" : "");
+    health = crawler.crawl(corpus.size(), options, sink);
+  }
+
+  std::printf(
+      "crawl health: %d retained, %d excluded (%.1f%%), %d degraded, "
+      "%d recovered by retries (%d attempts total)\n",
+      health.sites_retained, health.sites_excluded,
+      100.0 * health.exclusion_rate(), health.sites_degraded,
+      health.sites_recovered, health.total_attempts);
+  if (args.has("health")) {
+    std::ofstream out(args.get("health", "health.json"));
+    out << health.to_json().dump(2) << '\n';
+    std::printf("wrote %s\n", args.get("health", "health.json").c_str());
+  }
 
   const auto& t = analyzer.totals();
   const double n = t.sites_complete;

@@ -4,8 +4,23 @@
 
 namespace cg::browser {
 
+NavigationResult::NavigationResult() = default;
+NavigationResult::NavigationResult(std::unique_ptr<Page> page,
+                                   fault::FailureClass failure)
+    : page(std::move(page)), failure(failure) {}
+NavigationResult::NavigationResult(NavigationResult&&) noexcept = default;
+NavigationResult& NavigationResult::operator=(NavigationResult&&) noexcept =
+    default;
+NavigationResult::~NavigationResult() = default;
+NavigationResult::operator std::unique_ptr<Page>() && {
+  return std::move(page);
+}
+
 Browser::Browser(BrowserConfig config, std::uint64_t seed)
-    : config_(config), clock_(config.clock_start), rng_(seed) {}
+    : config_(config), clock_(config.clock_start), rng_(seed) {
+  // Transport latency (stalls, connect timeouts) is charged to this clock.
+  network_.bind_clock(&clock_);
+}
 
 Browser::~Browser() = default;
 
@@ -21,7 +36,11 @@ TimeMillis Browser::extension_api_overhead_ms() const {
   return total;
 }
 
-std::unique_ptr<Page> Browser::navigate(const net::Url& url) {
+NavigationResult Browser::navigate(const net::Url& url) {
+  // Name resolution precedes everything; a dead name means no visit at all.
+  if (!dns_.resolve(url.host()).ok()) {
+    return {nullptr, fault::FailureClass::kDnsFailure};
+  }
   if (!visit_started_) {
     visit_started_ = true;
     for (auto* extension : extensions_) {
@@ -32,8 +51,10 @@ std::unique_ptr<Page> Browser::navigate(const net::Url& url) {
   for (auto* extension : extensions_) {
     extension->on_page_start(*page);
   }
-  page->load();
-  return page;
+  if (!page->load()) {
+    return {nullptr, page->load_failure()};
+  }
+  return {std::move(page), fault::FailureClass::kNone};
 }
 
 }  // namespace cg::browser

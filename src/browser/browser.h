@@ -15,6 +15,7 @@
 #include "browser/extension.h"
 #include "browser/network.h"
 #include "cookies/cookie_jar.h"
+#include "fault/fault.h"
 #include "net/clock.h"
 #include "net/dns.h"
 #include "net/url.h"
@@ -23,6 +24,31 @@
 namespace cg::browser {
 
 class Page;
+
+/// Outcome of a navigation. Navigation can genuinely fail — DNS resolution,
+/// connect timeouts — so callers get a page *or* a failure class, never an
+/// unconditional page. Pointer-like accessors keep the happy path reading
+/// as before: `auto page = browser.navigate(url); page->simulate_scroll();`.
+struct NavigationResult {
+  std::unique_ptr<Page> page;
+  fault::FailureClass failure = fault::FailureClass::kNone;
+
+  // Out-of-line so Page can stay incomplete for header-only consumers.
+  NavigationResult();
+  NavigationResult(std::unique_ptr<Page> page, fault::FailureClass failure);
+  NavigationResult(NavigationResult&&) noexcept;
+  NavigationResult& operator=(NavigationResult&&) noexcept;
+  ~NavigationResult();
+
+  bool ok() const { return page != nullptr; }
+  explicit operator bool() const { return ok(); }
+  Page* operator->() const { return page.get(); }
+  Page& operator*() const { return *page; }
+  Page* get() const { return page.get(); }
+  /// Successful results convert to the owned page (legacy callers that
+  /// store a std::unique_ptr<Page>).
+  operator std::unique_ptr<Page>() &&;
+};
 
 /// Timing-model and engine parameters. Millisecond costs were calibrated so
 /// the unmodified browser's page-load distribution lands near the paper's
@@ -89,9 +115,11 @@ class Browser {
   /// Total simulated per-API-call interception overhead of all extensions.
   TimeMillis extension_api_overhead_ms() const;
 
-  /// Navigates to `url`: creates and fully loads a Page. The first
-  /// navigation fires Extension::on_visit_start.
-  std::unique_ptr<Page> navigate(const net::Url& url);
+  /// Navigates to `url`: resolves DNS, creates and fully loads a Page. The
+  /// first navigation fires Extension::on_visit_start. Fails (null page +
+  /// failure class) when resolution fails or the document fetch dies in
+  /// transport; with no fault injection armed it always succeeds.
+  NavigationResult navigate(const net::Url& url);
 
  private:
   BrowserConfig config_;

@@ -16,15 +16,31 @@ void NetworkLayer::register_site(std::string_view site,
 
 net::HttpResponse NetworkLayer::dispatch(
     const net::HttpRequest& request) const {
-  if (const auto it = hosts_.find(request.url.host()); it != hosts_.end()) {
-    return it->second(request);
+  if (fault_hook_) {
+    const net::TransportVerdict verdict = fault_hook_(request);
+    if (clock_ != nullptr && verdict.latency_ms > 0) {
+      clock_->advance(verdict.latency_ms);
+    }
+    if (verdict.error != net::NetError::kOk) {
+      net::HttpResponse failed;
+      failed.status = 0;
+      failed.net_error = verdict.error;
+      return failed;
+    }
   }
-  const std::string site = net::etld_plus_one(request.url.host());
-  if (const auto it = sites_.find(site); it != sites_.end()) {
-    return it->second(request);
-  }
+
   net::HttpResponse response;
-  response.status = 200;
+  if (const auto it = hosts_.find(request.url.host()); it != hosts_.end()) {
+    response = it->second(request);
+  } else {
+    const std::string site = net::etld_plus_one(request.url.host());
+    if (const auto it = sites_.find(site); it != sites_.end()) {
+      response = it->second(request);
+    } else {
+      response.status = 200;
+    }
+  }
+  if (response_hook_) response_hook_(request, response);
   return response;
 }
 

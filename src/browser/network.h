@@ -4,6 +4,12 @@
 // generates; unknown hosts get a default 200. Handlers are ordinary
 // functions, so servers can be stateful (SSO session endpoints, RTB
 // exchanges) without any socket machinery.
+//
+// The layer also models the transport itself: an optional fault hook rules
+// on every request before routing (connect timeouts, resets, stalls — the
+// crawl fault layer plugs in here), and an optional response hook mutates
+// responses in flight (truncated Set-Cookie headers). Transport latency is
+// burned on the bound simulated clock.
 #pragma once
 
 #include <functional>
@@ -11,6 +17,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/clock.h"
 #include "net/http.h"
 
 namespace cg::browser {
@@ -19,6 +26,12 @@ class NetworkLayer {
  public:
   using ServerHandler =
       std::function<net::HttpResponse(const net::HttpRequest&)>;
+  /// Pre-dispatch transport ruling: a non-kOk error short-circuits routing;
+  /// latency is charged to the bound clock either way.
+  using FaultHook = std::function<net::TransportVerdict(const net::HttpRequest&)>;
+  /// Post-dispatch in-flight mutation of successful responses.
+  using ResponseHook =
+      std::function<void(const net::HttpRequest&, net::HttpResponse&)>;
 
   /// Registers a handler for an exact hostname (later registration wins).
   void register_host(std::string_view host, ServerHandler handler);
@@ -26,14 +39,27 @@ class NetworkLayer {
   /// Registers a fallback for any subdomain of `site` (eTLD+1 routing).
   void register_site(std::string_view site, ServerHandler handler);
 
-  /// Routes a request: exact host match, then site match, then default 200.
+  /// Routes a request: fault hook, then exact host match, then site match,
+  /// then default 200; successful responses pass the response hook.
   net::HttpResponse dispatch(const net::HttpRequest& request) const;
+
+  /// Clock charged with transport latency the fault hook reports. Owned by
+  /// the Browser; may be null (latency is then dropped).
+  void bind_clock(SimClock* clock) { clock_ = clock; }
+
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  void set_response_hook(ResponseHook hook) {
+    response_hook_ = std::move(hook);
+  }
 
   std::size_t host_count() const { return hosts_.size(); }
 
  private:
   std::map<std::string, ServerHandler, std::less<>> hosts_;
   std::map<std::string, ServerHandler, std::less<>> sites_;
+  SimClock* clock_ = nullptr;
+  FaultHook fault_hook_;
+  ResponseHook response_hook_;
 };
 
 }  // namespace cg::browser

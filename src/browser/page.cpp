@@ -56,7 +56,7 @@ void Page::charge_api_call() {
                            browser_.extension_api_overhead_ms());
 }
 
-void Page::load() {
+bool Page::load() {
   auto& clock = browser_.clock();
   auto& rng = browser_.rng();
   const auto& config = browser_.config();
@@ -70,7 +70,13 @@ void Page::load() {
   doc_request.method = net::HttpMethod::kGet;
   doc_request.url = url_;
   doc_request.destination = net::RequestDestination::kDocument;
-  fetch(std::move(doc_request), nullptr);
+  const net::HttpResponse doc_response = fetch(std::move(doc_request), nullptr);
+  if (!doc_response.transport_ok()) {
+    load_failure_ = doc_response.net_error == net::NetError::kDnsFailure
+                        ? fault::FailureClass::kDnsFailure
+                        : fault::FailureClass::kConnectTimeout;
+    return false;
+  }
 
   spec_ = browser_.document_for(url_);
 
@@ -99,6 +105,7 @@ void Page::load() {
   for (auto* extension : browser_.extensions()) {
     extension->on_page_finished(*this);
   }
+  return true;
 }
 
 void Page::simulate_scroll() {
@@ -145,6 +152,7 @@ void Page::include_script(std::string_view script_id,
     extension->on_script_included(*this, ctx);
   }
 
+  bool fetch_failed = false;
   if (!spec->is_inline) {
     // Fetch the script resource.
     const auto& config = browser_.config();
@@ -158,7 +166,7 @@ void Page::include_script(std::string_view script_id,
     request.destination = net::RequestDestination::kScript;
     request.initiator =
         includer != nullptr ? includer->script_url : url_.spec();
-    fetch(std::move(request), includer);
+    fetch_failed = !fetch(std::move(request), includer).transport_ok();
   }
 
   // Record the script element in the DOM (owner = includer's domain for
@@ -172,6 +180,10 @@ void Page::include_script(std::string_view script_id,
   }
   document.append_child(document.body(), element,
                         includer != nullptr ? includer->script_domain : "");
+
+  // A script whose fetch died in transport leaves its element in the DOM
+  // but never executes — the degraded-visit shape real crawls record.
+  if (fetch_failed) return;
 
   // Inline scripts get no URL on the stack, but are distinguishable as DOM
   // elements — real extensions can hash their source text. The frame's

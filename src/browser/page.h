@@ -31,8 +31,13 @@ class Page final : public script::PageServices {
   Page(Browser& browser, net::Url url);
 
   /// Fetches the document, parses the DOM, runs static scripts, drains the
-  /// event loop, and records the lifecycle timings.
-  void load();
+  /// event loop, and records the lifecycle timings. Returns false when the
+  /// document fetch failed in transport (load_failure() says why); the page
+  /// is then unusable.
+  bool load();
+
+  /// Why load() returned false (kNone while the page is healthy).
+  fault::FailureClass load_failure() const { return load_failure_; }
 
   const net::Url& url() const { return url_; }
   Browser& browser() { return browser_; }
@@ -122,6 +127,7 @@ class Page final : public script::PageServices {
   webplat::StackTrace stack_;
   DocumentSpec spec_;
   webplat::PageTimings timings_;
+  fault::FailureClass load_failure_ = fault::FailureClass::kNone;
   TimeMillis nav_start_ = 0;
   int inclusion_depth_ = 0;  // guards against inject cycles
   /// Partitioned cookie jars for cross-origin subframes, keyed by the

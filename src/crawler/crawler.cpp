@@ -1,33 +1,185 @@
 #include "crawler/crawler.h"
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "browser/page.h"
 #include "instrument/recorder.h"
+#include "script/rng.h"
 
 namespace cg::crawler {
+namespace {
 
-instrument::VisitLog Crawler::visit(int index,
-                                    const CrawlOptions& options) const {
+/// Per-site deterministic seed: results do not depend on crawl order.
+std::uint64_t visit_seed_for(std::uint64_t corpus_seed, int rank) {
+  return corpus_seed ^
+         (0x5EEDULL + static_cast<std::uint64_t>(rank) * 2654435761ULL);
+}
+
+report::Json class_counts_to_json(
+    const std::array<int, fault::kFailureClassCount>& counts) {
+  auto out = report::Json::object();
+  for (int c = 0; c < fault::kFailureClassCount; ++c) {
+    if (counts[c] > 0) {
+      out[std::string(
+          fault::failure_class_name(static_cast<fault::FailureClass>(c)))] =
+          counts[c];
+    }
+  }
+  return out;
+}
+
+void class_counts_from_json(const report::Json* node,
+                            std::array<int, fault::kFailureClassCount>& counts) {
+  counts.fill(0);
+  if (node == nullptr) return;
+  for (int c = 0; c < fault::kFailureClassCount; ++c) {
+    const auto* entry = node->find(
+        fault::failure_class_name(static_cast<fault::FailureClass>(c)));
+    if (entry != nullptr) counts[c] = static_cast<int>(entry->as_int());
+  }
+}
+
+CrawlHealth health_from_json(const report::Json& j) {
+  CrawlHealth health;
+  const auto read_int = [&j](std::string_view key) {
+    const auto* node = j.find(key);
+    return node != nullptr ? static_cast<int>(node->as_int()) : 0;
+  };
+  health.sites_attempted = read_int("sites_attempted");
+  health.sites_retained = read_int("sites_retained");
+  health.sites_excluded = read_int("sites_excluded");
+  health.sites_degraded = read_int("sites_degraded");
+  health.sites_recovered = read_int("sites_recovered");
+  health.total_attempts = read_int("total_attempts");
+  health.total_retries = read_int("total_retries");
+  class_counts_from_json(j.find("attempt_failures"), health.attempt_failures);
+  class_counts_from_json(j.find("exclusions"), health.exclusions);
+  if (const auto* ranks = j.find("retained_ranks"); ranks && ranks->is_array()) {
+    health.retained_ranks.reserve(ranks->size());
+    for (std::size_t i = 0; i < ranks->size(); ++i) {
+      health.retained_ranks.push_back(static_cast<int>(ranks->at(i).as_int()));
+    }
+  }
+  return health;
+}
+
+}  // namespace
+
+report::Json CrawlHealth::to_json() const {
+  auto j = report::Json::object();
+  j["sites_attempted"] = sites_attempted;
+  j["sites_retained"] = sites_retained;
+  j["sites_excluded"] = sites_excluded;
+  j["sites_degraded"] = sites_degraded;
+  j["sites_recovered"] = sites_recovered;
+  j["total_attempts"] = total_attempts;
+  j["total_retries"] = total_retries;
+  j["exclusion_rate"] = exclusion_rate();
+  j["recovery_rate"] = recovery_rate();
+  j["attempt_failures"] = class_counts_to_json(attempt_failures);
+  j["exclusions"] = class_counts_to_json(exclusions);
+  auto ranks = report::Json::array();
+  for (const int rank : retained_ranks) ranks.push_back(rank);
+  j["retained_ranks"] = std::move(ranks);
+  return j;
+}
+
+std::string CrawlCheckpoint::to_json_string() const {
+  auto j = report::Json::object();
+  j["version"] = 1;
+  j["next_index"] = next_index;
+  j["target_count"] = target_count;
+  j["corpus_seed"] = corpus_seed;
+  j["fault_seed"] = fault_seed;
+  j["health"] = health.to_json();
+  return j.dump(2);
+}
+
+std::optional<CrawlCheckpoint> CrawlCheckpoint::from_json_string(
+    std::string_view text) {
+  const auto parsed = report::Json::parse(text);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+  const auto* next_index = parsed->find("next_index");
+  const auto* target_count = parsed->find("target_count");
+  const auto* health = parsed->find("health");
+  if (!next_index || !target_count || !health || !health->is_object()) {
+    return std::nullopt;
+  }
+  CrawlCheckpoint checkpoint;
+  checkpoint.next_index = static_cast<int>(next_index->as_int());
+  checkpoint.target_count = static_cast<int>(target_count->as_int());
+  if (const auto* seed = parsed->find("corpus_seed")) {
+    checkpoint.corpus_seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+  if (const auto* seed = parsed->find("fault_seed")) {
+    checkpoint.fault_seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+  if (checkpoint.next_index < 0 || checkpoint.target_count < 0 ||
+      checkpoint.next_index > checkpoint.target_count) {
+    return std::nullopt;
+  }
+  checkpoint.health = health_from_json(*health);
+  return checkpoint;
+}
+
+fault::FaultPlan Crawler::plan_for(const CrawlOptions& options) const {
+  if (options.fault_plan.has_value()) {
+    return fault::FaultPlan(*options.fault_plan);
+  }
+  if (options.simulate_log_loss) {
+    // Compat shim: the old per-visit coin flip becomes the default fault
+    // plan, keyed off the corpus seed so distinct corpora fail differently.
+    fault::FaultPlanParams params;
+    params.seed = corpus_.params().seed ^ params.seed;
+    return fault::FaultPlan(params);
+  }
+  return {};
+}
+
+instrument::VisitLog Crawler::attempt_visit(int index,
+                                            const CrawlOptions& options,
+                                            const fault::FaultDecision& decision,
+                                            TimeMillis clock_shift_ms,
+                                            int attempt) const {
   const auto& bp = corpus_.site(index);
   const auto& params = corpus_.params();
-
-  // Per-site deterministic seed: results do not depend on crawl order.
-  const std::uint64_t visit_seed =
-      params.seed ^ (0x5EEDULL + static_cast<std::uint64_t>(bp.rank) * 2654435761ULL);
+  const std::uint64_t visit_seed = visit_seed_for(params.seed, bp.rank);
 
   // Stagger visit start times: the paper's crawl spans days, and identifier
-  // timestamps embedded in cookie values must differ across visits.
+  // timestamps embedded in cookie values must differ across visits. Retry
+  // backoff shifts the clock further.
   browser::BrowserConfig browser_config = options.browser_config;
   browser_config.clock_start +=
       static_cast<TimeMillis>(bp.rank) * 77'777 +
-      static_cast<TimeMillis>(visit_seed % 37'000);
+      static_cast<TimeMillis>(visit_seed % 37'000) + clock_shift_ms;
 
   browser::Browser browser(browser_config, visit_seed);
   corpus_.attach(browser, bp);
 
   instrument::VisitLog log;
   log.rank = bp.rank;
+  log.attempts = attempt + 1;
+
+  fault::VisitFaults faults(
+      decision, bp.host,
+      visit_seed ^ (0xFA017ULL +
+                    static_cast<std::uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL));
+  if (decision.active()) {
+    if (faults.dns_fails()) {
+      browser.dns().inject_failure(bp.host, net::DnsStatus::kNxDomain);
+    }
+    browser.network().set_fault_hook(
+        [&faults](const net::HttpRequest& request) {
+          return faults.on_request(request);
+        });
+    browser.network().set_response_hook(
+        [&faults](const net::HttpRequest& request,
+                  net::HttpResponse& response) {
+          faults.on_response(request, response);
+        });
+  }
 
   instrument::Recorder recorder(options.attribution);
   recorder.set_visit_log(&log);
@@ -36,43 +188,188 @@ instrument::VisitLog Crawler::visit(int index,
   }
   browser.add_extension(&recorder);
 
+  const TimeMillis visit_start = browser.clock().now();
+  const auto deadline_blown = [&] {
+    return options.visit_deadline_ms > 0 &&
+           browser.clock().now() - visit_start > options.visit_deadline_ms;
+  };
+  bool recorder_crashed = false;
+
   const net::Url landing = net::Url::must_parse("https://" + bp.host + "/");
   auto page = browser.navigate(landing);
-  page->simulate_scroll();
-
-  // Up to three random link clicks with 2 s pauses (§4.2).
-  for (int click = 0; click < params.max_clicks; ++click) {
-    const auto& links = page->spec().link_paths;
-    if (links.empty()) break;
-    browser.clock().advance(params.interaction_pause_ms);
-    const auto& path = links[browser.rng().below(links.size())];
-    page = browser.navigate(landing.resolve(path));
+  if (!page) {
+    log.failure = page.failure;
+  } else if (deadline_blown()) {
+    log.failure = fault::FailureClass::kDeadlineExceeded;
+  } else {
     page->simulate_scroll();
-  }
 
-  // Model the paper's collection losses: a fixed per-site subset of visits
-  // lacks one log channel and is excluded from analysis.
-  if (options.simulate_log_loss) {
-    script::Rng loss_rng(params.seed ^
-                         (0x10557ULL + static_cast<std::uint64_t>(bp.rank)));
-    if (loss_rng.chance(params.log_loss_rate)) {
-      if (loss_rng.chance(0.5)) {
-        log.has_request_logs = false;
-      } else {
-        log.has_cookie_logs = false;
+    // Up to three random link clicks with 2 s pauses (§4.2).
+    for (int click = 0; click < params.max_clicks; ++click) {
+      const auto& links = page->spec().link_paths;
+      if (links.empty()) break;
+      browser.clock().advance(params.interaction_pause_ms);
+
+      // The extension crash kills the recorder before the first page past
+      // its survival index; already-buffered pages stay recorded.
+      const int next_page = click + 1;
+      if (decision.cls == fault::FailureClass::kExtensionCrash &&
+          next_page > decision.crash_after_page && !recorder_crashed) {
+        recorder.set_visit_log(nullptr);
+        recorder_crashed = true;
+      }
+
+      const auto& path = links[browser.rng().below(links.size())];
+      auto next = browser.navigate(landing.resolve(path));
+      if (!next) {
+        log.failure = next.failure;
+        break;
+      }
+      page = std::move(next);
+      page->simulate_scroll();
+      if (deadline_blown()) {
+        log.failure = fault::FailureClass::kDeadlineExceeded;
+        break;
       }
     }
   }
+
+  // Post-visit fault effects on the buffered logs. The background service
+  // drops a channel whose buffer the fault corrupted — truncated Set-Cookie
+  // headers poison the cookie log; a crash loses whichever channel was
+  // still buffered client-side.
+  if (log.failure == fault::FailureClass::kNone) {
+    switch (decision.cls) {
+      case fault::FailureClass::kTruncatedHeaders:
+        log.has_cookie_logs = false;
+        log.failure = decision.cls;
+        break;
+      case fault::FailureClass::kExtensionCrash:
+        if (decision.crash_loses_cookie_channel) {
+          log.has_cookie_logs = false;
+        } else {
+          log.has_request_logs = false;
+        }
+        log.failure = decision.cls;
+        break;
+      case fault::FailureClass::kSubresourceFailure:
+        log.failure = decision.cls;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Safety net: a log missing a channel with no recorded cause is still
+  // unusable for analysis.
+  if (log.failure == fault::FailureClass::kNone &&
+      !(log.has_cookie_logs && log.has_request_logs)) {
+    log.failure = fault::FailureClass::kIncompleteLogs;
+  }
+
+  // Visits that died before any page finished never met the recorder; name
+  // the site anyway so partial logs are attributable.
+  if (log.site_host.empty()) log.site_host = bp.host;
+  if (log.site.empty()) log.site = bp.site;
   return log;
 }
 
-void Crawler::crawl(
+instrument::VisitLog Crawler::visit(int index,
+                                    const CrawlOptions& options) const {
+  // A single clean visit: the measurement content of a site, independent of
+  // crawl-pipeline weather. Faults only apply through crawl().
+  return attempt_visit(index, options, fault::FaultDecision{},
+                       /*clock_shift_ms=*/0, /*attempt=*/0);
+}
+
+CrawlHealth Crawler::crawl_range(
+    int first, int count, CrawlHealth health, const CrawlOptions& options,
+    const std::function<void(instrument::VisitLog&&)>& sink) const {
+  const int n = std::min(std::max(count, 0), corpus_.size());
+  const fault::FaultPlan plan = plan_for(options);
+  const int max_retries = std::max(options.max_retries, 0);
+  const std::uint64_t backoff_seed =
+      plan.enabled() ? plan.params().seed : corpus_.params().seed;
+
+  for (int i = std::max(first, 0); i < n; ++i) {
+    const auto& bp = corpus_.site(i);
+    instrument::VisitLog final_log;
+    bool failed_before = false;
+    TimeMillis backoff = 0;
+
+    for (int attempt = 0;; ++attempt) {
+      const fault::FaultDecision decision =
+          plan.decide(bp.rank, attempt, options.visit_deadline_ms);
+      instrument::VisitLog log =
+          attempt_visit(i, options, decision, backoff, attempt);
+      ++health.total_attempts;
+      if (attempt > 0) ++health.total_retries;
+      if (log.failure != fault::FailureClass::kNone) {
+        ++health.attempt_failures[static_cast<int>(log.failure)];
+      }
+
+      if (!fault::is_fatal(log.failure)) {
+        if (failed_before) ++health.sites_recovered;
+        if (log.failure == fault::FailureClass::kSubresourceFailure) {
+          ++health.sites_degraded;
+        }
+        final_log = std::move(log);
+        break;
+      }
+      failed_before = true;
+      if (attempt >= max_retries) {
+        final_log = std::move(log);
+        break;
+      }
+      // Exponential backoff with deterministic per-(site, attempt) jitter,
+      // advanced on the virtual clock via the next attempt's clock shift.
+      script::Rng jitter_rng(
+          backoff_seed ^
+          (0xB0FFULL + static_cast<std::uint64_t>(bp.rank) * 0xD1B54A32D192ED03ULL +
+           static_cast<std::uint64_t>(attempt)));
+      backoff += options.backoff_base_ms * (TimeMillis{1} << attempt);
+      if (options.backoff_jitter_ms > 0) {
+        backoff += static_cast<TimeMillis>(jitter_rng.below(
+            static_cast<std::uint64_t>(options.backoff_jitter_ms) + 1));
+      }
+    }
+
+    ++health.sites_attempted;
+    if (fault::is_fatal(final_log.failure)) {
+      ++health.sites_excluded;
+      ++health.exclusions[static_cast<int>(final_log.failure)];
+    } else {
+      ++health.sites_retained;
+      health.retained_ranks.push_back(bp.rank);
+    }
+    sink(std::move(final_log));
+
+    if (options.on_progress) options.on_progress(i + 1, n);
+    if (options.checkpoint_interval > 0 && options.on_checkpoint &&
+        (i + 1) % options.checkpoint_interval == 0) {
+      CrawlCheckpoint checkpoint;
+      checkpoint.next_index = i + 1;
+      checkpoint.target_count = n;
+      checkpoint.corpus_seed = corpus_.params().seed;
+      checkpoint.fault_seed = plan.enabled() ? plan.params().seed : 0;
+      checkpoint.health = health;
+      options.on_checkpoint(checkpoint);
+    }
+  }
+  return health;
+}
+
+CrawlHealth Crawler::crawl(
     int count, const CrawlOptions& options,
     const std::function<void(instrument::VisitLog&&)>& sink) const {
-  const int n = std::min(count, corpus_.size());
-  for (int i = 0; i < n; ++i) {
-    sink(visit(i, options));
-  }
+  return crawl_range(0, count, CrawlHealth{}, options, sink);
+}
+
+CrawlHealth Crawler::resume(
+    const CrawlCheckpoint& checkpoint, const CrawlOptions& options,
+    const std::function<void(instrument::VisitLog&&)>& sink) const {
+  return crawl_range(checkpoint.next_index, checkpoint.target_count,
+                     checkpoint.health, options, sink);
 }
 
 }  // namespace cg::crawler

@@ -1,21 +1,39 @@
-// Crawl driver: reproduces the paper's data-collection pipeline (§4.2).
+// Crawl driver: reproduces the paper's data-collection pipeline (§4.2),
+// hardened the way a production fleet has to be.
 //
 // For each site: launch a fresh browser (fresh profile) with the measurement
 // extension preloaded, load the landing page, scroll, click up to three
 // random same-site links with 2-second pauses, and collect the visit log.
-// Sites whose visit lacks either cookie logs or request logs are marked
-// incomplete and excluded from analysis (paper: 14,917 of 20,000 retained).
+//
+// Visits can fail — the fault plan injects DNS failures, connect timeouts,
+// stalled responses, truncated Set-Cookie headers, script-fetch failures,
+// and extension crashes — so the pipeline retries each site with
+// exponential backoff advanced on the virtual clock, abandons visits that
+// blow the per-visit deadline, degrades failed visits to a partial VisitLog
+// tagged with its failure class, and checkpoints progress so an interrupted
+// crawl resumes to the exact retained-site set of an uninterrupted run.
+// Sites still incomplete after the retry budget are excluded from analysis;
+// with the default plan ~25% are, matching the paper's 14,917-of-20,000
+// retention as an emergent property rather than a coin flip.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "browser/browser.h"
 #include "corpus/corpus.h"
 #include "ext/attribution.h"
+#include "fault/fault.h"
 #include "instrument/records.h"
+#include "report/json.h"
 
 namespace cg::crawler {
+
+struct CrawlCheckpoint;
 
 struct CrawlOptions {
   /// Extra extensions (e.g. CookieGuard) installed *before* the measurement
@@ -23,26 +41,130 @@ struct CrawlOptions {
   std::vector<browser::Extension*> extra_extensions;
   browser::BrowserConfig browser_config;
   ext::AttributionMode attribution = ext::AttributionMode::kLastExternal;
-  /// Simulate the paper's incomplete-log sites (disable for paired
-  /// with/without-CookieGuard comparisons where both runs must align).
+
+  /// Compatibility shim over the fault layer: enables the default fault
+  /// plan (seeded from the corpus seed), which reproduces the paper's
+  /// incomplete-log sites. Disable for paired with/without-CookieGuard
+  /// comparisons where both runs must align.
   bool simulate_log_loss = true;
+  /// Explicit fault plan; when set it overrides the simulate_log_loss shim
+  /// entirely (including when simulate_log_loss is false).
+  std::optional<fault::FaultPlanParams> fault_plan;
+
+  /// Retries per site beyond the first attempt.
+  int max_retries = 2;
+  /// Exponential backoff between attempts — base doubles per retry, plus
+  /// deterministic per-site jitter — advanced on the virtual clock.
+  TimeMillis backoff_base_ms = 60'000;
+  TimeMillis backoff_jitter_ms = 20'000;
+  /// A visit whose simulated duration exceeds this is abandoned
+  /// (kDeadlineExceeded). Generous against the timing model's worst case.
+  TimeMillis visit_deadline_ms = 180'000;
+
+  /// Emit a checkpoint to on_checkpoint every N completed sites (0 = off).
+  int checkpoint_interval = 0;
+  std::function<void(const CrawlCheckpoint&)> on_checkpoint;
+  /// Invoked after each site completes (retained or excluded), exactly once
+  /// per site in index order regardless of retries: (completed, total).
+  std::function<void(int, int)> on_progress;
+};
+
+/// Aggregate crawl-pipeline accounting. Byte-identical across runs of the
+/// same corpus seed + fault-plan seed (serialise with to_json().dump()).
+struct CrawlHealth {
+  int sites_attempted = 0;
+  int sites_retained = 0;
+  int sites_excluded = 0;
+  /// Retained despite script-fetch failures (degraded visits).
+  int sites_degraded = 0;
+  /// Failed at least one attempt but retained after a retry.
+  int sites_recovered = 0;
+  int total_attempts = 0;
+  int total_retries = 0;
+  /// Per-failure-class counts, indexed by fault::FailureClass.
+  std::array<int, fault::kFailureClassCount> attempt_failures{};
+  std::array<int, fault::kFailureClassCount> exclusions{};
+  /// Ranks retained for analysis, in rank order.
+  std::vector<int> retained_ranks;
+
+  double exclusion_rate() const {
+    return sites_attempted > 0
+               ? static_cast<double>(sites_excluded) / sites_attempted
+               : 0.0;
+  }
+  /// Initially-failed sites = recovered + excluded (every excluded site
+  /// failed its first attempt; every recovery did too).
+  double recovery_rate() const {
+    const int initially_failed = sites_recovered + sites_excluded;
+    return initially_failed > 0
+               ? static_cast<double>(sites_recovered) / initially_failed
+               : 0.0;
+  }
+
+  report::Json to_json() const;
+};
+
+/// Crash-safe snapshot of crawl progress: everything needed to continue a
+/// killed crawl and land on the identical retained-site set. Serialised via
+/// report/json; per-site determinism makes the resume exact.
+struct CrawlCheckpoint {
+  int next_index = 0;    // sites [0, next_index) are accounted in `health`
+  int target_count = 0;  // the crawl's total site count
+  std::uint64_t corpus_seed = 0;
+  std::uint64_t fault_seed = 0;  // 0 = faults disabled
+  CrawlHealth health;
+
+  std::string to_json_string() const;
+  static std::optional<CrawlCheckpoint> from_json_string(
+      std::string_view text);
 };
 
 class Crawler {
  public:
   explicit Crawler(const corpus::Corpus& corpus) : corpus_(corpus) {}
 
-  /// Visits site `index` (0-based) and returns its log.
+  /// Visits site `index` (0-based) and returns its log. Single clean visit:
+  /// the fault layer never applies here — this is the measurement content
+  /// of a site independent of crawl-pipeline weather.
   instrument::VisitLog visit(int index, const CrawlOptions& options = {}) const;
 
-  /// Crawls sites [0, count) streaming each completed VisitLog into `sink`
-  /// (logs are not retained — the 20k-site crawl would not fit in memory).
-  void crawl(int count, const CrawlOptions& options,
-             const std::function<void(instrument::VisitLog&&)>& sink) const;
+  /// Crawls sites [0, count) streaming each site's final VisitLog into
+  /// `sink` (logs are not retained — the 20k-site crawl would not fit in
+  /// memory). Retries faulted sites per the options; excluded sites still
+  /// reach the sink, tagged with their failure class. Negative counts crawl
+  /// nothing.
+  CrawlHealth crawl(int count, const CrawlOptions& options,
+                    const std::function<void(instrument::VisitLog&&)>& sink)
+      const;
+
+  /// Continues a checkpointed crawl from `checkpoint.next_index` to its
+  /// target count. The checkpoint's accounting carries over, so the final
+  /// CrawlHealth (retained set included) matches an uninterrupted run
+  /// byte-for-byte when options and corpus agree.
+  CrawlHealth resume(const CrawlCheckpoint& checkpoint,
+                     const CrawlOptions& options,
+                     const std::function<void(instrument::VisitLog&&)>& sink)
+      const;
+
+  /// The fault plan `options` resolves to (explicit plan, shim default, or
+  /// disabled) — exposed so benches and tests can inspect the schedule.
+  fault::FaultPlan plan_for(const CrawlOptions& options) const;
 
   const corpus::Corpus& corpus() const { return corpus_; }
 
  private:
+  CrawlHealth crawl_range(int first, int count, CrawlHealth health,
+                          const CrawlOptions& options,
+                          const std::function<void(instrument::VisitLog&&)>&
+                              sink) const;
+
+  /// One attempt at a site: a fresh browser with the attempt's faults
+  /// armed. `clock_shift_ms` carries the accumulated retry backoff.
+  instrument::VisitLog attempt_visit(int index, const CrawlOptions& options,
+                                     const fault::FaultDecision& decision,
+                                     TimeMillis clock_shift_ms,
+                                     int attempt) const;
+
   const corpus::Corpus& corpus_;
 };
 

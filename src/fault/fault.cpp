@@ -1,0 +1,121 @@
+#include "fault/fault.h"
+
+#include <limits>
+
+namespace cg::fault {
+namespace {
+
+// Per-site stream: decisions must not depend on crawl order or on other
+// sites' draws, so each rank forks its own SplitMix64 stream.
+constexpr std::uint64_t kRankSalt = 0xFA177ULL;
+constexpr std::uint64_t kRankMix = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+FaultDecision FaultPlan::decide(int rank, int attempt,
+                                TimeMillis visit_deadline_ms) const {
+  FaultDecision out;
+  if (!enabled_ || attempt < 0) return out;
+
+  script::Rng rng(params_.seed ^
+                  (kRankSalt + static_cast<std::uint64_t>(rank) * kRankMix));
+  if (!rng.chance(params_.site_fault_rate)) return out;
+
+  static constexpr FailureClass kClasses[] = {
+      FailureClass::kDnsFailure,        FailureClass::kConnectTimeout,
+      FailureClass::kDeadlineExceeded,  FailureClass::kTruncatedHeaders,
+      FailureClass::kExtensionCrash,    FailureClass::kSubresourceFailure,
+  };
+  const double weights[] = {
+      params_.dns_weight,   params_.connect_weight, params_.stall_weight,
+      params_.truncate_weight, params_.crash_weight, params_.subresource_weight,
+  };
+  double total = 0;
+  for (const double w : weights) total += w > 0 ? w : 0;
+  FailureClass cls = FailureClass::kSubresourceFailure;
+  if (total > 0) {
+    double roll = rng.uniform() * total;
+    for (int i = 0; i < 6; ++i) {
+      const double w = weights[i] > 0 ? weights[i] : 0;
+      if (roll < w) {
+        cls = kClasses[i];
+        break;
+      }
+      roll -= w;
+    }
+  }
+
+  // Transient faults clear after one or two failed attempts; permanent ones
+  // survive every retry. Drawn before the attempt check so the whole
+  // schedule for a site is fixed no matter which attempt asks.
+  const bool permanent = rng.chance(params_.permanent_share);
+  const int persists =
+      permanent ? std::numeric_limits<int>::max()
+                : 1 + static_cast<int>(rng.below(2));
+
+  // Fault parameters are drawn unconditionally too, keeping every attempt's
+  // view of the schedule identical.
+  const TimeMillis stall =
+      visit_deadline_ms + 30'000 +
+      static_cast<TimeMillis>(rng.below(90'000));
+  const int crash_after_page = static_cast<int>(rng.below(3));
+  const bool crash_loses_cookie = rng.chance(0.5);
+
+  if (attempt >= persists) return out;  // fault has cleared by this attempt
+
+  out.cls = cls;
+  out.stall_ms = stall;
+  out.connect_timeout_ms = params_.connect_timeout_ms;
+  out.crash_after_page = crash_after_page;
+  out.crash_loses_cookie_channel = crash_loses_cookie;
+  out.subresource_fail_rate = params_.subresource_fail_rate;
+  return out;
+}
+
+net::TransportVerdict VisitFaults::on_request(
+    const net::HttpRequest& request) {
+  switch (decision_.cls) {
+    case FailureClass::kConnectTimeout:
+      // The site's document server is unreachable: the connect burns its
+      // timeout budget on the simulated clock, then reports failure.
+      if (request.destination == net::RequestDestination::kDocument &&
+          request.url.host() == site_host_) {
+        return {net::NetError::kConnectionTimeout,
+                decision_.connect_timeout_ms};
+      }
+      break;
+    case FailureClass::kDeadlineExceeded:
+      // The document response stalls long enough to blow the visit deadline
+      // — the response does arrive, but the crawler abandons the visit.
+      if (request.destination == net::RequestDestination::kDocument &&
+          request.url.host() == site_host_) {
+        return {net::NetError::kOk, decision_.stall_ms};
+      }
+      break;
+    case FailureClass::kSubresourceFailure:
+      if (request.destination == net::RequestDestination::kScript &&
+          rng_.chance(decision_.subresource_fail_rate)) {
+        return {net::NetError::kConnectionReset, 0};
+      }
+      break;
+    default:
+      break;
+  }
+  return {};
+}
+
+void VisitFaults::on_response(const net::HttpRequest& request,
+                              net::HttpResponse& response) {
+  if (decision_.cls != FailureClass::kTruncatedHeaders) return;
+  (void)request;
+  const auto set_cookies = response.headers.get_all("Set-Cookie");
+  if (set_cookies.empty()) return;
+  response.headers.remove("Set-Cookie");
+  for (const auto& header : set_cookies) {
+    // Cut the header mid-value: downstream parsing sees a corrupt cookie,
+    // which is exactly what a truncated log channel looks like upstream.
+    response.headers.add("Set-Cookie", header.substr(0, header.size() / 2));
+  }
+}
+
+}  // namespace cg::fault

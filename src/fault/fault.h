@@ -1,0 +1,177 @@
+// Deterministic fault injection for the crawl pipeline.
+//
+// Real crawls lose sites: the paper retained only 14,917 of 20,000 (§4.2),
+// and follow-up measurement work (Cookieverse, third-party-cookie phase-out
+// studies) reports that *which* sites survive materially shapes the results.
+// Instead of the seed's coin flip, the crawler consumes a FaultPlan: a
+// seeded, per-site-deterministic schedule of the failure modes a Selenium
+// fleet actually hits — DNS resolution failures, connection timeouts,
+// stalled responses that blow the visit deadline, truncated Set-Cookie
+// headers, failed script fetches, and measurement-extension crashes.
+// Exclusion rates then *emerge* from the plan plus the crawler's retry
+// policy rather than being hardcoded.
+//
+// Determinism contract: FaultPlan::decide(rank, attempt) depends only on
+// (plan seed, rank, attempt) — never on crawl order, retry history of other
+// sites, or wall-clock time — so checkpoint/resume and re-runs reproduce
+// byte-identical outcomes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/clock.h"
+#include "net/http.h"
+#include "script/rng.h"
+
+namespace cg::fault {
+
+/// Failure taxonomy for a site visit. Classes marked "fatal" exclude the
+/// site from analysis (the paper's completeness filter); kSubresourceFailure
+/// only degrades the visit — the site is retained with fewer records.
+enum class FailureClass {
+  kNone = 0,
+  kDnsFailure,          // NXDOMAIN / CNAME loop on the site host
+  kConnectTimeout,      // TCP connect to the document server timed out
+  kDeadlineExceeded,    // stalled response blew the per-visit deadline
+  kTruncatedHeaders,    // Set-Cookie headers truncated in flight
+  kSubresourceFailure,  // script fetches failed; visit degraded, retained
+  kExtensionCrash,      // measurement extension died mid-visit
+  kIncompleteLogs,      // a log channel is missing with no deeper cause
+};
+
+inline constexpr int kFailureClassCount = 8;
+
+constexpr std::string_view failure_class_name(FailureClass cls) {
+  switch (cls) {
+    case FailureClass::kNone:
+      return "none";
+    case FailureClass::kDnsFailure:
+      return "dns_failure";
+    case FailureClass::kConnectTimeout:
+      return "connect_timeout";
+    case FailureClass::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case FailureClass::kTruncatedHeaders:
+      return "truncated_headers";
+    case FailureClass::kSubresourceFailure:
+      return "subresource_failure";
+    case FailureClass::kExtensionCrash:
+      return "extension_crash";
+    case FailureClass::kIncompleteLogs:
+      return "incomplete_logs";
+  }
+  return "unknown";
+}
+
+/// True when the class costs the site its place in the analysis set.
+constexpr bool is_fatal(FailureClass cls) {
+  return cls != FailureClass::kNone &&
+         cls != FailureClass::kSubresourceFailure;
+}
+
+/// Knobs of the fault schedule. The defaults are calibrated so that, with
+/// the crawler's default retry budget (2 retries), the retained fraction
+/// lands on the paper's 14,917/20,000 ≈ 74.6%:
+///   exclusion ≈ site_fault_rate × fatal-class share × permanent_share
+///             ≈ 0.40 × 0.75 × 0.85 ≈ 25.5%.
+struct FaultPlanParams {
+  std::uint64_t seed = 0xFA177C00C1EULL;
+  /// P(a site draws any fault at all).
+  double site_fault_rate = 0.40;
+  /// P(the drawn fault persists across every retry). Transient faults clear
+  /// after one or two failed attempts, so retries recover them.
+  double permanent_share = 0.85;
+  /// Relative class weights (normalised internally).
+  double dns_weight = 0.18;
+  double connect_weight = 0.17;
+  double stall_weight = 0.15;
+  double truncate_weight = 0.15;
+  double crash_weight = 0.10;
+  double subresource_weight = 0.25;
+  /// Simulated time burned by a connect timeout before it reports failure.
+  TimeMillis connect_timeout_ms = 30'000;
+  /// Once a subresource fault is active, P(any individual script fetch
+  /// fails).
+  double subresource_fail_rate = 0.5;
+};
+
+/// The fault scheduled for one (site, attempt) pair, with all parameters
+/// pre-drawn so every attempt of a site sees a consistent schedule.
+struct FaultDecision {
+  FailureClass cls = FailureClass::kNone;
+  /// kDeadlineExceeded: extra latency injected on the document fetch;
+  /// always exceeds the visit deadline it was drawn against.
+  TimeMillis stall_ms = 0;
+  /// kConnectTimeout: simulated time until the connect gives up.
+  TimeMillis connect_timeout_ms = 0;
+  /// kExtensionCrash: index of the last page the recorder survives
+  /// (0 = only the landing page is recorded).
+  int crash_after_page = 0;
+  /// kExtensionCrash: which buffered log channel the crash destroys.
+  bool crash_loses_cookie_channel = false;
+  /// kSubresourceFailure: per-script-fetch failure probability.
+  double subresource_fail_rate = 0;
+
+  bool active() const { return cls != FailureClass::kNone; }
+};
+
+/// A seeded, per-site-deterministic schedule of injectable faults.
+class FaultPlan {
+ public:
+  /// Default-constructed plans are disabled: decide() never faults.
+  FaultPlan() = default;
+  explicit FaultPlan(FaultPlanParams params)
+      : params_(params), enabled_(true) {}
+
+  bool enabled() const { return enabled_; }
+  const FaultPlanParams& params() const { return params_; }
+
+  /// The fault (if any) for attempt `attempt` (0-based) of site `rank`.
+  /// Pure function of (seed, rank, attempt, deadline): safe to call in any
+  /// order, from any attempt, any number of times.
+  FaultDecision decide(int rank, int attempt,
+                       TimeMillis visit_deadline_ms) const;
+
+ private:
+  FaultPlanParams params_;
+  bool enabled_ = false;
+};
+
+/// Per-attempt fault behaviours, wired by the crawler into the browser's
+/// network layer (fault/response hooks) and DNS resolver. Stateful only in
+/// its private RNG (per-script-fetch failure draws), which is seeded
+/// deterministically per attempt.
+class VisitFaults {
+ public:
+  VisitFaults(FaultDecision decision, std::string site_host,
+              std::uint64_t rng_seed)
+      : decision_(decision),
+        site_host_(std::move(site_host)),
+        rng_(rng_seed) {}
+
+  const FaultDecision& decision() const { return decision_; }
+
+  /// True when the site host must fail DNS resolution this attempt.
+  bool dns_fails() const {
+    return decision_.cls == FailureClass::kDnsFailure;
+  }
+
+  /// Transport verdict for an outgoing request (NetworkLayer fault hook):
+  /// connect timeouts and stalls hit the site's document requests; script
+  /// fetch failures are drawn per request.
+  net::TransportVerdict on_request(const net::HttpRequest& request);
+
+  /// Response mutation (NetworkLayer response hook): truncates Set-Cookie
+  /// headers mid-value when the truncation fault is active.
+  void on_response(const net::HttpRequest& request,
+                   net::HttpResponse& response);
+
+ private:
+  FaultDecision decision_;
+  std::string site_host_;
+  script::Rng rng_;
+};
+
+}  // namespace cg::fault

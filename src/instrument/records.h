@@ -8,6 +8,7 @@
 
 #include "cookies/cookie.h"
 #include "cookies/cookie_jar.h"
+#include "fault/fault.h"
 #include "net/clock.h"
 #include "net/http.h"
 #include "script/exec_context.h"
@@ -109,10 +110,19 @@ struct VisitLog {
   int pages_visited = 0;
 
   /// The paper keeps only sites with both cookie logs and request logs
-  /// (14,917 of 20,000 satisfied this).
-  bool complete() const { return has_cookie_logs && has_request_logs; }
+  /// (14,917 of 20,000 satisfied this); a visit that died of a fatal crawl
+  /// failure is likewise out regardless of what its channels captured.
+  bool complete() const {
+    return has_cookie_logs && has_request_logs && !fault::is_fatal(failure);
+  }
   bool has_cookie_logs = false;
   bool has_request_logs = false;
+
+  /// Crawl-pipeline outcome of the attempt that produced this log
+  /// (kNone = clean visit, kSubresourceFailure = degraded but retained).
+  fault::FailureClass failure = fault::FailureClass::kNone;
+  /// Attempts the crawl pipeline spent on this site, including this one.
+  int attempts = 1;
 };
 
 }  // namespace cg::instrument

@@ -1,20 +1,44 @@
 #include "net/dns.h"
 
+#include <vector>
+
 namespace cg::net {
 
 void DnsResolver::add_cname(std::string_view host, std::string_view target) {
   cnames_.insert_or_assign(std::string(host), std::string(target));
 }
 
-std::string DnsResolver::resolve_canonical(std::string_view host) const {
+void DnsResolver::inject_failure(std::string_view host, DnsStatus status) {
+  failures_.insert_or_assign(std::string(host), status);
+}
+
+DnsResolution DnsResolver::resolve(std::string_view host) const {
+  if (const auto failed = failures_.find(host); failed != failures_.end()) {
+    return {std::string(host), failed->second};
+  }
+
   std::string current(host);
+  std::vector<std::string> visited;
   // RFC 1034 implementations bound chain length; 8 is generous.
   for (int hops = 0; hops < 8; ++hops) {
     const auto it = cnames_.find(current);
-    if (it == cnames_.end()) return current;
+    if (it == cnames_.end()) return {std::move(current), DnsStatus::kOk};
+    for (const auto& seen : visited) {
+      if (seen == it->second) {
+        return {std::string(host), DnsStatus::kCnameLoop};
+      }
+    }
+    visited.push_back(current);
+    if (current == it->second) {
+      return {std::string(host), DnsStatus::kCnameLoop};
+    }
     current = it->second;
   }
-  return current;
+  return {std::string(host), DnsStatus::kChainTooLong};
+}
+
+std::string DnsResolver::resolve_canonical(std::string_view host) const {
+  return resolve(host).canonical;
 }
 
 }  // namespace cg::net

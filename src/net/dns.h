@@ -1,10 +1,15 @@
-// Minimal DNS model: CNAME chains.
+// Minimal DNS model: CNAME chains, with explicit failure statuses.
 //
 // CNAME cloaking (paper §8) hides a tracker behind a first-party subdomain:
 // metrics.example.com CNAMEs to collect.tracker.net, so script-URL
 // attribution sees a first-party script while the traffic really belongs to
 // the tracker. CookieGuard can optionally resolve canonical names to
 // uncloak such scripts.
+//
+// Resolution can fail: CNAME cycles and overlong chains are detected and
+// surfaced as statuses (RFC 1034 §3.6.2 forbids loops; real resolvers
+// SERVFAIL on them), and the crawl fault layer can inject per-host failures
+// (NXDOMAIN) to model sites whose names stopped resolving mid-crawl.
 #pragma once
 
 #include <map>
@@ -13,14 +18,54 @@
 
 namespace cg::net {
 
+enum class DnsStatus {
+  kOk = 0,
+  kNxDomain,      // injected resolution failure: the name does not resolve
+  kCnameLoop,     // the CNAME chain revisits a host
+  kChainTooLong,  // the chain exceeds the resolver's hop bound
+};
+
+constexpr std::string_view to_string(DnsStatus status) {
+  switch (status) {
+    case DnsStatus::kOk:
+      return "OK";
+    case DnsStatus::kNxDomain:
+      return "NXDOMAIN";
+    case DnsStatus::kCnameLoop:
+      return "CNAME_LOOP";
+    case DnsStatus::kChainTooLong:
+      return "CHAIN_TOO_LONG";
+  }
+  return "UNKNOWN";
+}
+
+struct DnsResolution {
+  /// Canonical name on success; the queried host unchanged on failure.
+  std::string canonical;
+  DnsStatus status = DnsStatus::kOk;
+
+  bool ok() const { return status == DnsStatus::kOk; }
+};
+
 class DnsResolver {
  public:
   /// Adds `host CNAME target`. Chains are followed on resolution.
   void add_cname(std::string_view host, std::string_view target);
 
-  /// Follows the CNAME chain from `host` to its canonical name (bounded
-  /// against loops). Hosts without records resolve to themselves.
+  /// Follows the CNAME chain from `host` to its canonical name. Hosts
+  /// without records resolve to themselves. Cycles, overlong chains, and
+  /// injected failures surface as non-kOk statuses.
+  DnsResolution resolve(std::string_view host) const;
+
+  /// Compatibility wrapper around resolve(): returns the canonical name on
+  /// success and the *input* host on any failure (it never silently returns
+  /// an intermediate hop of a looping chain).
   std::string resolve_canonical(std::string_view host) const;
+
+  /// Injects a resolution failure for `host` (fault layer). The failure
+  /// applies before any CNAME lookup.
+  void inject_failure(std::string_view host, DnsStatus status);
+  void clear_failures() { failures_.clear(); }
 
   bool has_cname(std::string_view host) const {
     return cnames_.find(host) != cnames_.end();
@@ -30,6 +75,7 @@ class DnsResolver {
 
  private:
   std::map<std::string, std::string, std::less<>> cnames_;
+  std::map<std::string, DnsStatus, std::less<>> failures_;
 };
 
 }  // namespace cg::net

@@ -11,9 +11,43 @@
 #include <string_view>
 #include <vector>
 
+#include "net/clock.h"
 #include "net/url.h"
 
 namespace cg::net {
+
+/// Transport-level outcome of carrying a request. kOk means the server
+/// handler ran; everything else means no response body ever arrived.
+/// (Chromium's net error space, reduced to the failures the crawl pipeline
+/// models.)
+enum class NetError {
+  kOk = 0,
+  kDnsFailure,         // name resolution failed
+  kConnectionTimeout,  // connect() never completed
+  kConnectionReset,    // peer dropped the connection mid-transfer
+};
+
+constexpr std::string_view to_string(NetError error) {
+  switch (error) {
+    case NetError::kOk:
+      return "OK";
+    case NetError::kDnsFailure:
+      return "ERR_NAME_NOT_RESOLVED";
+    case NetError::kConnectionTimeout:
+      return "ERR_CONNECTION_TIMED_OUT";
+    case NetError::kConnectionReset:
+      return "ERR_CONNECTION_RESET";
+  }
+  return "ERR_UNKNOWN";
+}
+
+/// What the transport decided about a request before any server handler
+/// ran: an error short-circuits dispatch; latency is burned on the
+/// simulated clock either way. Fault-injection hooks produce these.
+struct TransportVerdict {
+  NetError error = NetError::kOk;
+  TimeMillis latency_ms = 0;
+};
 
 /// Ordered multimap of header fields with case-insensitive names.
 class HttpHeaders {
@@ -72,6 +106,11 @@ struct HttpResponse {
   int status = 200;
   HttpHeaders headers;
   std::string body;
+  /// Transport failure, if any. When != kOk no server handler ran and
+  /// status/headers/body are meaningless (status is 0 by convention).
+  NetError net_error = NetError::kOk;
+
+  bool transport_ok() const { return net_error == NetError::kOk; }
 
   /// Convenience: all Set-Cookie header values in order.
   std::vector<std::string> set_cookie_headers() const {

@@ -1,9 +1,259 @@
 #include "report/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cg::report {
+namespace {
+
+/// Recursive-descent parser over a string_view; fails by returning false
+/// and leaving the cursor wherever the error was found.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse_document(Json& out) {
+    skip_ws();
+    if (!parse_value(out, /*depth=*/0)) return false;
+    skip_ws();
+    return pos_ == text_.size();  // trailing garbage is an error
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Json(std::move(s));
+        return true;
+      }
+      case 't':
+        out = Json(true);
+        return consume_literal("true");
+      case 'f':
+        out = Json(false);
+        return consume_literal("false");
+      case 'n':
+        out = Json(nullptr);
+        return consume_literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Json& out, int depth) {
+    if (!consume('{')) return false;
+    out = Json::object();
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      out[key] = std::move(value);
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parse_array(Json& out, int depth) {
+    if (!consume('[')) return false;
+    out = Json::array();
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are outside
+          // the subset dump() emits and are rejected).
+          if (code >= 0xD800 && code <= 0xDFFF) return false;
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    if (integral) {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size()) return false;
+      out = Json(static_cast<std::int64_t>(v));
+    } else {
+      const double v = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size()) return false;
+      out = Json(v);
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Json out;
+  Parser parser(text);
+  if (!parser.parse_document(out)) return std::nullopt;
+  return out;
+}
+
+const Json* Json::find(std::string_view key) const {
+  const auto* object = std::get_if<Object>(&value_);
+  if (object == nullptr) return nullptr;
+  const auto it = object->find(std::string(key));
+  return it != object->end() ? &it->second : nullptr;
+}
+
+std::size_t Json::size() const {
+  if (const auto* array = std::get_if<Array>(&value_)) return array->size();
+  if (const auto* object = std::get_if<Object>(&value_)) return object->size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  return std::get<Array>(value_).at(index);
+}
+
+std::int64_t Json::as_int(std::int64_t fallback) const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const auto* d = std::get_if<double>(&value_)) {
+    return static_cast<std::int64_t>(*d);
+  }
+  return fallback;
+}
+
+double Json::as_double(double fallback) const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  return fallback;
+}
+
+bool Json::as_bool(bool fallback) const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  return fallback;
+}
+
+std::string Json::as_string(std::string fallback) const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  return fallback;
+}
 
 std::string Json::escape(std::string_view raw) {
   std::string out;

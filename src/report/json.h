@@ -1,13 +1,16 @@
-// Minimal JSON value tree + serializer (no external dependencies).
+// Minimal JSON value tree + serializer + parser (no external dependencies).
 //
 // Used by the report writers to dump crawl results in a machine-readable
-// form, and by the cgsim CLI. Supports the JSON subset the library needs:
-// objects, arrays, strings, doubles, integers, booleans, null.
+// form, by the crawler's checkpoint/resume files, and by the cgsim CLI.
+// Supports the JSON subset the library needs: objects, arrays, strings,
+// doubles, integers, booleans, null. parse() round-trips everything dump()
+// emits.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -37,8 +40,20 @@ class Json {
   static Json object() { return Json(Object{}); }
   static Json array() { return Json(Array{}); }
 
+  /// Parses `text`; nullopt on any syntax error or trailing garbage.
+  static std::optional<Json> parse(std::string_view text);
+
   bool is_object() const { return std::holds_alternative<Object>(value_); }
   bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::int64_t>(value_);
+  }
 
   /// Object field access (creates the field; the Json must be an object).
   Json& operator[](const std::string& key) {
@@ -49,6 +64,20 @@ class Json {
   void push_back(Json item) {
     std::get<Array>(value_).push_back(std::move(item));
   }
+
+  // ---- read accessors (checkpoint/report consumers) --------------------
+
+  /// Object member lookup; nullptr when missing or not an object.
+  const Json* find(std::string_view key) const;
+  /// Array / object element count; 0 for scalars.
+  std::size_t size() const;
+  /// Array element (the Json must be an array; bounds-checked).
+  const Json& at(std::size_t index) const;
+
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  double as_double(double fallback = 0.0) const;
+  bool as_bool(bool fallback = false) const;
+  std::string as_string(std::string fallback = "") const;
 
   /// Serialises with 2-space indentation.
   std::string dump(int indent = 0) const;

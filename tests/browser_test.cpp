@@ -495,3 +495,87 @@ TEST(PageTest, CookieStoreGetResolvesByName) {
 
 }  // namespace
 }  // namespace cg::browser
+
+// Appended: navigation failure paths (crawl fault layer substrate).
+namespace cg::browser {
+namespace {
+
+TEST(NavigationTest, DnsFailureYieldsNoPage) {
+  testsupport::TestSite site;
+  site.browser().dns().inject_failure("www.shop.example",
+                                      net::DnsStatus::kNxDomain);
+  auto result = site.browser().navigate(
+      net::Url::must_parse(testsupport::TestSite::kSiteUrl));
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.get(), nullptr);
+  EXPECT_EQ(result.failure, fault::FailureClass::kDnsFailure);
+}
+
+TEST(NavigationTest, CnameLoopOnSiteHostFailsNavigation) {
+  testsupport::TestSite site;
+  site.browser().dns().add_cname("www.shop.example", "edge.shop.example");
+  site.browser().dns().add_cname("edge.shop.example", "www.shop.example");
+  const auto result = site.browser().navigate(
+      net::Url::must_parse(testsupport::TestSite::kSiteUrl));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.failure, fault::FailureClass::kDnsFailure);
+}
+
+TEST(NavigationTest, ConnectTimeoutYieldsFailureAndBurnsClock) {
+  testsupport::TestSite site;
+  auto& browser = site.browser();
+  browser.network().set_fault_hook([](const net::HttpRequest& request) {
+    net::TransportVerdict verdict;
+    if (request.destination == net::RequestDestination::kDocument) {
+      verdict.error = net::NetError::kConnectionTimeout;
+      verdict.latency_ms = 30'000;
+    }
+    return verdict;
+  });
+  const TimeMillis before = browser.clock().now();
+  const auto result = browser.navigate(
+      net::Url::must_parse(testsupport::TestSite::kSiteUrl));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.failure, fault::FailureClass::kConnectTimeout);
+  // The connect burned its timeout budget on the simulated clock.
+  EXPECT_GE(browser.clock().now() - before, 30'000);
+}
+
+TEST(NavigationTest, SuccessfulResultConvertsToUniquePtr) {
+  testsupport::TestSite site;
+  std::unique_ptr<Page> page = site.browser().navigate(
+      net::Url::must_parse(testsupport::TestSite::kSiteUrl));
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->url().host(), "www.shop.example");
+}
+
+TEST(NavigationTest, ResponseHookMutatesHeadersInFlight) {
+  testsupport::TestSite site;
+  auto& browser = site.browser();
+  browser.network().register_host(
+      "www.shop.example", [](const net::HttpRequest&) {
+        net::HttpResponse response;
+        response.headers.add("Set-Cookie", "sid=12345678; Path=/");
+        response.body = "<html></html>";
+        return response;
+      });
+  browser.network().set_response_hook(
+      [](const net::HttpRequest&, net::HttpResponse& response) {
+        const auto cookies = response.headers.get_all("Set-Cookie");
+        response.headers.remove("Set-Cookie");
+        for (const auto& header : cookies) {
+          response.headers.add("Set-Cookie",
+                               header.substr(0, header.size() / 2));
+        }
+      });
+  net::HttpRequest probe;
+  probe.url = net::Url::must_parse(testsupport::TestSite::kSiteUrl);
+  probe.destination = net::RequestDestination::kDocument;
+  const auto response = browser.network().dispatch(probe);
+  ASSERT_EQ(response.set_cookie_headers().size(), 1u);
+  EXPECT_EQ(response.set_cookie_headers()[0], "sid=123456");
+}
+
+}  // namespace
+}  // namespace cg::browser

@@ -1,0 +1,224 @@
+// Tests for the deterministic fault-injection layer: plan determinism,
+// class distribution, transient clearing, and the per-attempt behaviours
+// the crawler wires into the network stack.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fault/fault.h"
+#include "net/dns.h"
+
+namespace cg::fault {
+namespace {
+
+constexpr TimeMillis kDeadline = 180'000;
+
+TEST(FaultPlanTest, DefaultConstructedPlanIsDisabled) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (int rank = 1; rank <= 500; ++rank) {
+    EXPECT_FALSE(plan.decide(rank, 0, kDeadline).active());
+  }
+}
+
+TEST(FaultPlanTest, DecisionsAreDeterministic) {
+  FaultPlan a((FaultPlanParams()));
+  FaultPlan b((FaultPlanParams()));
+  for (int rank = 1; rank <= 200; ++rank) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const auto da = a.decide(rank, attempt, kDeadline);
+      const auto db = b.decide(rank, attempt, kDeadline);
+      EXPECT_EQ(da.cls, db.cls);
+      EXPECT_EQ(da.stall_ms, db.stall_ms);
+      EXPECT_EQ(da.crash_after_page, db.crash_after_page);
+      EXPECT_EQ(da.crash_loses_cookie_channel, db.crash_loses_cookie_channel);
+    }
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsScheduleDifferently) {
+  FaultPlanParams other;
+  other.seed ^= 0xDEADBEEFULL;
+  FaultPlan a((FaultPlanParams()));
+  FaultPlan b(other);
+  int differing = 0;
+  for (int rank = 1; rank <= 500; ++rank) {
+    if (a.decide(rank, 0, kDeadline).cls != b.decide(rank, 0, kDeadline).cls) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(FaultPlanTest, FaultRateAndClassSpreadMatchParams) {
+  FaultPlan plan((FaultPlanParams()));
+  std::array<int, kFailureClassCount> by_class{};
+  int faulted = 0;
+  const int n = 4000;
+  for (int rank = 1; rank <= n; ++rank) {
+    const auto decision = plan.decide(rank, 0, kDeadline);
+    if (decision.active()) {
+      ++faulted;
+      ++by_class[static_cast<int>(decision.cls)];
+    }
+  }
+  const double rate = static_cast<double>(faulted) / n;
+  EXPECT_NEAR(rate, plan.params().site_fault_rate, 0.03);
+  // Every scheduled class occurs; none dominates.
+  for (const FailureClass cls :
+       {FailureClass::kDnsFailure, FailureClass::kConnectTimeout,
+        FailureClass::kDeadlineExceeded, FailureClass::kTruncatedHeaders,
+        FailureClass::kExtensionCrash, FailureClass::kSubresourceFailure}) {
+    EXPECT_GT(by_class[static_cast<int>(cls)], 0)
+        << failure_class_name(cls);
+    EXPECT_LT(by_class[static_cast<int>(cls)], faulted / 2)
+        << failure_class_name(cls);
+  }
+}
+
+TEST(FaultPlanTest, TransientFaultsClearPermanentOnesPersist) {
+  FaultPlan plan((FaultPlanParams()));
+  int transient = 0, permanent = 0;
+  for (int rank = 1; rank <= 2000; ++rank) {
+    const auto first = plan.decide(rank, 0, kDeadline);
+    if (!first.active()) continue;
+    const auto late = plan.decide(rank, 10, kDeadline);
+    if (late.active()) {
+      // A persisting fault keeps the identical class on every attempt.
+      EXPECT_EQ(late.cls, first.cls);
+      ++permanent;
+    } else {
+      // Once cleared, it stays cleared.
+      EXPECT_FALSE(plan.decide(rank, 11, kDeadline).active());
+      ++transient;
+    }
+  }
+  EXPECT_GT(transient, 0);
+  EXPECT_GT(permanent, transient);  // permanent_share = 0.85
+}
+
+TEST(FaultPlanTest, StallAlwaysExceedsTheDeadlineItWasDrawnAgainst) {
+  FaultPlan plan((FaultPlanParams()));
+  for (int rank = 1; rank <= 2000; ++rank) {
+    const auto decision = plan.decide(rank, 0, kDeadline);
+    if (decision.cls == FailureClass::kDeadlineExceeded) {
+      EXPECT_GT(decision.stall_ms, kDeadline);
+    }
+  }
+}
+
+TEST(FaultTaxonomyTest, FatalityAndNames) {
+  EXPECT_FALSE(is_fatal(FailureClass::kNone));
+  EXPECT_FALSE(is_fatal(FailureClass::kSubresourceFailure));
+  EXPECT_TRUE(is_fatal(FailureClass::kDnsFailure));
+  EXPECT_TRUE(is_fatal(FailureClass::kConnectTimeout));
+  EXPECT_TRUE(is_fatal(FailureClass::kDeadlineExceeded));
+  EXPECT_TRUE(is_fatal(FailureClass::kTruncatedHeaders));
+  EXPECT_TRUE(is_fatal(FailureClass::kExtensionCrash));
+  EXPECT_TRUE(is_fatal(FailureClass::kIncompleteLogs));
+  EXPECT_EQ(failure_class_name(FailureClass::kDnsFailure), "dns_failure");
+  EXPECT_EQ(failure_class_name(FailureClass::kIncompleteLogs),
+            "incomplete_logs");
+}
+
+net::HttpRequest make_request(const std::string& url,
+                              net::RequestDestination destination) {
+  net::HttpRequest request;
+  request.url = net::Url::must_parse(url);
+  request.destination = destination;
+  return request;
+}
+
+TEST(VisitFaultsTest, ConnectTimeoutHitsOnlyTheSiteDocument) {
+  FaultDecision decision;
+  decision.cls = FailureClass::kConnectTimeout;
+  decision.connect_timeout_ms = 30'000;
+  VisitFaults faults(decision, "www.site1.com", 42);
+
+  const auto doc = faults.on_request(make_request(
+      "https://www.site1.com/", net::RequestDestination::kDocument));
+  EXPECT_EQ(doc.error, net::NetError::kConnectionTimeout);
+  EXPECT_EQ(doc.latency_ms, 30'000);
+
+  const auto third_party = faults.on_request(make_request(
+      "https://cdn.vendor.net/", net::RequestDestination::kDocument));
+  EXPECT_EQ(third_party.error, net::NetError::kOk);
+
+  const auto script = faults.on_request(make_request(
+      "https://www.site1.com/app.js", net::RequestDestination::kScript));
+  EXPECT_EQ(script.error, net::NetError::kOk);
+}
+
+TEST(VisitFaultsTest, StallReturnsOkWithLatency) {
+  FaultDecision decision;
+  decision.cls = FailureClass::kDeadlineExceeded;
+  decision.stall_ms = 250'000;
+  VisitFaults faults(decision, "www.site1.com", 42);
+  const auto verdict = faults.on_request(make_request(
+      "https://www.site1.com/", net::RequestDestination::kDocument));
+  EXPECT_EQ(verdict.error, net::NetError::kOk);
+  EXPECT_EQ(verdict.latency_ms, 250'000);
+}
+
+TEST(VisitFaultsTest, SubresourceFailuresFollowTheConfiguredRate) {
+  FaultDecision decision;
+  decision.cls = FailureClass::kSubresourceFailure;
+  decision.subresource_fail_rate = 1.0;
+  VisitFaults always(decision, "www.site1.com", 42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(always
+                  .on_request(make_request("https://v.net/a.js",
+                                           net::RequestDestination::kScript))
+                  .error,
+              net::NetError::kConnectionReset);
+  }
+  // Documents are never touched by the subresource fault.
+  EXPECT_EQ(always
+                .on_request(make_request("https://www.site1.com/",
+                                         net::RequestDestination::kDocument))
+                .error,
+            net::NetError::kOk);
+
+  decision.subresource_fail_rate = 0.0;
+  VisitFaults never(decision, "www.site1.com", 42);
+  EXPECT_EQ(never
+                .on_request(make_request("https://v.net/a.js",
+                                         net::RequestDestination::kScript))
+                .error,
+            net::NetError::kOk);
+}
+
+TEST(VisitFaultsTest, TruncationCutsSetCookieHeadersInHalf) {
+  FaultDecision decision;
+  decision.cls = FailureClass::kTruncatedHeaders;
+  VisitFaults faults(decision, "www.site1.com", 42);
+
+  const std::string header = "sid=abcdef12345678; Max-Age=3600";
+  net::HttpResponse response;
+  response.headers.add("Set-Cookie", header);
+  response.headers.add("Content-Type", "text/html");
+  const auto request =
+      make_request("https://www.site1.com/", net::RequestDestination::kDocument);
+  faults.on_response(request, response);
+
+  const auto cookies = response.set_cookie_headers();
+  ASSERT_EQ(cookies.size(), 1u);
+  EXPECT_EQ(cookies[0], header.substr(0, header.size() / 2));
+  EXPECT_TRUE(response.headers.has("Content-Type"));
+}
+
+TEST(VisitFaultsTest, DnsFaultInjectsIntoResolver) {
+  FaultDecision decision;
+  decision.cls = FailureClass::kDnsFailure;
+  VisitFaults faults(decision, "www.site1.com", 42);
+  EXPECT_TRUE(faults.dns_fails());
+
+  net::DnsResolver dns;
+  dns.inject_failure("www.site1.com", net::DnsStatus::kNxDomain);
+  EXPECT_FALSE(dns.resolve("www.site1.com").ok());
+  dns.clear_failures();
+  EXPECT_TRUE(dns.resolve("www.site1.com").ok());
+}
+
+}  // namespace
+}  // namespace cg::fault

@@ -434,5 +434,53 @@ TEST(DnsTest, LaterRecordWins) {
   EXPECT_EQ(dns.resolve_canonical("h.com"), "second.net");
 }
 
+TEST(DnsTest, CnameLoopSurfacesAsResolutionFailure) {
+  DnsResolver dns;
+  dns.add_cname("x.com", "y.com");
+  dns.add_cname("y.com", "x.com");
+  const auto resolution = dns.resolve("x.com");
+  EXPECT_FALSE(resolution.ok());
+  EXPECT_EQ(resolution.status, DnsStatus::kCnameLoop);
+  // The canonical name falls back to the queried host, never an
+  // intermediate hop of the looping chain.
+  EXPECT_EQ(resolution.canonical, "x.com");
+}
+
+TEST(DnsTest, SelfLoopFails) {
+  DnsResolver dns;
+  dns.add_cname("me.com", "me.com");
+  EXPECT_EQ(dns.resolve("me.com").status, DnsStatus::kCnameLoop);
+}
+
+TEST(DnsTest, OverlongChainFails) {
+  DnsResolver dns;
+  for (int i = 0; i < 12; ++i) {
+    dns.add_cname("h" + std::to_string(i) + ".com",
+                  "h" + std::to_string(i + 1) + ".com");
+  }
+  const auto resolution = dns.resolve("h0.com");
+  EXPECT_FALSE(resolution.ok());
+  EXPECT_EQ(resolution.status, DnsStatus::kChainTooLong);
+  EXPECT_EQ(resolution.canonical, "h0.com");
+  // A chain within the hop budget still resolves.
+  EXPECT_EQ(dns.resolve("h8.com").status, DnsStatus::kOk);
+}
+
+TEST(DnsTest, InjectedFailuresApplyAndClear) {
+  DnsResolver dns;
+  dns.add_cname("alias.com", "target.net");
+  dns.inject_failure("alias.com", DnsStatus::kNxDomain);
+  const auto failed = dns.resolve("alias.com");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status, DnsStatus::kNxDomain);
+  EXPECT_EQ(failed.canonical, "alias.com");
+  // Compat path degrades to the queried host rather than lying about hops.
+  EXPECT_EQ(dns.resolve_canonical("alias.com"), "alias.com");
+
+  dns.clear_failures();
+  EXPECT_EQ(dns.resolve("alias.com").status, DnsStatus::kOk);
+  EXPECT_EQ(dns.resolve_canonical("alias.com"), "target.net");
+}
+
 }  // namespace
 }  // namespace cg::net

@@ -112,3 +112,83 @@ TEST_F(ReportFixture, SummaryJsonHasTopSections) {
 
 }  // namespace
 }  // namespace cg::report
+
+// Appended: JSON parser tests (checkpoint/resume reads these back).
+namespace cg::report {
+namespace {
+
+TEST(JsonParseTest, RoundTripsEverythingDumpEmits) {
+  auto j = Json::object();
+  j["int"] = 42;
+  j["neg"] = -7;
+  j["big"] = std::int64_t{1746748800000};
+  j["pi"] = 3.25;
+  j["flag"] = true;
+  j["off"] = false;
+  j["nothing"] = nullptr;
+  j["text"] = "line\nbreak\t\"quoted\" back\\slash";
+  auto arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  auto nested = Json::object();
+  nested["k"] = "v";
+  arr.push_back(std::move(nested));
+  j["arr"] = std::move(arr);
+
+  for (const int indent : {0, 2}) {
+    const auto parsed = Json::parse(j.dump(indent));
+    ASSERT_TRUE(parsed.has_value()) << "indent=" << indent;
+    EXPECT_EQ(parsed->dump(indent), j.dump(indent));
+  }
+}
+
+TEST(JsonParseTest, Accessors) {
+  const auto parsed = Json::parse(
+      R"({"n": 3, "d": 1.5, "b": true, "s": "hi", "a": [10, 20, 30]})");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->find("n")->as_int(), 3);
+  EXPECT_DOUBLE_EQ(parsed->find("d")->as_double(), 1.5);
+  EXPECT_TRUE(parsed->find("b")->as_bool());
+  EXPECT_EQ(parsed->find("s")->as_string(), "hi");
+  EXPECT_EQ(parsed->find("missing"), nullptr);
+  const auto* arr = parsed->find("a");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->size(), 3u);
+  EXPECT_EQ(arr->at(1).as_int(), 20);
+  // Fallbacks apply on type mismatch.
+  EXPECT_EQ(parsed->find("s")->as_int(-1), -1);
+  EXPECT_EQ(parsed->find("n")->as_string("fallback"), "fallback");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  const auto parsed = Json::parse(R"(["\u0041\u00e9\u20ac"])");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at(0).as_string(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1, 2").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\": 1} trailing").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+  EXPECT_FALSE(Json::parse("-").has_value());
+  EXPECT_FALSE(Json::parse("[\"\\q\"]").has_value());
+  EXPECT_FALSE(Json::parse(R"(["\ud800"])").has_value());  // lone surrogate
+}
+
+TEST(JsonParseTest, DepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(Json::parse(deep).has_value());
+  // Shallow nesting is fine.
+  EXPECT_TRUE(Json::parse("[[[[[[[[42]]]]]]]]").has_value());
+}
+
+}  // namespace
+}  // namespace cg::report
