@@ -8,6 +8,9 @@
 //        exfiltration flows the detector would miss.
 #include "cookieguard/cookieguard.h"
 
+#include <memory>
+#include <vector>
+
 #include "bench_util.h"
 
 namespace {
@@ -21,16 +24,28 @@ struct CrawlStats {
 };
 
 CrawlStats run(const corpus::Corpus& corpus,
-               browser::Extension* guard,
+               const cookieguard::CookieGuardConfig* guard_config,
                ext::AttributionMode attribution,
-               bool async_stacks) {
+               bool async_stacks,
+               int threads) {
   crawler::Crawler crawler(corpus);
   analysis::Analyzer analyzer(corpus.entities());
   crawler::CrawlOptions options;
-  options.simulate_log_loss = false;
+  options.fault_plan.reset();
   options.attribution = attribution;
   options.browser_config.async_stack_traces = async_stacks;
-  if (guard != nullptr) options.extra_extensions.push_back(guard);
+  options.threads = threads;
+  // Per-worker guard instances so the enforcement crawls shard too.
+  std::vector<std::unique_ptr<cookieguard::CookieGuard>> guards;
+  if (guard_config != nullptr) {
+    for (int i = 0; i < threads; ++i) {
+      guards.push_back(std::make_unique<cookieguard::CookieGuard>(*guard_config));
+    }
+    options.extension_factory = [&guards](int worker) {
+      return std::vector<browser::Extension*>{
+          guards[static_cast<std::size_t>(worker)].get()};
+    };
+  }
   crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
     analyzer.ingest(log);
   });
@@ -55,20 +70,24 @@ CrawlStats run(const corpus::Corpus& corpus,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   corpus::Corpus corpus(cg::bench::default_params());
+  const int threads = cg::bench::threads_from_args(argc, argv);
   cg::bench::print_header("Ablations — DESIGN.md D1/D2/D3/D5 design knobs",
-                          corpus);
+                          corpus, threads);
 
   // ---- D1: attribution ---------------------------------------------------
   std::printf("\n-- D1: stack-trace attribution of cookie writes --\n");
   {
     const auto last_ext = run(corpus, nullptr,
-                              ext::AttributionMode::kLastExternal, true);
+                              ext::AttributionMode::kLastExternal, true,
+                              threads);
     const auto no_async = run(corpus, nullptr,
-                              ext::AttributionMode::kLastExternal, false);
+                              ext::AttributionMode::kLastExternal, false,
+                              threads);
     const auto top_only = run(corpus, nullptr,
-                              ext::AttributionMode::kTopFrameOnly, true);
+                              ext::AttributionMode::kTopFrameOnly, true,
+                              threads);
     std::printf("  %-44s accuracy %5.1f%%  unknown %5.1f%%\n",
                 "last-external + async stack traces (paper)",
                 last_ext.attribution_accuracy, last_ext.attribution_unknown);
@@ -84,21 +103,22 @@ int main() {
   std::printf("\n-- D2/D3: CookieGuard policy (residual cross-domain sites, "
               "%%) --\n");
   {
-    cookieguard::CookieGuard paper_guard;  // defaults: owner access + inline deny
-    const auto with_owner = run(corpus, &paper_guard,
-                                ext::AttributionMode::kLastExternal, true);
+    const cookieguard::CookieGuardConfig paper_cfg{};  // owner access + inline deny
+    const auto with_owner = run(corpus, &paper_cfg,
+                                ext::AttributionMode::kLastExternal, true,
+                                threads);
 
     cookieguard::CookieGuardConfig strict_cfg;
     strict_cfg.site_owner_full_access = false;
-    cookieguard::CookieGuard strict_guard(strict_cfg);
-    const auto strict = run(corpus, &strict_guard,
-                            ext::AttributionMode::kLastExternal, true);
+    const auto strict = run(corpus, &strict_cfg,
+                            ext::AttributionMode::kLastExternal, true,
+                            threads);
 
     cookieguard::CookieGuardConfig inline_cfg;
     inline_cfg.deny_inline_scripts = false;
-    cookieguard::CookieGuard inline_guard(inline_cfg);
-    const auto inline_fp = run(corpus, &inline_guard,
-                               ext::AttributionMode::kLastExternal, true);
+    const auto inline_fp = run(corpus, &inline_cfg,
+                               ext::AttributionMode::kLastExternal, true,
+                               threads);
 
     std::printf("  %-40s exfil %5.1f  overwrite %5.1f  delete %5.1f\n",
                 "paper policy (owner access, inline deny)",
@@ -121,7 +141,8 @@ int main() {
                                 {.match_encoded_identifiers = false});
     crawler::Crawler crawler(corpus);
     crawler::CrawlOptions options;
-    options.simulate_log_loss = false;
+    options.fault_plan.reset();
+    options.threads = threads;
     crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
       full.ingest(log);
       raw_only.ingest(log);

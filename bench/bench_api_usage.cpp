@@ -5,14 +5,16 @@
 //     dominated by Shopify's keep_alive and Admiral's _awl.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   corpus::Corpus corpus(bench::default_params());
+  const int threads = bench::threads_from_args(argc, argv);
   bench::print_header("§5.2 — usage of script cookie APIs in the wild",
-                      corpus);
+                      corpus, threads);
 
   analysis::Analyzer analyzer(corpus.entities());
-  bench::run_measurement_crawl(corpus, analyzer);
+  bench::run_measurement_crawl(corpus, analyzer, nullptr,
+                               /*with_faults=*/true, threads);
 
   const auto& t = analyzer.totals();
   const double n = t.sites_complete;

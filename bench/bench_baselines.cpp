@@ -22,11 +22,14 @@ struct Row {
   double tp_scripts;
 };
 
+// The defenses are stateful shared instances whose counters are printed
+// after the crawl, so this bench stays single-threaded (a shared extension
+// pins run_measurement_crawl to one worker anyway).
 Row run(const corpus::Corpus& corpus, const char* label,
         browser::Extension* defense) {
   analysis::Analyzer analyzer(corpus.entities());
   cg::bench::run_measurement_crawl(corpus, analyzer, defense,
-                                   /*simulate_log_loss=*/false);
+                                   /*with_faults=*/false);
   const auto& t = analyzer.totals();
   const double n = t.sites_complete;
   return {label, 100.0 * t.sites_doc_exfil / n,

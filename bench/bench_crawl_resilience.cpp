@@ -21,10 +21,11 @@ struct TimedCrawl {
   double visits_per_sec = 0;
 };
 
-TimedCrawl run(const cg::corpus::Corpus& corpus, bool faults) {
+TimedCrawl run(const cg::corpus::Corpus& corpus, bool faults, int threads) {
   cg::crawler::Crawler crawler(corpus);
   cg::crawler::CrawlOptions options;
-  options.simulate_log_loss = faults;
+  if (!faults) options.fault_plan.reset();
+  options.threads = threads;
 
   TimedCrawl out;
   const auto start = std::chrono::steady_clock::now();
@@ -41,14 +42,15 @@ TimedCrawl run(const cg::corpus::Corpus& corpus, bool faults) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   corpus::Corpus corpus(bench::default_params());
+  const int threads = bench::threads_from_args(argc, argv);
   bench::print_header("Crawl resilience — fault injection + retry overhead",
-                      corpus);
+                      corpus, threads);
 
-  const TimedCrawl clean = run(corpus, /*faults=*/false);
-  const TimedCrawl faulty = run(corpus, /*faults=*/true);
+  const TimedCrawl clean = run(corpus, /*faults=*/false, threads);
+  const TimedCrawl faulty = run(corpus, /*faults=*/true, threads);
 
   const auto& health = faulty.health;
   const double retry_overhead =
@@ -81,6 +83,7 @@ int main() {
   auto json = report::Json::object();
   json["bench"] = "crawl_resilience";
   json["sites"] = corpus.size();
+  json["threads"] = threads;
   json["visits_per_sec_faults_off"] = clean.visits_per_sec;
   json["visits_per_sec_faults_on"] = faulty.visits_per_sec;
   json["retry_overhead_attempts_per_site"] = retry_overhead;

@@ -4,13 +4,15 @@
 // 9.4% of sites.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   corpus::Corpus corpus(bench::default_params());
-  bench::print_header("§8 pilot — cross-domain DOM modification", corpus);
+  const int threads = bench::threads_from_args(argc, argv);
+  bench::print_header("§8 pilot — cross-domain DOM modification", corpus, threads);
 
   analysis::Analyzer analyzer(corpus.entities());
-  bench::run_measurement_crawl(corpus, analyzer);
+  bench::run_measurement_crawl(corpus, analyzer, nullptr,
+                               /*with_faults=*/true, threads);
 
   const auto& t = analyzer.totals();
   bench::print_row("sites with cross-domain DOM modification", 9.4,

@@ -28,8 +28,7 @@ SubsetStats crawl_subset(const corpus::Corpus& corpus,
                          cookieguard::CookieGuard* guard) {
   crawler::Crawler crawler(corpus);
   analysis::Analyzer analyzer(corpus.entities());
-  crawler::CrawlOptions options;
-  options.simulate_log_loss = false;
+  crawler::CrawlOptions options;  // visit() never applies the fault plan
   if (guard != nullptr) options.extra_extensions.push_back(guard);
 
   int ga_sites = 0;

@@ -6,14 +6,16 @@
 // RTB exchanges (doubleclick.net, amazon-adsystem.com, pubmatic.com) follow.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   corpus::Corpus corpus(bench::default_params());
+  const int threads = bench::threads_from_args(argc, argv);
   bench::print_header(
-      "Figure 2 — top 20 cross-domain exfiltrator script domains", corpus);
+      "Figure 2 — top 20 cross-domain exfiltrator script domains", corpus, threads);
 
   analysis::Analyzer analyzer(corpus.entities());
-  bench::run_measurement_crawl(corpus, analyzer);
+  bench::run_measurement_crawl(corpus, analyzer, nullptr,
+                               /*with_faults=*/true, threads);
 
   const double total_pairs =
       analyzer.pair_count(cookies::CookieSource::kDocumentCookie) +

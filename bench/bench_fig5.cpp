@@ -7,23 +7,46 @@
 // GTM, §5.7) and first-party cleanup/rewrite scripts.
 #include "cookieguard/cookieguard.h"
 
+#include <memory>
+#include <vector>
+
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   corpus::Corpus corpus(bench::default_params());
+  const int threads = bench::threads_from_args(argc, argv);
   bench::print_header(
       "Figure 5 — cross-domain actions, regular browser vs CookieGuard",
-      corpus);
+      corpus, threads);
 
   analysis::Analyzer baseline(corpus.entities());
   bench::run_measurement_crawl(corpus, baseline, nullptr,
-                               /*simulate_log_loss=*/false);
+                               /*with_faults=*/false, threads);
 
-  cookieguard::CookieGuard guard;
+  // Each shard worker enforces with its own CookieGuard instance
+  // (enforcement is per-visit deterministic); the counters are summed into
+  // one crawl-wide tally afterwards.
+  std::vector<std::unique_ptr<cookieguard::CookieGuard>> guards;
+  for (int i = 0; i < threads; ++i) {
+    guards.push_back(std::make_unique<cookieguard::CookieGuard>());
+  }
   analysis::Analyzer guarded(corpus.entities());
-  bench::run_measurement_crawl(corpus, guarded, &guard,
-                               /*simulate_log_loss=*/false);
+  {
+    crawler::Crawler crawler(corpus);
+    crawler::CrawlOptions options;
+    options.fault_plan.reset();
+    options.threads = threads;
+    options.extension_factory = [&guards](int worker) {
+      return std::vector<browser::Extension*>{
+          guards[static_cast<std::size_t>(worker)].get()};
+    };
+    crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
+      guarded.ingest(log);
+    });
+  }
+  cookieguard::CookieGuard::Stats guard_stats;
+  for (const auto& guard : guards) guard_stats.merge(guard->stats());
 
   const auto& b = baseline.totals();
   const auto& g = guarded.totals();
@@ -59,8 +82,8 @@ int main() {
   std::printf("\n  enforcement stats: %llu cookies hidden from reads, "
               "%llu cross-domain writes blocked,\n  %llu inline accesses "
               "denied\n\n",
-              static_cast<unsigned long long>(guard.stats().cookies_hidden),
-              static_cast<unsigned long long>(guard.stats().writes_blocked),
-              static_cast<unsigned long long>(guard.stats().inline_denied));
+              static_cast<unsigned long long>(guard_stats.cookies_hidden),
+              static_cast<unsigned long long>(guard_stats.writes_blocked),
+              static_cast<unsigned long long>(guard_stats.inline_denied));
   return 0;
 }

@@ -1,0 +1,77 @@
+// Parallel crawl scaling: sites/sec and speedup of the sharded runner at
+// 1/2/4/8 worker threads, plus a byte-identity check of every N-thread
+// analysis summary against the 1-thread summary.
+//
+// The crawl is embarrassingly parallel — each site's RNG seed, virtual
+// clock, and fault schedule derive from its index alone — and the sharded
+// runner merges results on the calling thread in site-index order, so any
+// thread count must produce byte-identical output. Speedup is bounded by
+// the machine: on a single-core container every row measures ~1x while the
+// identity check still exercises the full sharded path.
+//
+// The final line is machine-readable: `BENCH {...}` JSON for the perf
+// trajectory tracker.
+#include <chrono>
+#include <string>
+
+#include "bench_util.h"
+#include "report/report.h"
+#include "runtime/thread_pool.h"
+
+int main() {
+  using namespace cg;
+  corpus::Corpus corpus(bench::default_params());
+  bench::print_header("Parallel crawl scaling — sharded runner", corpus,
+                      runtime::ThreadPool::hardware_threads());
+  std::printf("\n  hardware threads: %d\n\n",
+              runtime::ThreadPool::hardware_threads());
+  std::printf("  %7s | %10s | %8s | %s\n", "threads", "sites/sec", "speedup",
+              "summary vs 1 thread");
+  std::printf("  %s\n", std::string(60, '-').c_str());
+
+  std::string baseline_summary;
+  double baseline_seconds = 0;
+  bool all_identical = true;
+  double speedup4 = 0;
+
+  for (const int threads : {1, 2, 4, 8}) {
+    crawler::Crawler crawler(corpus);
+    analysis::Analyzer analyzer(corpus.entities());
+    crawler::CrawlOptions options;
+    options.threads = threads;
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto health =
+        crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
+          analyzer.ingest(log);
+        });
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    const double sites_per_sec =
+        seconds > 0 ? health.sites_attempted / seconds : 0;
+
+    const std::string summary = report::summary_to_json(analyzer, 20).dump(2);
+    if (threads == 1) {
+      baseline_summary = summary;
+      baseline_seconds = seconds;
+    }
+    const bool identical = summary == baseline_summary;
+    all_identical = all_identical && identical;
+    const double speedup = seconds > 0 ? baseline_seconds / seconds : 0;
+    if (threads == 4) speedup4 = speedup;
+
+    std::printf("  %7d | %10.1f | %7.2fx | %s\n", threads, sites_per_sec,
+                speedup, identical ? "byte-identical" : "MISMATCH");
+  }
+
+  auto json = report::Json::object();
+  json["bench"] = "parallel_scaling";
+  json["sites"] = corpus.size();
+  json["hardware_threads"] = runtime::ThreadPool::hardware_threads();
+  json["baseline_seconds"] = baseline_seconds;
+  json["speedup_4_threads"] = speedup4;
+  json["byte_identical"] = all_identical;
+  std::printf("\nBENCH %s\n", json.dump().c_str());
+  return all_identical ? 0 : 1;
+}

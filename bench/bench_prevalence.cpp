@@ -8,15 +8,17 @@
 //     third-party scripts are advertising/tracking.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   corpus::Corpus corpus(bench::default_params());
+  const int threads = bench::threads_from_args(argc, argv);
   bench::print_header(
       "§5.1 / §5.6 — prevalence of third-party scripts in the main frame",
-      corpus);
+      corpus, threads);
 
   analysis::Analyzer analyzer(corpus.entities());
-  bench::run_measurement_crawl(corpus, analyzer);
+  bench::run_measurement_crawl(corpus, analyzer, nullptr,
+                               /*with_faults=*/true, threads);
 
   const auto& t = analyzer.totals();
   const double crawled = t.sites_crawled;

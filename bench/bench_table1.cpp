@@ -10,15 +10,17 @@
 //                    overwriting / deleting: 0
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   using cookies::CookieSource;
   corpus::Corpus corpus(bench::default_params());
+  const int threads = bench::threads_from_args(argc, argv);
   bench::print_header("Table 1 — prevalence of cross-domain cookie actions",
-                      corpus);
+                      corpus, threads);
 
   analysis::Analyzer analyzer(corpus.entities());
-  bench::run_measurement_crawl(corpus, analyzer);
+  bench::run_measurement_crawl(corpus, analyzer, nullptr,
+                               /*with_faults=*/true, threads);
 
   const auto& t = analyzer.totals();
   const double n = t.sites_complete;

@@ -20,14 +20,16 @@ std::string top3(const std::map<std::string, int>& counts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   corpus::Corpus corpus(bench::default_params());
+  const int threads = bench::threads_from_args(argc, argv);
   bench::print_header(
-      "Table 2 — top 20 cookies exfiltrated by cross-domain scripts", corpus);
+      "Table 2 — top 20 cookies exfiltrated by cross-domain scripts", corpus, threads);
 
   analysis::Analyzer analyzer(corpus.entities());
-  bench::run_measurement_crawl(corpus, analyzer);
+  bench::run_measurement_crawl(corpus, analyzer, nullptr,
+                               /*with_faults=*/true, threads);
 
   std::printf("\n  %-22s %-22s %6s %6s  %-34s %s\n", "cookie", "owner domain",
               "#exfil", "#dest", "top exfiltrator entities",

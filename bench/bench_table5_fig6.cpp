@@ -23,14 +23,16 @@ std::string top3(const std::map<std::string, int>& counts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   corpus::Corpus corpus(bench::default_params());
+  const int threads = bench::threads_from_args(argc, argv);
   bench::print_header(
-      "Table 5 / Figure 6 — cross-domain overwriting and deletion", corpus);
+      "Table 5 / Figure 6 — cross-domain overwriting and deletion", corpus, threads);
 
   analysis::Analyzer analyzer(corpus.entities());
-  bench::run_measurement_crawl(corpus, analyzer);
+  bench::run_measurement_crawl(corpus, analyzer, nullptr,
+                               /*with_faults=*/true, threads);
   const auto& t = analyzer.totals();
 
   std::printf("\n-- §5.5 attributes changed by cross-domain overwrites --\n");

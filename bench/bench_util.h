@@ -4,15 +4,21 @@
 // sites; override with CG_SITES=<n> for quick runs) and prints the same
 // rows/series as the corresponding paper table or figure, with the paper's
 // reported value alongside for comparison.
+//
+// Crawls shard across worker threads (`--threads N` argument, CG_THREADS
+// env, default: all hardware threads) — byte-identical output at any
+// thread count, see src/runtime/.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "analysis/analyzer.h"
 #include "corpus/corpus.h"
 #include "crawler/crawler.h"
+#include "runtime/thread_pool.h"
 
 namespace cg::bench {
 
@@ -30,24 +36,46 @@ inline corpus::CorpusParams default_params() {
   return params;
 }
 
-inline void print_header(const char* title, const corpus::Corpus& corpus) {
+/// Worker threads for the measurement crawl: `--threads N` wins, then
+/// CG_THREADS=<n>, else every hardware thread.
+inline int threads_from_args(int argc = 0, char** argv = nullptr) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n > 0) return n;
+    }
+  }
+  if (const char* env = std::getenv("CG_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return runtime::ThreadPool::hardware_threads();
+}
+
+inline void print_header(const char* title, const corpus::Corpus& corpus,
+                         int threads = 1) {
   std::printf("================================================================\n");
   std::printf("%s\n", title);
-  std::printf("corpus: %d sites, seed 0x%llX, %zu catalog scripts\n",
+  std::printf("corpus: %d sites, seed 0x%llX, %zu catalog scripts"
+              ", %d crawl thread%s\n",
               corpus.size(),
               static_cast<unsigned long long>(corpus.params().seed),
-              corpus.catalog().size());
+              corpus.catalog().size(), threads, threads == 1 ? "" : "s");
   std::printf("================================================================\n");
 }
 
-/// Runs the measurement crawl (no enforcement) into `analyzer`.
+/// Runs the measurement crawl (no enforcement) into `analyzer`. A non-null
+/// `extra` extension forces a sequential crawl (shared instance); benches
+/// that want an extension at N threads use CrawlOptions::extension_factory
+/// directly.
 inline void run_measurement_crawl(const corpus::Corpus& corpus,
                                   analysis::Analyzer& analyzer,
                                   browser::Extension* extra = nullptr,
-                                  bool simulate_log_loss = true) {
+                                  bool with_faults = true, int threads = 1) {
   crawler::Crawler crawler(corpus);
   crawler::CrawlOptions options;
-  options.simulate_log_loss = simulate_log_loss;
+  if (!with_faults) options.fault_plan.reset();
+  options.threads = threads;
   if (extra != nullptr) options.extra_extensions.push_back(extra);
   crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
     analyzer.ingest(log);

@@ -1,12 +1,15 @@
 // cgsim: command-line driver for the CookieGuard simulator.
 //
-//   cgsim crawl    [--sites N] [--guard] [--no-faults] [--json FILE]
-//                  [--pairs-csv FILE] [--domains-csv FILE]
+//   cgsim crawl    [--sites N] [--threads T] [--guard] [--no-faults]
+//                  [--json FILE] [--pairs-csv FILE] [--domains-csv FILE]
 //                  [--health FILE] [--checkpoint FILE] [--checkpoint-every N]
 //                  [--resume FILE]
 //   cgsim audit    [--sites N] --site INDEX
 //   cgsim breakage [--sites N] [--sample K]
-//   cgsim perf     [--sites N]
+//   cgsim perf     [--sites N] [--threads T]
+//
+// --threads 0 (the default for crawl/perf here is 1) uses every hardware
+// thread; any thread count produces byte-identical output.
 //
 // Everything the benches compute, behind one adoptable binary with
 // machine-readable output.
@@ -16,7 +19,9 @@
 #include <fstream>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/analyzer.h"
 #include "breakage/breakage.h"
@@ -25,6 +30,7 @@
 #include "crawler/crawler.h"
 #include "perf/perf.h"
 #include "report/report.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -73,10 +79,25 @@ int cmd_crawl(const Args& args) {
   crawler::Crawler crawler(corpus);
   analysis::Analyzer analyzer(corpus.entities());
 
-  cookieguard::CookieGuard guard;
   crawler::CrawlOptions options;
-  if (args.has("guard")) options.extra_extensions.push_back(&guard);
-  if (args.has("no-faults")) options.simulate_log_loss = false;
+  options.threads = args.get_int("threads", 1);
+  if (args.has("no-faults")) options.fault_plan.reset();
+
+  // One CookieGuard per crawl worker — extensions are stateful, so each
+  // thread needs its own instance (behaviour is per-visit deterministic).
+  std::vector<std::unique_ptr<cookieguard::CookieGuard>> guards;
+  if (args.has("guard")) {
+    const int workers = options.threads <= 0
+                            ? runtime::ThreadPool::hardware_threads()
+                            : options.threads;
+    for (int w = 0; w < workers; ++w) {
+      guards.push_back(std::make_unique<cookieguard::CookieGuard>());
+    }
+    options.extension_factory =
+        [&guards](int worker) -> std::vector<browser::Extension*> {
+      return {guards[static_cast<size_t>(worker)].get()};
+    };
+  }
 
   // Crash-safe progress: persist a checkpoint every N sites; --resume
   // continues a killed crawl from the persisted file.
@@ -157,8 +178,7 @@ int cmd_audit(const Args& args) {
   corpus::Corpus corpus(make_corpus(args));
   const int index = args.get_int("site", 0) % corpus.size();
   crawler::Crawler crawler(corpus);
-  crawler::CrawlOptions options;
-  options.simulate_log_loss = false;
+  crawler::CrawlOptions options;  // visit() never applies the fault plan
   const auto log = crawler.visit(index, options);
 
   analysis::Analyzer analyzer(corpus.entities());
@@ -189,7 +209,8 @@ int cmd_breakage(const Args& args) {
 
 int cmd_perf(const Args& args) {
   corpus::Corpus corpus(make_corpus(args));
-  const auto comparison = perf::compare_page_load(corpus, corpus.size(), {});
+  const auto comparison = perf::compare_page_load(corpus, corpus.size(), {},
+                                                  args.get_int("threads", 1));
   std::printf("load event: %.0f ms -> %.0f ms (overhead %.0f ms)\n",
               comparison.normal.load_event.mean_ms,
               comparison.guarded.load_event.mean_ms,
@@ -207,7 +228,7 @@ int main(int argc, char** argv) {
   if (args.command == "perf") return cmd_perf(args);
   std::fprintf(stderr,
                "usage: cgsim <crawl|audit|breakage|perf> [--sites N] "
-               "[--guard] [--site I] [--sample K]\n"
+               "[--threads T] [--guard] [--site I] [--sample K]\n"
                "             [--json FILE] [--pairs-csv FILE] "
                "[--domains-csv FILE]\n");
   return 2;

@@ -28,7 +28,7 @@ int main() {
   // 2. Crawl with the measurement extension only (paper §4) and analyze.
   analysis::Analyzer baseline(corpus.entities());
   crawler::CrawlOptions options;
-  options.simulate_log_loss = false;
+  options.fault_plan.reset();  // clean crawl: no injected faults
   crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
     baseline.ingest(log);
   });

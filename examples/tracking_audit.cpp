@@ -26,8 +26,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n\n", std::string(64, '=').c_str());
 
   crawler::Crawler crawler(corpus);
-  crawler::CrawlOptions options;
-  options.simulate_log_loss = false;
+  crawler::CrawlOptions options;  // visit() never applies the fault plan
   const auto log = crawler.visit(index, options);
 
   // --- scripts in the main frame -----------------------------------------

@@ -38,6 +38,97 @@ std::vector<std::pair<std::string, int>> top_counts(
   return out;
 }
 
+void Totals::merge(Totals&& other) {
+  sites_crawled += other.sites_crawled;
+  sites_complete += other.sites_complete;
+
+  sites_with_third_party += other.sites_with_third_party;
+  third_party_script_count += other.third_party_script_count;
+  third_party_ad_tracking_count += other.third_party_ad_tracking_count;
+  tp_cookies_set += other.tp_cookies_set;
+  fp_cookies_set += other.fp_cookies_set;
+  direct_inclusions += other.direct_inclusions;
+  indirect_inclusions += other.indirect_inclusions;
+  indirect_ad_tracking += other.indirect_ad_tracking;
+
+  sites_using_document_cookie += other.sites_using_document_cookie;
+  sites_using_cookie_store += other.sites_using_cookie_store;
+  store_cookie_names.merge(other.store_cookie_names);
+  store_setting_scripts += other.store_setting_scripts;
+  store_script_domains.merge(other.store_script_domains);
+
+  sites_doc_exfil += other.sites_doc_exfil;
+  sites_doc_overwrite += other.sites_doc_overwrite;
+  sites_doc_delete += other.sites_doc_delete;
+  sites_store_exfil += other.sites_store_exfil;
+  sites_store_overwrite += other.sites_store_overwrite;
+  sites_store_delete += other.sites_store_delete;
+
+  cross_overwrites += other.cross_overwrites;
+  overwrite_value_changed += other.overwrite_value_changed;
+  overwrite_expires_changed += other.overwrite_expires_changed;
+  overwrite_domain_changed += other.overwrite_domain_changed;
+  overwrite_path_changed += other.overwrite_path_changed;
+
+  overwrite_expiry_extended += other.overwrite_expiry_extended;
+  overwrite_expiry_shortened += other.overwrite_expiry_shortened;
+  expiry_days_added += other.expiry_days_added;
+
+  sites_with_cross_dom_modification += other.sites_with_cross_dom_modification;
+
+  attributed_sets += other.attributed_sets;
+  attribution_correct += other.attribution_correct;
+  attribution_unknown += other.attribution_unknown;
+
+  dom_content_loaded.insert(dom_content_loaded.end(),
+                            other.dom_content_loaded.begin(),
+                            other.dom_content_loaded.end());
+  dom_interactive.insert(dom_interactive.end(), other.dom_interactive.begin(),
+                         other.dom_interactive.end());
+  load_event.insert(load_event.end(), other.load_event.begin(),
+                    other.load_event.end());
+
+  script_set_events += other.script_set_events;
+  unique_setter_scripts += other.unique_setter_scripts;  // upper bound; see .h
+}
+
+void Analyzer::merge(Analyzer&& other) {
+  totals_.merge(std::move(other.totals_));
+
+  for (auto& [pair, stats] : other.pairs_) {
+    auto [it, inserted] = pairs_.try_emplace(pair, std::move(stats));
+    if (inserted) continue;
+    PairStats& mine = it->second;
+    // created_via stays ours: the earlier shard recorded the pair first,
+    // exactly as a sequential ingest would have.
+    mine.sites_set += stats.sites_set;
+    for (const auto& [entity, n] : stats.exfiltrator_entities) {
+      mine.exfiltrator_entities[entity] += n;
+    }
+    for (const auto& [entity, n] : stats.destination_entities) {
+      mine.destination_entities[entity] += n;
+    }
+    for (const auto& [entity, n] : stats.overwriter_entities) {
+      mine.overwriter_entities[entity] += n;
+    }
+    for (const auto& [entity, n] : stats.deleter_entities) {
+      mine.deleter_entities[entity] += n;
+    }
+  }
+
+  for (auto& [domain, stats] : other.domains_) {
+    auto [it, inserted] = domains_.try_emplace(domain, std::move(stats));
+    if (inserted) continue;
+    it->second.exfiltrated_pairs.merge(stats.exfiltrated_pairs);
+    it->second.overwritten_pairs.merge(stats.overwritten_pairs);
+    it->second.deleted_pairs.merge(stats.deleted_pairs);
+  }
+
+  setter_script_urls_.merge(other.setter_script_urls_);
+  totals_.unique_setter_scripts =
+      static_cast<long long>(setter_script_urls_.size());
+}
+
 void Analyzer::ingest(const instrument::VisitLog& log) {
   ++totals_.sites_crawled;
 

@@ -106,6 +106,13 @@ struct Totals {
 
   long long script_set_events = 0;
   long long unique_setter_scripts = 0;
+
+  /// Folds a later shard's totals into this one: counters add, name/domain
+  /// sets union, timing vectors concatenate in shard order. Exception:
+  /// `unique_setter_scripts` is summed here (script URLs can repeat across
+  /// shards, so the sum is an upper bound) — Analyzer::merge recomputes it
+  /// exactly from the merged URL set.
+  void merge(Totals&& other);
 };
 
 struct AnalyzerOptions {
@@ -124,6 +131,15 @@ class Analyzer {
   /// Processes one visit's logs into the aggregates. Incomplete visits only
   /// contribute crawl counters and timings (the paper drops them too).
   void ingest(const instrument::VisitLog& log);
+
+  /// Folds `other` into this analyzer. Precondition: `other` ingested a
+  /// *later*, disjoint site-index shard of the same corpus, with the same
+  /// entity map and options. Cookie ownership is resolved per visit, so
+  /// shard-merged aggregates equal a sequential ingest of the same visits
+  /// in site order: counters add, pair/domain maps union (with counts
+  /// added), and creation metadata keeps the earlier shard's value — the
+  /// same first-setter-wins rule the sequential path applies.
+  void merge(Analyzer&& other);
 
   const Totals& totals() const { return totals_; }
   const std::map<CookiePair, PairStats>& pairs() const { return pairs_; }

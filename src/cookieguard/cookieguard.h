@@ -68,6 +68,15 @@ class CookieGuard final : public browser::Extension {
     std::uint64_t cookies_hidden = 0;    // total cookies removed from reads
     std::uint64_t writes_blocked = 0;    // vetoed cross-domain writes
     std::uint64_t inline_denied = 0;     // inline/unattributable accesses
+
+    /// Sums another instance's counters — aggregates the per-worker guards
+    /// of a sharded crawl into one crawl-wide tally.
+    void merge(const Stats& other) {
+      reads_filtered += other.reads_filtered;
+      cookies_hidden += other.cookies_hidden;
+      writes_blocked += other.writes_blocked;
+      inline_denied += other.inline_denied;
+    }
   };
   const Stats& stats() const { return stats_; }
   const MetadataStore& store() const { return store_; }

@@ -1,11 +1,13 @@
 #include "crawler/crawler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <utility>
 
 #include "browser/page.h"
 #include "instrument/recorder.h"
+#include "runtime/sharded_runner.h"
 #include "script/rng.h"
 
 namespace cg::crawler {
@@ -67,6 +69,22 @@ CrawlHealth health_from_json(const report::Json& j) {
 
 }  // namespace
 
+void CrawlHealth::merge(const CrawlHealth& other) {
+  sites_attempted += other.sites_attempted;
+  sites_retained += other.sites_retained;
+  sites_excluded += other.sites_excluded;
+  sites_degraded += other.sites_degraded;
+  sites_recovered += other.sites_recovered;
+  total_attempts += other.total_attempts;
+  total_retries += other.total_retries;
+  for (int c = 0; c < fault::kFailureClassCount; ++c) {
+    attempt_failures[c] += other.attempt_failures[c];
+    exclusions[c] += other.exclusions[c];
+  }
+  retained_ranks.insert(retained_ranks.end(), other.retained_ranks.begin(),
+                        other.retained_ranks.end());
+}
+
 report::Json CrawlHealth::to_json() const {
   auto j = report::Json::object();
   j["sites_attempted"] = sites_attempted;
@@ -88,11 +106,17 @@ report::Json CrawlHealth::to_json() const {
 
 std::string CrawlCheckpoint::to_json_string() const {
   auto j = report::Json::object();
-  j["version"] = 1;
+  j["version"] = 2;
   j["next_index"] = next_index;
   j["target_count"] = target_count;
   j["corpus_seed"] = corpus_seed;
   j["fault_seed"] = fault_seed;
+  j["threads"] = threads;
+  if (!shard_completed.empty()) {
+    auto shards = report::Json::array();
+    for (const int done : shard_completed) shards.push_back(done);
+    j["shard_completed"] = std::move(shards);
+  }
   j["health"] = health.to_json();
   return j.dump(2);
 }
@@ -116,6 +140,17 @@ std::optional<CrawlCheckpoint> CrawlCheckpoint::from_json_string(
   if (const auto* seed = parsed->find("fault_seed")) {
     checkpoint.fault_seed = static_cast<std::uint64_t>(seed->as_int());
   }
+  if (const auto* threads = parsed->find("threads")) {
+    checkpoint.threads = static_cast<int>(threads->as_int());
+  }
+  if (const auto* shards = parsed->find("shard_completed");
+      shards != nullptr && shards->is_array()) {
+    checkpoint.shard_completed.reserve(shards->size());
+    for (std::size_t i = 0; i < shards->size(); ++i) {
+      checkpoint.shard_completed.push_back(
+          static_cast<int>(shards->at(i).as_int()));
+    }
+  }
   if (checkpoint.next_index < 0 || checkpoint.target_count < 0 ||
       checkpoint.next_index > checkpoint.target_count) {
     return std::nullopt;
@@ -125,24 +160,19 @@ std::optional<CrawlCheckpoint> CrawlCheckpoint::from_json_string(
 }
 
 fault::FaultPlan Crawler::plan_for(const CrawlOptions& options) const {
-  if (options.fault_plan.has_value()) {
-    return fault::FaultPlan(*options.fault_plan);
-  }
-  if (options.simulate_log_loss) {
-    // Compat shim: the old per-visit coin flip becomes the default fault
-    // plan, keyed off the corpus seed so distinct corpora fail differently.
-    fault::FaultPlanParams params;
-    params.seed = corpus_.params().seed ^ params.seed;
-    return fault::FaultPlan(params);
-  }
-  return {};
+  if (!options.fault_plan.has_value()) return {};
+  // Key the plan off the corpus seed so distinct corpora fail differently
+  // under the same plan parameters.
+  fault::FaultPlanParams params = *options.fault_plan;
+  params.seed ^= corpus_.params().seed;
+  return fault::FaultPlan(params);
 }
 
-instrument::VisitLog Crawler::attempt_visit(int index,
-                                            const CrawlOptions& options,
-                                            const fault::FaultDecision& decision,
-                                            TimeMillis clock_shift_ms,
-                                            int attempt) const {
+instrument::VisitLog Crawler::attempt_visit(
+    int index, const CrawlOptions& options,
+    const fault::FaultDecision& decision,
+    const std::vector<browser::Extension*>& extensions,
+    TimeMillis clock_shift_ms, int attempt) const {
   const auto& bp = corpus_.site(index);
   const auto& params = corpus_.params();
   const std::uint64_t visit_seed = visit_seed_for(params.seed, bp.rank);
@@ -183,7 +213,7 @@ instrument::VisitLog Crawler::attempt_visit(int index,
 
   instrument::Recorder recorder(options.attribution);
   recorder.set_visit_log(&log);
-  for (auto* extension : options.extra_extensions) {
+  for (auto* extension : extensions) {
     browser.add_extension(extension);
   }
   browser.add_extension(&recorder);
@@ -279,71 +309,101 @@ instrument::VisitLog Crawler::visit(int index,
   // A single clean visit: the measurement content of a site, independent of
   // crawl-pipeline weather. Faults only apply through crawl().
   return attempt_visit(index, options, fault::FaultDecision{},
+                       options.extra_extensions,
                        /*clock_shift_ms=*/0, /*attempt=*/0);
+}
+
+SiteOutcome Crawler::crawl_site(
+    int index, const CrawlOptions& options, const fault::FaultPlan& plan,
+    const std::vector<browser::Extension*>& extensions) const {
+  const auto& bp = corpus_.site(index);
+  const int max_retries = std::max(options.max_retries, 0);
+  const std::uint64_t backoff_seed =
+      plan.enabled() ? plan.params().seed : corpus_.params().seed;
+
+  SiteOutcome outcome;
+  CrawlHealth& delta = outcome.delta;
+  bool failed_before = false;
+  TimeMillis backoff = 0;
+
+  for (int attempt = 0;; ++attempt) {
+    const fault::FaultDecision decision =
+        plan.decide(bp.rank, attempt, options.visit_deadline_ms);
+    instrument::VisitLog log =
+        attempt_visit(index, options, decision, extensions, backoff, attempt);
+    ++delta.total_attempts;
+    if (attempt > 0) ++delta.total_retries;
+    if (log.failure != fault::FailureClass::kNone) {
+      ++delta.attempt_failures[static_cast<int>(log.failure)];
+    }
+
+    if (!fault::is_fatal(log.failure)) {
+      if (failed_before) ++delta.sites_recovered;
+      if (log.failure == fault::FailureClass::kSubresourceFailure) {
+        ++delta.sites_degraded;
+      }
+      outcome.log = std::move(log);
+      break;
+    }
+    failed_before = true;
+    if (attempt >= max_retries) {
+      outcome.log = std::move(log);
+      break;
+    }
+    // Exponential backoff with deterministic per-(site, attempt) jitter,
+    // advanced on the virtual clock via the next attempt's clock shift.
+    script::Rng jitter_rng(
+        backoff_seed ^
+        (0xB0FFULL + static_cast<std::uint64_t>(bp.rank) * 0xD1B54A32D192ED03ULL +
+         static_cast<std::uint64_t>(attempt)));
+    backoff += options.backoff_base_ms * (TimeMillis{1} << attempt);
+    if (options.backoff_jitter_ms > 0) {
+      backoff += static_cast<TimeMillis>(jitter_rng.below(
+          static_cast<std::uint64_t>(options.backoff_jitter_ms) + 1));
+    }
+  }
+
+  ++delta.sites_attempted;
+  if (fault::is_fatal(outcome.log.failure)) {
+    ++delta.sites_excluded;
+    ++delta.exclusions[static_cast<int>(outcome.log.failure)];
+  } else {
+    ++delta.sites_retained;
+    delta.retained_ranks.push_back(bp.rank);
+  }
+  return outcome;
 }
 
 CrawlHealth Crawler::crawl_range(
     int first, int count, CrawlHealth health, const CrawlOptions& options,
     const std::function<void(instrument::VisitLog&&)>& sink) const {
   const int n = std::min(std::max(count, 0), corpus_.size());
+  const int begin = std::max(first, 0);
   const fault::FaultPlan plan = plan_for(options);
-  const int max_retries = std::max(options.max_retries, 0);
-  const std::uint64_t backoff_seed =
-      plan.enabled() ? plan.params().seed : corpus_.params().seed;
 
-  for (int i = std::max(first, 0); i < n; ++i) {
-    const auto& bp = corpus_.site(i);
-    instrument::VisitLog final_log;
-    bool failed_before = false;
-    TimeMillis backoff = 0;
+  int threads = options.threads == 1 ? 1
+                : options.threads <= 0
+                    ? runtime::ThreadPool::hardware_threads()
+                    : options.threads;
+  threads = std::min(threads, std::max(n - begin, 1));
+  // Shared extension instances cannot be driven from several workers; only
+  // the per-worker factory parallelizes extension-bearing crawls.
+  if (!options.extra_extensions.empty() && !options.extension_factory) {
+    threads = 1;
+  }
 
-    for (int attempt = 0;; ++attempt) {
-      const fault::FaultDecision decision =
-          plan.decide(bp.rank, attempt, options.visit_deadline_ms);
-      instrument::VisitLog log =
-          attempt_visit(i, options, decision, backoff, attempt);
-      ++health.total_attempts;
-      if (attempt > 0) ++health.total_retries;
-      if (log.failure != fault::FailureClass::kNone) {
-        ++health.attempt_failures[static_cast<int>(log.failure)];
-      }
+  // Sites completed per shard worker, for checkpoint diagnostics. Relaxed
+  // atomics: the values are a monitoring snapshot, not part of the
+  // deterministic merge.
+  std::vector<std::atomic<int>> shard_completed(
+      threads > 1 ? static_cast<std::size_t>(threads) : 0);
 
-      if (!fault::is_fatal(log.failure)) {
-        if (failed_before) ++health.sites_recovered;
-        if (log.failure == fault::FailureClass::kSubresourceFailure) {
-          ++health.sites_degraded;
-        }
-        final_log = std::move(log);
-        break;
-      }
-      failed_before = true;
-      if (attempt >= max_retries) {
-        final_log = std::move(log);
-        break;
-      }
-      // Exponential backoff with deterministic per-(site, attempt) jitter,
-      // advanced on the virtual clock via the next attempt's clock shift.
-      script::Rng jitter_rng(
-          backoff_seed ^
-          (0xB0FFULL + static_cast<std::uint64_t>(bp.rank) * 0xD1B54A32D192ED03ULL +
-           static_cast<std::uint64_t>(attempt)));
-      backoff += options.backoff_base_ms * (TimeMillis{1} << attempt);
-      if (options.backoff_jitter_ms > 0) {
-        backoff += static_cast<TimeMillis>(jitter_rng.below(
-            static_cast<std::uint64_t>(options.backoff_jitter_ms) + 1));
-      }
-    }
-
-    ++health.sites_attempted;
-    if (fault::is_fatal(final_log.failure)) {
-      ++health.sites_excluded;
-      ++health.exclusions[static_cast<int>(final_log.failure)];
-    } else {
-      ++health.sites_retained;
-      health.retained_ranks.push_back(bp.rank);
-    }
-    sink(std::move(final_log));
-
+  // The in-order fold: health, sink, progress, and checkpoints all happen
+  // here, on the calling thread, once per site in index order — identical
+  // whether outcomes arrive from the loop below or from shard workers.
+  const auto finish_site = [&](int i, SiteOutcome&& outcome) {
+    health.merge(outcome.delta);
+    sink(std::move(outcome.log));
     if (options.on_progress) options.on_progress(i + 1, n);
     if (options.checkpoint_interval > 0 && options.on_checkpoint &&
         (i + 1) % options.checkpoint_interval == 0) {
@@ -352,10 +412,62 @@ CrawlHealth Crawler::crawl_range(
       checkpoint.target_count = n;
       checkpoint.corpus_seed = corpus_.params().seed;
       checkpoint.fault_seed = plan.enabled() ? plan.params().seed : 0;
+      checkpoint.threads = threads;
+      for (const auto& done : shard_completed) {
+        checkpoint.shard_completed.push_back(
+            done.load(std::memory_order_relaxed));
+      }
       checkpoint.health = health;
       options.on_checkpoint(checkpoint);
     }
+  };
+
+  if (threads <= 1) {
+    std::vector<browser::Extension*> extensions = options.extra_extensions;
+    if (options.extension_factory) {
+      for (auto* extension : options.extension_factory(0)) {
+        extensions.push_back(extension);
+      }
+    }
+    for (int i = begin; i < n; ++i) {
+      finish_site(i, crawl_site(i, options, plan, extensions));
+    }
+    return health;
   }
+
+  // Sharded path. Each pool worker lazily builds its own extension set the
+  // first time it executes a site; a slot is only ever touched by the pool
+  // thread that owns it.
+  struct WorkerExtensions {
+    std::vector<browser::Extension*> installed;
+    bool ready = false;
+  };
+  std::vector<WorkerExtensions> per_worker(
+      static_cast<std::size_t>(threads));
+
+  runtime::ShardOptions shard_options;
+  shard_options.threads = threads;
+  shard_options.queue_capacity = options.result_queue_capacity;
+  runtime::ShardedRunner runner(shard_options);
+  runner.run<SiteOutcome>(
+      begin, n,
+      [&](int index, int worker) {
+        auto& extensions = per_worker[static_cast<std::size_t>(worker)];
+        if (!extensions.ready) {
+          if (options.extension_factory) {
+            extensions.installed = options.extension_factory(worker);
+          }
+          extensions.ready = true;
+        }
+        SiteOutcome outcome =
+            crawl_site(index, options, plan, extensions.installed);
+        shard_completed[static_cast<std::size_t>(worker)].fetch_add(
+            1, std::memory_order_relaxed);
+        return outcome;
+      },
+      [&](int index, SiteOutcome&& outcome) {
+        finish_site(index, std::move(outcome));
+      });
   return health;
 }
 

@@ -15,11 +15,19 @@
 // Sites still incomplete after the retry budget are excluded from analysis;
 // with the default plan ~25% are, matching the paper's 14,917-of-20,000
 // retention as an emergent property rather than a coin flip.
+//
+// The crawl is embarrassingly parallel — every site's RNG seed, virtual
+// clock, and fault schedule derive from its index alone — so crawl() shards
+// sites across a work-stealing pool (src/runtime/) and merges results on
+// the calling thread in site-index order: an N-thread crawl delivers
+// byte-identical logs, health, and analysis output to the 1-thread crawl
+// (checkpoints differ only in their informational shard diagnostics).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,14 +50,34 @@ struct CrawlOptions {
   browser::BrowserConfig browser_config;
   ext::AttributionMode attribution = ext::AttributionMode::kLastExternal;
 
-  /// Compatibility shim over the fault layer: enables the default fault
-  /// plan (seeded from the corpus seed), which reproduces the paper's
-  /// incomplete-log sites. Disable for paired with/without-CookieGuard
+  /// Fault plan for the crawl. The default plan reproduces the paper's
+  /// incomplete-log sites; the corpus seed is folded into the plan seed so
+  /// distinct corpora fail differently. Reset to std::nullopt to disable
+  /// faults entirely — e.g. for paired with/without-CookieGuard
   /// comparisons where both runs must align.
-  bool simulate_log_loss = true;
-  /// Explicit fault plan; when set it overrides the simulate_log_loss shim
-  /// entirely (including when simulate_log_loss is false).
-  std::optional<fault::FaultPlanParams> fault_plan;
+  std::optional<fault::FaultPlanParams> fault_plan = fault::FaultPlanParams{};
+
+  /// Worker threads for crawl()/resume(): 1 = sequential (default), 0 = all
+  /// hardware threads. Any thread count yields byte-identical results —
+  /// each site's seed, clock, and fault schedule derive from its index, and
+  /// the sharded runner merges sink/health/checkpoint effects on the
+  /// calling thread in site-index order.
+  int threads = 1;
+  /// Bounded reorder window between shard workers and the in-order merger,
+  /// in finished visits (backpressure). <= 0 picks a default.
+  int result_queue_capacity = 0;
+  /// Per-worker extensions for parallel crawls. Extensions are stateful, so
+  /// sharded workers cannot share one instance: the factory is called once
+  /// per worker (from that worker's thread) and returns the extensions that
+  /// worker installs before the recorder on every browser it creates. The
+  /// caller keeps ownership, must keep them alive for the whole crawl, and
+  /// must not hand one instance to two workers. Extensions whose *behavior*
+  /// is deterministic per visit (CookieGuard resets its metadata store each
+  /// visit) preserve the byte-identical guarantee. When unset while
+  /// `extra_extensions` is non-empty, the crawl falls back to one thread
+  /// rather than race the shared instances.
+  std::function<std::vector<browser::Extension*>(int worker)>
+      extension_factory;
 
   /// Retries per site beyond the first attempt.
   int max_retries = 2;
@@ -101,7 +129,21 @@ struct CrawlHealth {
                : 0.0;
   }
 
+  /// Folds a later shard's accounting into this one: counters add,
+  /// retained ranks concatenate in order. Folding per-site deltas in
+  /// site-index order reproduces the sequential accounting exactly.
+  void merge(const CrawlHealth& other);
+
   report::Json to_json() const;
+};
+
+/// One site's final outcome: the log delivered to the sink plus the site's
+/// own CrawlHealth contribution. The crawl — sequential or sharded — folds
+/// these in site-index order, which is what makes an N-thread crawl
+/// byte-identical to the 1-thread crawl.
+struct SiteOutcome {
+  instrument::VisitLog log;
+  CrawlHealth delta;
 };
 
 /// Crash-safe snapshot of crawl progress: everything needed to continue a
@@ -113,6 +155,14 @@ struct CrawlCheckpoint {
   std::uint64_t corpus_seed = 0;
   std::uint64_t fault_seed = 0;  // 0 = faults disabled
   CrawlHealth health;
+
+  /// Shard diagnostics from the emitting crawl: worker-thread count and
+  /// sites completed per shard worker (beyond the merged prefix) at
+  /// emission time. Purely informational — resume needs only the merged
+  /// prefix in `next_index`/`health`, so a crawl checkpointed at one
+  /// thread count resumes exactly at any other.
+  int threads = 1;
+  std::vector<int> shard_completed;
 
   std::string to_json_string() const;
   static std::optional<CrawlCheckpoint> from_json_string(
@@ -132,7 +182,9 @@ class Crawler {
   /// `sink` (logs are not retained — the 20k-site crawl would not fit in
   /// memory). Retries faulted sites per the options; excluded sites still
   /// reach the sink, tagged with their failure class. Negative counts crawl
-  /// nothing.
+  /// nothing. With options.threads != 1 sites are sharded across a
+  /// work-stealing pool; the sink still runs on the calling thread, once
+  /// per site, in site-index order.
   CrawlHealth crawl(int count, const CrawlOptions& options,
                     const std::function<void(instrument::VisitLog&&)>& sink)
       const;
@@ -146,8 +198,9 @@ class Crawler {
                      const std::function<void(instrument::VisitLog&&)>& sink)
       const;
 
-  /// The fault plan `options` resolves to (explicit plan, shim default, or
-  /// disabled) — exposed so benches and tests can inspect the schedule.
+  /// The fault plan `options` resolves to (plan with the corpus seed folded
+  /// in, or disabled) — exposed so benches and tests can inspect the
+  /// schedule.
   fault::FaultPlan plan_for(const CrawlOptions& options) const;
 
   const corpus::Corpus& corpus() const { return corpus_; }
@@ -158,10 +211,20 @@ class Crawler {
                           const std::function<void(instrument::VisitLog&&)>&
                               sink) const;
 
+  /// A site's full retry loop: attempts, backoff, and the site's health
+  /// delta. Pure function of (index, options, plan) — safe to run on any
+  /// shard worker. `extensions` are the worker's own instances.
+  SiteOutcome crawl_site(int index, const CrawlOptions& options,
+                         const fault::FaultPlan& plan,
+                         const std::vector<browser::Extension*>& extensions)
+      const;
+
   /// One attempt at a site: a fresh browser with the attempt's faults
   /// armed. `clock_shift_ms` carries the accumulated retry backoff.
   instrument::VisitLog attempt_visit(int index, const CrawlOptions& options,
                                      const fault::FaultDecision& decision,
+                                     const std::vector<browser::Extension*>&
+                                         extensions,
                                      TimeMillis clock_shift_ms,
                                      int attempt) const;
 

@@ -1,8 +1,10 @@
 #include "perf/perf.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "crawler/crawler.h"
+#include "runtime/thread_pool.h"
 
 namespace cg::perf {
 
@@ -19,18 +21,33 @@ TimingSummary summarize(std::vector<TimeMillis> samples) {
 }
 
 Comparison compare_page_load(const corpus::Corpus& corpus, int site_count,
-                             const cookieguard::CookieGuardConfig& config) {
+                             const cookieguard::CookieGuardConfig& config,
+                             int threads) {
   crawler::Crawler crawl(corpus);
+  const int workers =
+      threads <= 0 ? runtime::ThreadPool::hardware_threads() : threads;
 
   struct Collected {
     std::vector<TimeMillis> dcl, interactive, load;
   };
   auto run = [&](bool with_guard) {
     Collected collected;
-    cookieguard::CookieGuard guard(config);
+    // One guard per worker: extensions are stateful, so each crawl thread
+    // needs its own instance. Guard behaviour is per-visit deterministic,
+    // so the timings are identical at any thread count.
+    std::vector<std::unique_ptr<cookieguard::CookieGuard>> guards;
     crawler::CrawlOptions options;
-    options.simulate_log_loss = false;
-    if (with_guard) options.extra_extensions.push_back(&guard);
+    options.fault_plan.reset();
+    options.threads = threads;
+    if (with_guard) {
+      for (int w = 0; w < workers; ++w) {
+        guards.push_back(std::make_unique<cookieguard::CookieGuard>(config));
+      }
+      options.extension_factory =
+          [&guards](int worker) -> std::vector<browser::Extension*> {
+        return {guards[static_cast<size_t>(worker)].get()};
+      };
+    }
     crawl.crawl(site_count, options,
                 [&](instrument::VisitLog&& log) {
                   collected.dcl.push_back(log.landing_timings.dom_content_loaded);

@@ -36,7 +36,10 @@ struct Comparison {
 };
 
 /// Runs the paired crawl over the first `site_count` corpus sites.
+/// `threads` follows CrawlOptions::threads (1 = sequential, 0 = all
+/// hardware threads); results are identical at any thread count.
 Comparison compare_page_load(const corpus::Corpus& corpus, int site_count,
-                             const cookieguard::CookieGuardConfig& config);
+                             const cookieguard::CookieGuardConfig& config,
+                             int threads = 1);
 
 }  // namespace cg::perf

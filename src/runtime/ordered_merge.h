@@ -1,0 +1,86 @@
+// Bounded reorder window between out-of-order producers and one in-order
+// consumer — the backpressure half of the deterministic merge.
+//
+// Shard workers finish sites in whatever order scheduling produces; the
+// merger must consume them in site-index order. Finished results wait in a
+// window of at most `capacity` slots ahead of the merge cursor, so fast
+// workers block instead of accumulating an unbounded buffer of VisitLogs
+// while a slow site holds the cursor back. Admission always accepts the
+// cursor's own index, so capacity 1 degrades to lockstep, never deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace cg::runtime {
+
+template <typename T>
+class OrderedMergeBuffer {
+ public:
+  /// Window admitting indices in [next, next + capacity) where `next`
+  /// starts at `first` and advances on every pop.
+  OrderedMergeBuffer(int first, int capacity)
+      : next_(first), capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// Hands a finished item to the merger. Blocks while `index` is outside
+  /// the admission window (backpressure). Returns false if the run was
+  /// aborted — the producer should stop.
+  bool push(int index, T&& value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock,
+                   [&] { return failed_ || index < next_ + capacity_; });
+    if (failed_) return false;
+    ready_.emplace(index, std::move(value));
+    if (index == next_) ready_cv_.notify_one();
+    return true;
+  }
+
+  /// Removes and returns the next item in index order. Blocks until it
+  /// arrives; rethrows the producer's exception if the run was aborted.
+  T pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [&] {
+      return failed_ || (!ready_.empty() && ready_.begin()->first == next_);
+    });
+    if (failed_) std::rethrow_exception(error_);
+    T value = std::move(ready_.begin()->second);
+    ready_.erase(ready_.begin());
+    ++next_;
+    space_cv_.notify_all();
+    return value;
+  }
+
+  /// Aborts the run: blocked producers bail out of push(), the consumer
+  /// rethrows `error` from pop(). First error wins; later ones are dropped.
+  void fail(std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!failed_) {
+        failed_ = true;
+        error_ = std::move(error);
+      }
+    }
+    ready_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;  // consumer waits for next_
+  std::condition_variable space_cv_;  // producers wait for window space
+  std::map<int, T> ready_;
+  int next_;
+  int capacity_;
+  bool failed_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace cg::runtime

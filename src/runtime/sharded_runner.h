@@ -1,0 +1,102 @@
+// Sharded parallel executor with a deterministic, in-order merge.
+//
+// Partitions an index range [first, last) into fixed-size blocks of
+// consecutive indices, runs them on a work-stealing ThreadPool, and hands
+// each result to a merge callback on the *calling* thread in strictly
+// increasing index order. Because the merge is a pure in-order fold, an
+// N-thread run produces byte-identical output to a 1-thread run whenever
+// the per-index work is itself order-independent (the crawl is: every
+// site's seed, clock, and fault schedule derive from its index alone).
+//
+// Deadlock-freedom of the bounded window: blocks are pre-distributed
+// round-robin before the pool starts, so each worker's deque holds its
+// blocks in ascending index order; owners pop front-first and thieves
+// steal front-first (thread_pool.h), so the block containing the merge
+// cursor is always the next block somebody executes, and the window always
+// admits the cursor's index. Any window capacity >= 1 therefore makes
+// progress — backpressure can slow producers, never wedge them.
+#pragma once
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "runtime/ordered_merge.h"
+#include "runtime/thread_pool.h"
+
+namespace cg::runtime {
+
+struct ShardOptions {
+  /// Worker threads; <= 0 means hardware_threads().
+  int threads = 0;
+  /// Consecutive indices per shard block. Bigger blocks amortize scheduling
+  /// but coarsen stealing granularity.
+  int block_size = 8;
+  /// Bounded reorder window between workers and the merger, in results.
+  /// <= 0 picks 2 * threads * block_size.
+  int queue_capacity = 0;
+};
+
+class ShardedRunner {
+ public:
+  explicit ShardedRunner(ShardOptions options = {})
+      : options_(options),
+        threads_(options.threads > 0 ? options.threads
+                                     : ThreadPool::hardware_threads()) {}
+
+  int threads() const { return threads_; }
+
+  /// Runs `worker(index, pool_worker)` for every index in [first, last) on
+  /// the pool and calls `merge(index, result)` on the calling thread in
+  /// index order. `worker` runs concurrently and must only touch state
+  /// owned by its `pool_worker` slot; `merge` never runs concurrently with
+  /// itself. An exception from either side aborts the run, joins the
+  /// workers, and rethrows on the calling thread.
+  template <typename Result, typename WorkerFn, typename MergeFn>
+  void run(int first, int last, WorkerFn&& worker, MergeFn&& merge) {
+    if (last <= first) return;
+    const int block = std::max(options_.block_size, 1);
+    const int capacity = options_.queue_capacity > 0
+                             ? options_.queue_capacity
+                             : 2 * threads_ * block;
+    OrderedMergeBuffer<Result> window(first, capacity);
+    ThreadPool pool(threads_, /*start_paused=*/true);  // joins before window dies
+
+    int next_worker = 0;
+    for (int start = first; start < last; start += block) {
+      const int end = std::min(start + block, last);
+      pool.submit_to(next_worker++, [&window, &worker, start, end] {
+        for (int index = start; index < end; ++index) {
+          if (window.failed()) return;
+          try {
+            if (!window.push(index,
+                             worker(index, ThreadPool::current_worker()))) {
+              return;
+            }
+          } catch (...) {
+            window.fail(std::current_exception());
+            return;
+          }
+        }
+      });
+    }
+    pool.start();
+
+    try {
+      for (int index = first; index < last; ++index) {
+        merge(index, window.pop());
+      }
+    } catch (...) {
+      // Covers merge() throwing and pop() rethrowing a worker error: wake
+      // every blocked producer so the pool can join during unwinding.
+      window.fail(std::current_exception());
+      throw;
+    }
+  }
+
+ private:
+  ShardOptions options_;
+  int threads_;
+};
+
+}  // namespace cg::runtime

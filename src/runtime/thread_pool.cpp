@@ -1,0 +1,113 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+namespace cg::runtime {
+namespace {
+
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ThreadPool::current_worker() { return tls_worker_index; }
+
+ThreadPool::ThreadPool(int threads, bool start_paused)
+    : started_(!start_paused) {
+  const int n = threads > 0 ? threads : hardware_threads();
+  queues_.resize(static_cast<std::size_t>(n));
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  start();  // a still-paused pool must drain its backlog before joining
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadPool::submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::submit_to(int worker, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[static_cast<std::size_t>(worker) % queues_.size()].push_back(
+        std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::take_task(int self, Task& out) {
+  auto& own = queues_[static_cast<std::size_t>(self)];
+  if (!own.empty()) {
+    out = std::move(own.front());
+    own.pop_front();
+    return true;
+  }
+  // Steal the oldest task of the first busy victim. Oldest-first keeps each
+  // deque draining in submission order (see header contract).
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    auto& victim =
+        queues_[(static_cast<std::size_t>(self) + k) % queues_.size()];
+    if (!victim.empty()) {
+      out = std::move(victim.front());
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int self) {
+  tls_worker_index = self;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task task;
+    if (started_ && take_task(self, task)) {
+      lock.unlock();
+      task();
+      task = nullptr;  // release captured state before reporting completion
+      lock.lock();
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace cg::runtime

@@ -1,0 +1,73 @@
+// Work-stealing thread pool: the execution layer under the sharded crawl.
+//
+// Each worker owns a deque of tasks. Owners pop from the front; an idle
+// worker steals from the front of another worker's deque (oldest task
+// first). Front-stealing keeps every deque's tasks executing in submission
+// order, which the sharded runner's deterministic merge relies on for its
+// no-deadlock guarantee (see sharded_runner.h). A single mutex guards the
+// deques — crawl tasks are milliseconds each, so scheduling is never the
+// bottleneck — and condition variables put idle workers to sleep.
+//
+// Tasks must not throw: exception routing is the caller's job (the sharded
+// runner catches inside the task and reports through its merge buffer).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cg::runtime {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `threads` <= 0 means hardware_threads(). With `start_paused` the
+  /// workers exist but execute nothing until start() — submitters can
+  /// pre-distribute a whole workload before the first task runs.
+  explicit ThreadPool(int threads = 0, bool start_paused = false);
+  ~ThreadPool();  // waits for every submitted task, then joins
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Releases a paused pool. No-op if already running.
+  void start();
+
+  /// Enqueues on the next worker round-robin.
+  void submit(Task task);
+  /// Enqueues on a specific worker's deque (modulo size). The task still
+  /// runs on whichever worker gets to it first — placement is a locality
+  /// hint, stealing rebalances.
+  void submit_to(int worker, Task task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// std::thread::hardware_concurrency, but never 0.
+  static int hardware_threads();
+  /// Index of the pool worker running the current thread, -1 off-pool.
+  static int current_worker();
+
+ private:
+  void worker_loop(int self);
+  bool take_task(int self, Task& out);  // requires mu_ held
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<std::deque<Task>> queues_;
+  std::vector<std::thread> threads_;
+  std::size_t next_queue_ = 0;  // round-robin submit cursor
+  std::size_t pending_ = 0;     // submitted, not yet finished
+  bool started_ = true;
+  bool stop_ = false;
+};
+
+}  // namespace cg::runtime

@@ -64,7 +64,7 @@ TEST(CrawlerTest, LogLossCanBeDisabled) {
   corpus::Corpus corpus(small_params(30));
   Crawler crawler(corpus);
   CrawlOptions options;
-  options.simulate_log_loss = false;
+  options.fault_plan.reset();
   crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
     EXPECT_TRUE(log.complete());
   });
@@ -111,7 +111,7 @@ TEST(CrawlResilienceTest, VisitIsAlwaysCleanEvenWithFaultsEnabled) {
   // (the fault plan) only applies through crawl().
   corpus::Corpus corpus(small_params(30));
   Crawler crawler(corpus);
-  CrawlOptions options;  // simulate_log_loss defaults to true
+  CrawlOptions options;  // the default fault plan is enabled
   for (int i = 0; i < corpus.size(); ++i) {
     const auto log = crawler.visit(i, options);
     EXPECT_EQ(log.failure, fault::FailureClass::kNone);
@@ -289,12 +289,11 @@ TEST(CrawlResilienceTest, ResumeFromCheckpointMatchesUninterruptedRun) {
   }
 }
 
-TEST(CrawlResilienceTest, ExplicitFaultPlanOverridesTheShim) {
+TEST(CrawlResilienceTest, ExplicitFaultPlanReplacesTheDefault) {
   corpus::Corpus corpus(small_params(60));
   Crawler crawler(corpus);
 
   CrawlOptions options;
-  options.simulate_log_loss = false;
   fault::FaultPlanParams params;
   params.site_fault_rate = 1.0;   // every site faults...
   params.permanent_share = 1.0;   // ...permanently

@@ -12,6 +12,7 @@
 #include "net/query.h"
 #include "net/set_cookie.h"
 #include "net/url.h"
+#include "report/json.h"
 #include "script/interpreter.h"
 #include "script/rng.h"
 
@@ -109,6 +110,112 @@ TEST(FuzzTest, CookieDateParserNeverCrashes) {
       // Accepted dates format and re-parse to the same instant.
       EXPECT_EQ(net::parse_cookie_date(net::format_http_date(*t)), *t)
           << input;
+    }
+  }
+}
+
+// ---- report::Json parser -------------------------------------------------
+// The parser reads checkpoint files off disk on resume — a truncated or
+// corrupted checkpoint must degrade to "cannot parse", never crash or hang.
+
+TEST(FuzzTest, JsonParserNeverCrashesAndRoundTripsWhenAccepted) {
+  script::Rng rng(0x150D);
+  for (int i = 0; i < 4000; ++i) {
+    const auto input = i % 2 == 0 ? random_bytes(rng, 200)
+                                  : random_structured(rng, 200);
+    const auto parsed = report::Json::parse(input);
+    if (!parsed) continue;
+    // Accepted documents must survive dump -> parse -> dump unchanged.
+    const auto again = report::Json::parse(parsed->dump());
+    ASSERT_TRUE(again.has_value()) << input;
+    EXPECT_EQ(again->dump(), parsed->dump()) << input;
+  }
+}
+
+TEST(FuzzTest, JsonParserEnforcesItsDepthLimitWithoutOverflow) {
+  const auto nested = [](int depth) {
+    std::string text(static_cast<std::size_t>(depth), '[');
+    text += "1";
+    text.append(static_cast<std::size_t>(depth), ']');
+    return text;
+  };
+  // Find the deepest accepted nesting; it must sit at the documented limit
+  // (kMaxDepth = 64), not at the stack's mercy.
+  int deepest = 0;
+  for (int depth = 1; depth <= 80; ++depth) {
+    if (report::Json::parse(nested(depth)).has_value()) deepest = depth;
+  }
+  EXPECT_GE(deepest, 60);
+  EXPECT_LE(deepest, 66);
+  EXPECT_FALSE(report::Json::parse(nested(deepest + 1)).has_value());
+  // Pathological depth parses to rejection, not a stack overflow. Mixed
+  // object/array nesting hits the same guard.
+  EXPECT_FALSE(report::Json::parse(nested(100000)).has_value());
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) mixed += R"({"k":[)";
+  EXPECT_FALSE(report::Json::parse(mixed).has_value());
+}
+
+TEST(FuzzTest, JsonParserRejectsEveryTruncationOfAValidDocument) {
+  auto doc = report::Json::object();
+  doc["name"] = "checkpoint";
+  doc["next_index"] = 150;
+  doc["rate"] = 0.254;
+  doc["ok"] = true;
+  doc["none"] = nullptr;
+  auto ranks = report::Json::array();
+  for (int i = 0; i < 10; ++i) ranks.push_back(i * 3);
+  doc["ranks"] = std::move(ranks);
+  auto inner = report::Json::object();
+  inner["esc"] = "quote\" slash\\ tab\t newline\n";
+  doc["health"] = std::move(inner);
+
+  const std::string text = doc.dump(2);
+  ASSERT_TRUE(report::Json::parse(text).has_value());
+  // A document truncated anywhere strictly inside is never valid (the
+  // top-level value is an object, so no proper prefix closes it) — and
+  // never crashes the parser.
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    EXPECT_FALSE(report::Json::parse(text.substr(0, len)).has_value())
+        << "prefix length " << len;
+  }
+  // Trailing garbage after a complete document is also an error.
+  EXPECT_FALSE(report::Json::parse(text + "x").has_value());
+}
+
+TEST(FuzzTest, JsonParserToleratesMalformedStringEscapes) {
+  script::Rng rng(0xE5CA);
+  static constexpr const char* kBroken[] = {
+      R"("\)",        // backslash at end of input
+      R"("\q")",      // unknown escape
+      R"("\u12")",    // truncated unicode escape
+      R"("\u12zz")",  // non-hex unicode escape
+      R"("\u")",      // bare \u
+      "\"abc",        // unterminated string
+      "\"a\nb\"",     // raw control character inside a string
+  };
+  for (const char* text : kBroken) {
+    const auto parsed = report::Json::parse(text);
+    if (parsed) {
+      // If the parser chooses to accept it, the result must round-trip.
+      const auto again = report::Json::parse(parsed->dump());
+      ASSERT_TRUE(again.has_value()) << text;
+      EXPECT_EQ(again->dump(), parsed->dump()) << text;
+    }
+  }
+  // Random escape soup inside string literals.
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = "\"";
+    const std::size_t len = rng.below(30);
+    for (std::size_t j = 0; j < len; ++j) {
+      text += (rng.below(3) == 0) ? '\\'
+                                  : static_cast<char>(rng.below(256));
+    }
+    text += "\"";
+    const auto parsed = report::Json::parse(text);
+    if (parsed) {
+      const auto again = report::Json::parse(parsed->dump());
+      ASSERT_TRUE(again.has_value()) << text;
     }
   }
 }

@@ -27,7 +27,7 @@ class IntegrationTest : public ::testing::Test {
     crawler::Crawler crawler(corpus());
     analysis::Analyzer analyzer(corpus().entities());
     crawler::CrawlOptions options;
-    options.simulate_log_loss = false;
+    options.fault_plan.reset();
     if (guard != nullptr) options.extra_extensions.push_back(guard);
     crawler.crawl(kSites, options, [&](instrument::VisitLog&& log) {
       analyzer.ingest(log);
