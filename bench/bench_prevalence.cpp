@@ -17,8 +17,9 @@ int main(int argc, char** argv) {
       corpus, threads);
 
   analysis::Analyzer analyzer(corpus.entities());
+  const auto trace = bench::trace_recorder_from_args(argc, argv);
   bench::run_measurement_crawl(corpus, analyzer, nullptr,
-                               /*with_faults=*/true, threads);
+                               /*with_faults=*/true, threads, trace.get());
 
   const auto& t = analyzer.totals();
   const double crawled = t.sites_crawled;

@@ -7,25 +7,51 @@
 //
 // Crawls shard across worker threads (`--threads N` argument, CG_THREADS
 // env, default: all hardware threads) — byte-identical output at any
-// thread count, see src/runtime/.
+// thread count, see src/runtime/. Pass `--trace FILE` to any bench using
+// trace_recorder_from_args to export the crawl as Chrome trace-event JSON.
+//
+// Malformed CG_SITES / CG_THREADS / --threads values are a hard error, not
+// a silent fallback: a bench that quietly ran with the wrong corpus size
+// has produced hours of wrong numbers before anyone notices.
 #pragma once
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "analysis/analyzer.h"
 #include "corpus/corpus.h"
 #include "crawler/crawler.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace cg::bench {
 
+/// Strict integer parse: the whole string must be a base-10 integer in
+/// [min, max]. Exits with a clear message naming `what` otherwise.
+inline int require_int(const char* text, const char* what, int min_value,
+                       int max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < min_value ||
+      value > max_value) {
+    std::fprintf(stderr,
+                 "error: %s must be an integer in [%d, %d], got \"%s\"\n",
+                 what, min_value, max_value, text);
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
 inline int corpus_sites_from_env(int fallback = 20000) {
   if (const char* env = std::getenv("CG_SITES")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+    return require_int(env, "CG_SITES", 1, INT_MAX);
   }
   return fallback;
 }
@@ -37,19 +63,58 @@ inline corpus::CorpusParams default_params() {
 }
 
 /// Worker threads for the measurement crawl: `--threads N` wins, then
-/// CG_THREADS=<n>, else every hardware thread.
+/// CG_THREADS=<n>, else every hardware thread. 0 means all hardware
+/// threads; non-numeric or negative values abort.
 inline int threads_from_args(int argc = 0, char** argv = nullptr) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
-      const int n = std::atoi(argv[i + 1]);
-      if (n > 0) return n;
+      const int n = require_int(argv[i + 1], "--threads", 0, INT_MAX);
+      return n > 0 ? n : runtime::ThreadPool::hardware_threads();
     }
   }
   if (const char* env = std::getenv("CG_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+    const int n = require_int(env, "CG_THREADS", 0, INT_MAX);
+    return n > 0 ? n : runtime::ThreadPool::hardware_threads();
   }
   return runtime::ThreadPool::hardware_threads();
+}
+
+/// A streaming TraceRecorder for `--trace FILE` (or CG_TRACE=FILE), or null
+/// when tracing was not requested. Wire the result into
+/// CrawlOptions::trace / run_measurement_crawl; the file is finished when
+/// the recorder is destroyed. `--trace-detail full` upgrades from the
+/// crawl-level default.
+struct BenchTrace {
+  // Heap-held so the recorder's stream pointer survives moves of this
+  // struct (declared before `recorder` so the stream outlives finish()).
+  std::unique_ptr<std::ofstream> out;
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  obs::TraceRecorder* get() const { return recorder.get(); }
+};
+
+inline BenchTrace trace_recorder_from_args(int argc = 0,
+                                           char** argv = nullptr) {
+  BenchTrace trace;
+  const char* path = std::getenv("CG_TRACE");
+  obs::TraceConfig config;
+  config.detail = obs::Detail::kCrawl;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace-detail") == 0 && i + 1 < argc &&
+               std::strcmp(argv[i + 1], "full") == 0) {
+      config.detail = obs::Detail::kFull;
+    }
+  }
+  if (path == nullptr) return trace;
+  trace.out = std::make_unique<std::ofstream>(path);
+  if (!*trace.out) {
+    std::fprintf(stderr, "error: cannot open trace file %s\n", path);
+    std::exit(2);
+  }
+  trace.recorder =
+      std::make_unique<obs::TraceRecorder>(config, trace.out.get());
+  return trace;
 }
 
 inline void print_header(const char* title, const corpus::Corpus& corpus,
@@ -67,15 +132,18 @@ inline void print_header(const char* title, const corpus::Corpus& corpus,
 /// Runs the measurement crawl (no enforcement) into `analyzer`. A non-null
 /// `extra` extension forces a sequential crawl (shared instance); benches
 /// that want an extension at N threads use CrawlOptions::extension_factory
-/// directly.
+/// directly. A non-null `trace` recorder receives the crawl's virtual-time
+/// trace.
 inline void run_measurement_crawl(const corpus::Corpus& corpus,
                                   analysis::Analyzer& analyzer,
                                   browser::Extension* extra = nullptr,
-                                  bool with_faults = true, int threads = 1) {
+                                  bool with_faults = true, int threads = 1,
+                                  obs::TraceRecorder* trace = nullptr) {
   crawler::Crawler crawler(corpus);
   crawler::CrawlOptions options;
   if (!with_faults) options.fault_plan.reset();
   options.threads = threads;
+  options.trace = trace;
   if (extra != nullptr) options.extra_extensions.push_back(extra);
   crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
     analyzer.ingest(log);

@@ -4,12 +4,20 @@
 //                  [--json FILE] [--pairs-csv FILE] [--domains-csv FILE]
 //                  [--health FILE] [--checkpoint FILE] [--checkpoint-every N]
 //                  [--resume FILE]
+//                  [--trace FILE] [--trace-detail crawl|full]
+//                  [--trace-wall-clock] [--metrics FILE]
+//                  [--runtime-metrics FILE]
 //   cgsim audit    [--sites N] --site INDEX
 //   cgsim breakage [--sites N] [--sample K]
 //   cgsim perf     [--sites N] [--threads T]
+//   cgsim trace-check FILE
 //
 // --threads 0 (the default for crawl/perf here is 1) uses every hardware
-// thread; any thread count produces byte-identical output.
+// thread; any thread count produces byte-identical output — including the
+// --trace / --metrics files (virtual-time only; --trace-wall-clock
+// deliberately trades that identity for real-time annotations).
+// trace-check re-parses an exported trace and verifies it is valid Chrome
+// trace-event JSON with non-decreasing virtual time on every track.
 //
 // Everything the benches compute, behind one adoptable binary with
 // machine-readable output.
@@ -28,6 +36,8 @@
 #include "cookieguard/cookieguard.h"
 #include "corpus/corpus.h"
 #include "crawler/crawler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/perf.h"
 #include "report/report.h"
 #include "runtime/thread_pool.h"
@@ -83,6 +93,37 @@ int cmd_crawl(const Args& args) {
   options.threads = args.get_int("threads", 1);
   if (args.has("no-faults")) options.fault_plan.reset();
 
+  // Observability: stream the trace straight to disk (a 20k-site trace need
+  // not fit in memory); metrics registries fold site-by-site and are
+  // serialized once at the end.
+  std::ofstream trace_out;
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (args.has("trace")) {
+    const std::string detail = args.get("trace-detail", "crawl");
+    if (detail != "crawl" && detail != "full") {
+      std::fprintf(stderr, "cgsim: --trace-detail must be crawl or full\n");
+      return 2;
+    }
+    const std::string trace_path = args.get("trace", "trace.json");
+    trace_out.open(trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "cgsim: cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::TraceConfig config;
+    config.detail =
+        detail == "full" ? obs::Detail::kFull : obs::Detail::kCrawl;
+    config.capture_wall_clock = args.has("trace-wall-clock");
+    recorder = std::make_unique<obs::TraceRecorder>(config, &trace_out);
+    options.trace = recorder.get();
+  }
+  obs::MetricsRegistry metrics;
+  obs::MetricsRegistry scheduler_metrics;
+  if (args.has("metrics")) options.metrics = &metrics;
+  if (args.has("runtime-metrics")) {
+    options.scheduler_metrics = &scheduler_metrics;
+  }
+
   // One CookieGuard per crawl worker — extensions are stateful, so each
   // thread needs its own instance (behaviour is per-visit deterministic).
   std::vector<std::unique_ptr<cookieguard::CookieGuard>> guards;
@@ -134,6 +175,25 @@ int cmd_crawl(const Args& args) {
     std::printf("crawling %d sites%s...\n", corpus.size(),
                 args.has("guard") ? " with CookieGuard" : "");
     health = crawler.crawl(corpus.size(), options, sink);
+  }
+
+  if (recorder != nullptr) {
+    recorder->finish();
+    std::printf("wrote %s (%zu trace events)\n",
+                args.get("trace", "trace.json").c_str(),
+                recorder->event_count());
+  }
+  if (args.has("metrics")) {
+    const std::string path = args.get("metrics", "metrics.json");
+    std::ofstream out(path);
+    out << metrics.to_json().dump(2) << '\n';
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (args.has("runtime-metrics")) {
+    const std::string path = args.get("runtime-metrics", "runtime.json");
+    std::ofstream out(path);
+    out << scheduler_metrics.to_json().dump(2) << '\n';
+    std::printf("wrote %s\n", path.c_str());
   }
 
   std::printf(
@@ -207,6 +267,81 @@ int cmd_breakage(const Args& args) {
   return 0;
 }
 
+// Validates an exported trace: parses it with report::Json (so any
+// serialization bug that breaks JSON fails here), checks the Chrome
+// trace-event envelope, and verifies every track's events are
+// non-decreasing in virtual time — the determinism contract of the
+// stable-sorted per-site merge. (Global monotonicity is deliberately not
+// required: site clocks are staggered and retries shift them, so a later
+// track can legitimately start before an earlier track's retries end.)
+int cmd_trace_check(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cgsim: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const auto parsed = report::Json::parse(text);
+  if (!parsed || !parsed->is_object()) {
+    std::fprintf(stderr, "cgsim: %s is not valid JSON\n", path.c_str());
+    return 1;
+  }
+  const auto* events = parsed->find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "cgsim: %s has no traceEvents array\n", path.c_str());
+    return 1;
+  }
+
+  std::map<long long, long long> last_ts_by_track;
+  std::size_t spans = 0, instants = 0, counters = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const auto& event = events->at(i);
+    const auto* ph = event.find("ph");
+    const auto* tid = event.find("tid");
+    const auto* ts = event.find("ts");
+    if (ph == nullptr || !ph->is_string() || tid == nullptr ||
+        ts == nullptr || event.find("name") == nullptr ||
+        event.find("pid") == nullptr) {
+      std::fprintf(stderr, "cgsim: event %zu is missing required fields\n", i);
+      return 1;
+    }
+    const std::string& phase = ph->as_string();
+    if (phase == "X") {
+      ++spans;
+      if (event.find("dur") == nullptr) {
+        std::fprintf(stderr, "cgsim: complete event %zu has no dur\n", i);
+        return 1;
+      }
+    } else if (phase == "i") {
+      ++instants;
+    } else if (phase == "C") {
+      ++counters;
+    } else {
+      std::fprintf(stderr, "cgsim: event %zu has unexpected phase %s\n", i,
+                   phase.c_str());
+      return 1;
+    }
+    const long long track = tid->as_int();
+    const long long when = ts->as_int();
+    const auto it = last_ts_by_track.find(track);
+    if (it != last_ts_by_track.end() && when < it->second) {
+      std::fprintf(stderr,
+                   "cgsim: event %zu goes back in time on track %lld "
+                   "(%lld < %lld)\n",
+                   i, track, when, it->second);
+      return 1;
+    }
+    last_ts_by_track[track] = when;
+  }
+  std::printf(
+      "%s: ok — %zu events (%zu spans, %zu instants, %zu counter samples) "
+      "on %zu tracks, non-decreasing virtual time per track\n",
+      path.c_str(), events->size(), spans, instants, counters,
+      last_ts_by_track.size());
+  return 0;
+}
+
 int cmd_perf(const Args& args) {
   corpus::Corpus corpus(make_corpus(args));
   const auto comparison = perf::compare_page_load(corpus, corpus.size(), {},
@@ -226,10 +361,19 @@ int main(int argc, char** argv) {
   if (args.command == "audit") return cmd_audit(args);
   if (args.command == "breakage") return cmd_breakage(args);
   if (args.command == "perf") return cmd_perf(args);
+  if (args.command == "trace-check") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: cgsim trace-check FILE\n");
+      return 2;
+    }
+    return cmd_trace_check(argv[2]);
+  }
   std::fprintf(stderr,
-               "usage: cgsim <crawl|audit|breakage|perf> [--sites N] "
-               "[--threads T] [--guard] [--site I] [--sample K]\n"
+               "usage: cgsim <crawl|audit|breakage|perf|trace-check> "
+               "[--sites N] [--threads T] [--guard] [--site I] [--sample K]\n"
                "             [--json FILE] [--pairs-csv FILE] "
-               "[--domains-csv FILE]\n");
+               "[--domains-csv FILE]\n"
+               "             [--trace FILE] [--metrics FILE] "
+               "[--runtime-metrics FILE]\n");
   return 2;
 }

@@ -1,6 +1,7 @@
 #include "browser/browser.h"
 
 #include "browser/page.h"
+#include "obs/trace.h"
 
 namespace cg::browser {
 
@@ -37,8 +38,12 @@ TimeMillis Browser::extension_api_overhead_ms() const {
 }
 
 NavigationResult Browser::navigate(const net::Url& url) {
+  const TimeMillis nav_start = clock_.now();
+  obs::metric_add("browser.navigations");
   // Name resolution precedes everything; a dead name means no visit at all.
   if (!dns_.resolve(url.host()).ok()) {
+    obs::metric_add("browser.navigations_failed");
+    obs::span(obs::Detail::kFull, "browser", "navigate", nav_start, 0);
     return {nullptr, fault::FailureClass::kDnsFailure};
   }
   if (!visit_started_) {
@@ -52,8 +57,13 @@ NavigationResult Browser::navigate(const net::Url& url) {
     extension->on_page_start(*page);
   }
   if (!page->load()) {
+    obs::metric_add("browser.navigations_failed");
+    obs::span(obs::Detail::kFull, "browser", "navigate", nav_start,
+              clock_.now() - nav_start);
     return {nullptr, page->load_failure()};
   }
+  obs::span(obs::Detail::kFull, "browser", "navigate", nav_start,
+            clock_.now() - nav_start);
   return {std::move(page), fault::FailureClass::kNone};
 }
 

@@ -2,12 +2,21 @@
 
 #include "browser/page.h"
 #include "net/psl.h"
+#include "obs/trace.h"
 #include "script/interpreter.h"
 
 namespace cg::cookieguard {
 namespace {
 
 using Type = cookies::CookieChange::Type;
+
+/// One enforcement decision: a cookieguard.* counter plus (at full trace
+/// detail) an instant on the site's track at the page's virtual time.
+void note_decision(browser::Page& page, std::string_view name) {
+  obs::metric_add(name);
+  obs::instant(obs::Detail::kFull, "cookieguard", name,
+               page.browser().clock().now());
+}
 
 // Extracts the cookie name from a document.cookie assignment line.
 std::string cookie_name_of(std::string_view cookie_line) {
@@ -51,6 +60,7 @@ void CookieGuard::on_visit_start(browser::Browser& browser) {
   // The metadata store is per-visit (a fresh profile per site, like the
   // paper's crawl); enforcement stats accumulate across the whole crawl.
   store_.clear();
+  obs::metric_add("cookieguard.partition_resets");
 }
 
 std::string CookieGuard::resolve_actor(const webplat::StackTrace& stack,
@@ -114,6 +124,7 @@ std::string CookieGuard::filter_document_cookie_read(
   if (actor.empty()) {
     if (!config_.deny_inline_scripts) return value;
     ++stats_.inline_denied;
+    note_decision(page, "cookieguard.inline_denied");
     return std::string{};
   }
   const std::string site = page.url().site();
@@ -121,7 +132,7 @@ std::string CookieGuard::filter_document_cookie_read(
 
   const auto dataset = store_.snapshot();  // background round trip
   std::string filtered;
-  bool hid_any = false;
+  std::int64_t hidden = 0;
   for (const auto& cookie : script::parse_cookie_string(value)) {
     const auto creator_it = dataset.find(cookie.name);
     // Untracked cookies default to first-party ownership.
@@ -131,11 +142,15 @@ std::string CookieGuard::filter_document_cookie_read(
       if (!filtered.empty()) filtered += "; ";
       filtered += cookie.name + "=" + cookie.value;
     } else {
-      hid_any = true;
+      ++hidden;
       ++stats_.cookies_hidden;
     }
   }
-  if (hid_any) ++stats_.reads_filtered;
+  if (hidden > 0) {
+    ++stats_.reads_filtered;
+    note_decision(page, "cookieguard.reads_filtered");
+    obs::metric_add("cookieguard.cookies_hidden", hidden);
+  }
   return filtered;
 }
 
@@ -150,6 +165,9 @@ void CookieGuard::filter_store_read(browser::Page& page,
     if (!config_.deny_inline_scripts) return;
     ++stats_.inline_denied;
     stats_.cookies_hidden += cookies.size();
+    note_decision(page, "cookieguard.inline_denied");
+    obs::metric_add("cookieguard.cookies_hidden",
+                    static_cast<std::int64_t>(cookies.size()));
     cookies.clear();
     return;
   }
@@ -166,6 +184,9 @@ void CookieGuard::filter_store_read(browser::Page& page,
   if (cookies.size() != before) {
     ++stats_.reads_filtered;
     stats_.cookies_hidden += before - cookies.size();
+    note_decision(page, "cookieguard.reads_filtered");
+    obs::metric_add("cookieguard.cookies_hidden",
+                    static_cast<std::int64_t>(before - cookies.size()));
   }
 }
 
@@ -178,6 +199,7 @@ bool CookieGuard::allow_document_cookie_write(browser::Page& page,
   if (actor.empty()) {
     if (!config_.deny_inline_scripts) return true;
     ++stats_.inline_denied;
+    note_decision(page, "cookieguard.inline_denied");
     return false;
   }
   const std::string name = cookie_name_of(cookie_line);
@@ -186,6 +208,7 @@ bool CookieGuard::allow_document_cookie_write(browser::Page& page,
   const std::string site = page.url().site();
   if (may_access(actor, creator, site)) return true;
   ++stats_.writes_blocked;
+  note_decision(page, "cookieguard.writes_blocked");
   return false;
 }
 
@@ -201,12 +224,14 @@ bool CookieGuard::allow_store_write(browser::Page& page,
   if (actor.empty()) {
     if (!config_.deny_inline_scripts) return true;
     ++stats_.inline_denied;
+    note_decision(page, "cookieguard.inline_denied");
     return false;
   }
   const std::string creator = bus_.request("lookup", std::string(cookie_name));
   if (creator.empty()) return true;
   if (may_access(actor, creator, page.url().site())) return true;
   ++stats_.writes_blocked;
+  note_decision(page, "cookieguard.writes_blocked");
   return false;
 }
 
@@ -229,9 +254,11 @@ void CookieGuard::on_script_cookie_change(browser::Page& page,
       // deny_inline_scripts off).
       bus_.request("record", state->name + '\x1f' +
                                  (actor.empty() ? page.url().site() : actor));
+      note_decision(page, "cookieguard.partition_records");
       break;
     case Type::kDeleted:
       bus_.request("erase", state->name);
+      note_decision(page, "cookieguard.partition_erases");
       break;
     case Type::kOverwritten:
     case Type::kExpiredNoop:
@@ -258,9 +285,11 @@ void CookieGuard::on_headers_received(
         // including re-sets of script-created cookies (the reload
         // re-attribution behaviour discussed in §7.2).
         bus_.request("record", state->name + '\x1f' + request.url.site());
+        note_decision(page, "cookieguard.partition_records");
         break;
       case Type::kDeleted:
         bus_.request("erase", state->name);
+        note_decision(page, "cookieguard.partition_erases");
         break;
       default:
         break;

@@ -19,6 +19,29 @@ std::uint64_t visit_seed_for(std::uint64_t corpus_seed, int rank) {
          (0x5EEDULL + static_cast<std::uint64_t>(rank) * 2654435761ULL);
 }
 
+/// Staggered virtual start of one attempt (see attempt_visit): rank spread
+/// plus per-site jitter plus the accumulated retry backoff. Shared with the
+/// trace emission so span timestamps match the browser clock exactly.
+TimeMillis attempt_clock_start(const browser::BrowserConfig& config, int rank,
+                               std::uint64_t visit_seed,
+                               TimeMillis clock_shift_ms) {
+  return config.clock_start + static_cast<TimeMillis>(rank) * 77'777 +
+         static_cast<TimeMillis>(visit_seed % 37'000) + clock_shift_ms;
+}
+
+/// Histogram bounds for the deterministic crawl metrics (ms).
+const std::vector<double>& visit_ms_bounds() {
+  static const std::vector<double> bounds = {1'000,  2'000,  4'000,  8'000,
+                                             16'000, 32'000, 64'000, 128'000};
+  return bounds;
+}
+
+const std::vector<double>& backoff_ms_bounds() {
+  static const std::vector<double> bounds = {60'000, 120'000, 240'000,
+                                             480'000};
+  return bounds;
+}
+
 report::Json class_counts_to_json(
     const std::array<int, fault::kFailureClassCount>& counts) {
   auto out = report::Json::object();
@@ -181,9 +204,14 @@ instrument::VisitLog Crawler::attempt_visit(
   // timestamps embedded in cookie values must differ across visits. Retry
   // backoff shifts the clock further.
   browser::BrowserConfig browser_config = options.browser_config;
-  browser_config.clock_start +=
-      static_cast<TimeMillis>(bp.rank) * 77'777 +
-      static_cast<TimeMillis>(visit_seed % 37'000) + clock_shift_ms;
+  browser_config.clock_start = attempt_clock_start(
+      options.browser_config, bp.rank, visit_seed, clock_shift_ms);
+
+  if (decision.active()) {
+    obs::instant(obs::Detail::kCrawl, "fault",
+                 fault::failure_class_name(decision.cls),
+                 browser_config.clock_start);
+  }
 
   browser::Browser browser(browser_config, visit_seed);
   corpus_.attach(browser, bp);
@@ -301,6 +329,19 @@ instrument::VisitLog Crawler::attempt_visit(
   // the site anyway so partial logs are attributable.
   if (log.site_host.empty()) log.site_host = bp.host;
   if (log.site.empty()) log.site = bp.site;
+
+  const TimeMillis visit_end = browser.clock().now();
+  obs::span(obs::Detail::kCrawl, "crawl", "attempt", visit_start,
+            visit_end - visit_start);
+  if (log.failure != fault::FailureClass::kNone &&
+      obs::armed(obs::Detail::kCrawl)) {
+    obs::instant(obs::Detail::kCrawl, "crawl", "attempt_failed", visit_end,
+                 std::string(fault::failure_class_name(log.failure)));
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->observe("crawl.visit_ms", visit_ms_bounds(),
+               static_cast<double>(visit_end - visit_start));
+  }
   return log;
 }
 
@@ -322,6 +363,21 @@ SiteOutcome Crawler::crawl_site(
       plan.enabled() ? plan.params().seed : corpus_.params().seed;
 
   SiteOutcome outcome;
+  // Bind this site's observability sinks to the executing thread for the
+  // whole retry loop: every layer underneath (event loop, navigation,
+  // CookieGuard) emits through the thread-local scope without plumbing.
+  // Track rank+1 — track 0 is the merge thread's driver lane.
+  if (options.trace != nullptr || options.metrics != nullptr) {
+    outcome.obs = std::make_unique<obs::LocalObs>();
+    if (options.trace != nullptr) {
+      options.trace->arm(*outcome.obs, bp.rank + 1,
+                         options.metrics != nullptr);
+    } else {
+      outcome.obs->metrics_enabled = true;
+    }
+  }
+  obs::ObsScope obs_scope(outcome.obs.get());
+
   CrawlHealth& delta = outcome.delta;
   bool failed_before = false;
   TimeMillis backoff = 0;
@@ -361,6 +417,18 @@ SiteOutcome Crawler::crawl_site(
       backoff += static_cast<TimeMillis>(jitter_rng.below(
           static_cast<std::uint64_t>(options.backoff_jitter_ms) + 1));
     }
+    if (obs::armed(obs::Detail::kCrawl)) {
+      const std::uint64_t visit_seed =
+          visit_seed_for(corpus_.params().seed, bp.rank);
+      obs::instant(obs::Detail::kCrawl, "crawl", "backoff",
+                   attempt_clock_start(options.browser_config, bp.rank,
+                                       visit_seed, backoff),
+                   std::to_string(backoff) + "ms");
+    }
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->observe("crawl.backoff_ms", backoff_ms_bounds(),
+                 static_cast<double>(backoff));
+    }
   }
 
   ++delta.sites_attempted;
@@ -370,6 +438,37 @@ SiteOutcome Crawler::crawl_site(
   } else {
     ++delta.sites_retained;
     delta.retained_ranks.push_back(bp.rank);
+  }
+
+  if (outcome.obs != nullptr) {
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->add("crawl.sites");
+      m->add("crawl.attempts", delta.total_attempts);
+      m->add("crawl.retries", delta.total_retries);
+      m->add(fault::is_fatal(outcome.log.failure) ? "crawl.sites_excluded"
+                                                  : "crawl.sites_retained");
+      if (delta.sites_degraded > 0) m->add("crawl.sites_degraded");
+      if (delta.sites_recovered > 0) m->add("crawl.sites_recovered");
+    }
+    // Site-level span covering first attempt start through last attempt
+    // end, derived from the attempt spans already in the buffer.
+    if (outcome.obs->trace.armed(obs::Detail::kCrawl)) {
+      TimeMillis lo = 0, hi = 0;
+      bool seen = false;
+      for (const obs::TraceEvent& event : outcome.obs->trace.events()) {
+        if (event.phase != 'X') continue;
+        if (!seen || event.ts_ms < lo) lo = event.ts_ms;
+        if (!seen || event.ts_ms + event.dur_ms > hi) {
+          hi = event.ts_ms + event.dur_ms;
+        }
+        seen = true;
+      }
+      if (seen && obs::armed(obs::Detail::kCrawl)) {
+        obs::instant(obs::Detail::kCrawl, "crawl", "site_done", hi,
+                     outcome.log.site_host);
+        obs::span(obs::Detail::kCrawl, "crawl", "site", lo, hi - lo);
+      }
+    }
   }
   return outcome;
 }
@@ -403,6 +502,18 @@ CrawlHealth Crawler::crawl_range(
   // whether outcomes arrive from the loop below or from shard workers.
   const auto finish_site = [&](int i, SiteOutcome&& outcome) {
     health.merge(outcome.delta);
+    // Flush the site's observability buffers before the sink: trace buffers
+    // append (stable-sorted) in site-index order, metrics fold through the
+    // commutative merge — both byte-identical at any thread count.
+    if (outcome.obs != nullptr) {
+      if (options.trace != nullptr) {
+        options.trace->append(std::move(outcome.obs->trace));
+      }
+      if (options.metrics != nullptr && outcome.obs->metrics_enabled) {
+        options.metrics->merge(outcome.obs->metrics);
+      }
+      outcome.obs.reset();
+    }
     sink(std::move(outcome.log));
     if (options.on_progress) options.on_progress(i + 1, n);
     if (options.checkpoint_interval > 0 && options.on_checkpoint &&
@@ -419,6 +530,11 @@ CrawlHealth Crawler::crawl_range(
       }
       checkpoint.health = health;
       options.on_checkpoint(checkpoint);
+      if (options.trace != nullptr) {
+        options.trace->driver_instant("crawl", "checkpoint",
+                                      "next_index=" + std::to_string(i + 1));
+        options.trace->driver_counter("crawl", "sites_completed", i + 1);
+      }
     }
   };
 
@@ -431,6 +547,9 @@ CrawlHealth Crawler::crawl_range(
     }
     for (int i = begin; i < n; ++i) {
       finish_site(i, crawl_site(i, options, plan, extensions));
+    }
+    if (options.scheduler_metrics != nullptr) {
+      options.scheduler_metrics->gauge_max("scheduler.workers", 1);
     }
     return health;
   }
@@ -468,6 +587,20 @@ CrawlHealth Crawler::crawl_range(
       [&](int index, SiteOutcome&& outcome) {
         finish_site(index, std::move(outcome));
       });
+
+  // Scheduler diagnostics live in their own registry: steal counts and
+  // window occupancy genuinely differ across thread counts, so folding them
+  // into `options.metrics` would break its byte-identity guarantee.
+  if (options.scheduler_metrics != nullptr) {
+    const auto& stats = runner.last_run_stats();
+    auto& m = *options.scheduler_metrics;
+    m.gauge_max("scheduler.workers", threads);
+    m.add("scheduler.tasks_executed", stats.total_executed());
+    m.add("scheduler.tasks_stolen", stats.total_stolen());
+    m.add("scheduler.merge_pushes", stats.merge.pushes);
+    m.add("scheduler.merge_blocked_pushes", stats.merge.blocked_pushes);
+    m.gauge_max("scheduler.merge_max_occupancy", stats.merge.max_occupancy);
+  }
   return health;
 }
 

@@ -37,6 +37,7 @@
 #include "ext/attribution.h"
 #include "fault/fault.h"
 #include "instrument/records.h"
+#include "obs/trace.h"
 #include "report/json.h"
 
 namespace cg::crawler {
@@ -95,6 +96,26 @@ struct CrawlOptions {
   /// Invoked after each site completes (retained or excluded), exactly once
   /// per site in index order regardless of retries: (completed, total).
   std::function<void(int, int)> on_progress;
+
+  /// Observability sinks (non-owning; null = that channel is off, and the
+  /// crawl pays only a thread-local pointer test per would-be event).
+  ///
+  /// `trace` receives the virtual-time trace: per-site spans, attempts,
+  /// faults, backoff, checkpoints — plus event-loop/navigation/CookieGuard
+  /// events at Detail::kFull. Each site fills a private buffer on its shard
+  /// worker; the merge thread appends buffers in site-index order, so the
+  /// exported trace is byte-identical at any thread count (unless the
+  /// recorder captures wall clocks).
+  obs::TraceRecorder* trace = nullptr;
+  /// `metrics` receives the site-merged deterministic registry (crawl.*,
+  /// eventloop.*, browser.*, cookieguard.* counters and histograms) —
+  /// byte-identical serialization at any thread count.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// `scheduler_metrics` receives scheduler diagnostics (steal counts,
+  /// merge-window occupancy/backpressure). These legitimately vary with
+  /// thread count and OS timing, which is why they live in a separate
+  /// registry instead of polluting the deterministic one.
+  obs::MetricsRegistry* scheduler_metrics = nullptr;
 };
 
 /// Aggregate crawl-pipeline accounting. Byte-identical across runs of the
@@ -144,6 +165,10 @@ struct CrawlHealth {
 struct SiteOutcome {
   instrument::VisitLog log;
   CrawlHealth delta;
+  /// The site's trace buffer + metrics registry, filled on the shard worker
+  /// and flushed by the merge thread in site-index order. Null when
+  /// observability is off.
+  std::unique_ptr<obs::LocalObs> obs;
 };
 
 /// Crash-safe snapshot of crawl progress: everything needed to continue a

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace cg::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size(), 0);
+}
+
+void Histogram::observe(double value) {
+  if (!std::isfinite(value)) {
+    ++dropped_non_finite_;
+    return;
+  }
+  ++count_;
+  sum_ += value;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  if (it == bounds_.end()) {
+    ++overflow_;
+  } else {
+    ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_.empty() && count_ == 0 && overflow_ == 0) {
+    // Merging into a default-constructed slot adopts the other's shape.
+    bounds_ = other.bounds_;
+    buckets_.assign(bounds_.size(), 0);
+  }
+  if (bounds_ != other.bounds_) {
+    ++merge_conflicts_;
+    return;
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  dropped_non_finite_ += other.dropped_non_finite_;
+  merge_conflicts_ += other.merge_conflicts_;
+}
+
+report::Json Histogram::to_json() const {
+  auto j = report::Json::object();
+  auto bounds = report::Json::array();
+  for (const double b : bounds_) bounds.push_back(b);
+  j["bounds"] = std::move(bounds);
+  auto buckets = report::Json::array();
+  for (const std::int64_t c : buckets_) buckets.push_back(c);
+  j["buckets"] = std::move(buckets);
+  j["overflow"] = overflow_;
+  j["count"] = count_;
+  j["sum"] = sum_;  // Json::dump serializes non-finite doubles as null
+  if (dropped_non_finite_ > 0) j["dropped_non_finite"] = dropped_non_finite_;
+  if (merge_conflicts_ > 0) j["merge_conflicts"] = merge_conflicts_;
+  return j;
+}
+
+void MetricsRegistry::add(std::string_view name, std::int64_t delta) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::gauge_max(std::string_view name, std::int64_t value) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = std::max(it->second, value);
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
+      .first->second;
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+std::int64_t MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    add(name, value);
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauge_max(name, value);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      it->second.merge(histogram);
+    } else {
+      histograms_.emplace(name, histogram);
+    }
+  }
+}
+
+report::Json MetricsRegistry::to_json() const {
+  auto j = report::Json::object();
+  auto counters = report::Json::object();
+  for (const auto& [name, value] : counters_) counters[name] = value;
+  j["counters"] = std::move(counters);
+  auto gauges = report::Json::object();
+  for (const auto& [name, value] : gauges_) gauges[name] = value;
+  j["gauges"] = std::move(gauges);
+  auto histograms = report::Json::object();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms[name] = histogram.to_json();
+  }
+  j["histograms"] = std::move(histograms);
+  return j;
+}
+
+}  // namespace cg::obs

@@ -1,0 +1,102 @@
+// Deterministic metrics: counters, gauges, fixed-bucket histograms.
+//
+// A MetricsRegistry is the numeric half of the observability subsystem
+// (src/obs/trace.h is the event half). Registries are cheap value types:
+// the crawler gives every site its own registry, fills it on whichever
+// shard worker runs the site, and folds it into the crawl-level registry
+// on the calling thread in site-index order — the same discipline as the
+// ShardedRunner merge. Because every merge operation is commutative and
+// associative (counters/histograms add, gauges take the max), the final
+// serialized registry is byte-identical at any thread count.
+//
+// Serialization goes through report::Json with keys in sorted order, so
+// `a.to_json().dump() == b.to_json().dump()` is the equality the
+// determinism tests assert. Non-finite observations are dropped at the
+// door (and counted) so histogram export can never emit invalid JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/json.h"
+
+namespace cg::obs {
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// observations above the last bound land in an overflow bucket. Bounds are
+/// fixed at creation so shard histograms merge bucket-by-bucket.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+  /// Adds another histogram's buckets. Mismatched bounds would make the
+  /// merge meaningless, so `other` is dropped (and the drop is countable
+  /// via merge_conflicts()) rather than silently corrupting buckets.
+  void merge(const Histogram& other);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  std::int64_t dropped_non_finite() const { return dropped_non_finite_; }
+  std::int64_t merge_conflicts() const { return merge_conflicts_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::int64_t>& buckets() const { return buckets_; }
+  std::int64_t overflow() const { return overflow_; }
+
+  report::Json to_json() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> buckets_;  // one per bound
+  std::int64_t overflow_ = 0;
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  std::int64_t dropped_non_finite_ = 0;
+  std::int64_t merge_conflicts_ = 0;
+};
+
+/// Named counters (merge: add), gauges (merge: max — high-water semantics),
+/// and histograms (merge: bucket-wise add). Not thread-safe by design: one
+/// registry belongs to one site/worker/crawl scope, and cross-scope
+/// reduction goes through merge() on a single thread.
+class MetricsRegistry {
+ public:
+  void add(std::string_view name, std::int64_t delta = 1);
+  /// Raises the gauge to `value` if higher (merge-friendly high-water).
+  void gauge_max(std::string_view name, std::int64_t value);
+  /// Returns the histogram registered under `name`, creating it with
+  /// `bounds` on first use (later calls ignore `bounds`).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  void observe(std::string_view name, std::vector<double> bounds,
+               double value) {
+    histogram(name, std::move(bounds)).observe(value);
+  }
+
+  std::int64_t counter(std::string_view name) const;
+  std::int64_t gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Folds `other` into this registry. Commutative and associative, so any
+  /// shard-reduction order yields the same serialized registry.
+  void merge(const MetricsRegistry& other);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys in
+  /// sorted order — dump() of two equal registries is byte-identical.
+  report::Json to_json() const;
+
+ private:
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, std::int64_t, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace cg::obs

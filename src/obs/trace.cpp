@@ -1,0 +1,165 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "report/json.h"
+
+namespace cg::obs {
+
+namespace internal {
+
+thread_local LocalObs* tls_obs = nullptr;
+
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace internal
+
+namespace {
+
+constexpr const char* kHeader = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+constexpr const char* kFooter = "\n]}\n";
+
+/// End of an event on the virtual timeline (span end for 'X').
+TimeMillis event_end_ms(const TraceEvent& event) {
+  return event.phase == 'X' ? event.ts_ms + event.dur_ms : event.ts_ms;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(TraceConfig config) : config_(config) {}
+
+TraceRecorder::TraceRecorder(TraceConfig config, std::ostream* stream)
+    : config_(config), stream_(stream) {}
+
+TraceRecorder::~TraceRecorder() { finish(); }
+
+std::string TraceRecorder::event_json(const TraceEvent& event) {
+  // Hand-assembled in fixed field order (Json objects sort keys; the trace
+  // reads better with ph/name first) — parse-validated by obs_test and the
+  // `cgsim trace-check` CI smoke job.
+  std::string out = "{\"ph\":\"";
+  out += event.phase;
+  out += "\",\"name\":";
+  out += report::Json(event.name).dump();
+  out += ",\"cat\":\"";
+  out += event.category;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(event.track);
+  out += ",\"ts\":";
+  out += std::to_string(event.ts_ms * 1000);  // Chrome ts is microseconds
+  if (event.phase == 'X') {
+    out += ",\"dur\":";
+    out += std::to_string(event.dur_ms * 1000);
+  }
+  if (event.phase == 'i') {
+    out += ",\"s\":\"t\"";  // instant scope: thread (= track)
+  }
+  bool has_args = event.phase == 'C' || !event.arg.empty() ||
+                  event.wall_us >= 0;
+  if (has_args) {
+    out += ",\"args\":{";
+    bool first = true;
+    if (event.phase == 'C') {
+      out += "\"value\":" + std::to_string(event.value);
+      first = false;
+    }
+    if (!event.arg.empty()) {
+      if (!first) out += ',';
+      out += "\"detail\":" + report::Json(event.arg).dump();
+      first = false;
+    }
+    if (event.wall_us >= 0) {
+      if (!first) out += ',';
+      out += "\"wall_us\":" + std::to_string(event.wall_us);
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+void TraceRecorder::emit(TraceEvent&& event) {
+  last_ts_ = std::max(last_ts_, event_end_ms(event));
+  ++count_;
+  if (stream_ != nullptr) {
+    if (!header_written_) {
+      *stream_ << kHeader;
+      header_written_ = true;
+    }
+    *stream_ << (first_event_ ? "\n" : ",\n") << event_json(event);
+    first_event_ = false;
+  } else {
+    events_.push_back(std::move(event));
+  }
+}
+
+void TraceRecorder::append(TraceBuffer&& buffer) {
+  auto& events = buffer.events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ms < b.ts_ms;
+                   });
+  for (TraceEvent& event : events) {
+    emit(std::move(event));
+  }
+  events.clear();
+}
+
+void TraceRecorder::driver_instant(const char* category, std::string_view name,
+                                   std::string arg) {
+  TraceEvent event;
+  event.phase = 'i';
+  event.track = 0;
+  event.ts_ms = last_ts_;
+  event.category = category;
+  event.name = std::string(name);
+  event.arg = std::move(arg);
+  if (config_.capture_wall_clock) event.wall_us = internal::wall_now_us();
+  emit(std::move(event));
+}
+
+void TraceRecorder::driver_counter(const char* category, std::string_view name,
+                                   std::int64_t value) {
+  TraceEvent event;
+  event.phase = 'C';
+  event.track = 0;
+  event.ts_ms = last_ts_;
+  event.value = value;
+  event.category = category;
+  event.name = std::string(name);
+  if (config_.capture_wall_clock) event.wall_us = internal::wall_now_us();
+  emit(std::move(event));
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::string out = kHeader;
+  bool first = true;
+  for (const TraceEvent& event : events_) {
+    out += first ? "\n" : ",\n";
+    out += event_json(event);
+    first = false;
+  }
+  out += kFooter;
+  return out;
+}
+
+void TraceRecorder::finish() {
+  if (stream_ == nullptr || finished_) return;
+  if (!header_written_) {
+    *stream_ << kHeader;
+    header_written_ = true;
+  }
+  *stream_ << kFooter;
+  stream_->flush();
+  finished_ = true;
+}
+
+}  // namespace cg::obs

@@ -1,0 +1,273 @@
+// Deterministic tracing: virtual-time spans, instants, and counter samples
+// exported as Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing).
+//
+// The design mirrors the sharded crawl's determinism discipline
+// (src/runtime/): every site gets its own TraceBuffer, filled on whichever
+// shard worker runs the site via a thread-local binding (ObsScope), and
+// flushed into the crawl-level TraceRecorder on the calling thread in
+// site-index order. Events are timestamped on the deterministic virtual
+// clock (SimClock) and placed on a per-site track, so a traced N-thread
+// crawl emits a byte-identical trace to the 1-thread crawl — worker
+// identity appears nowhere in the output. An optional wall-clock field
+// (`capture_wall_clock`) annotates events with real time for latency
+// triage; enabling it deliberately breaks byte-identity and is off by
+// default.
+//
+// Disabled path: when no ObsScope is bound (or tracing is off), every
+// emission helper is a single thread-local pointer test — the null-sink
+// branch bench_obs_overhead holds under 2% of crawl throughput.
+//
+// Spans are "X" (complete) events rather than B/E pairs: a site's retry
+// attempts overlap in virtual time (backoff can be shorter than a visit
+// deadline), and complete events tolerate overlap where a B/E stack would
+// mis-nest. Buffers are stable-sorted by timestamp at flush time, which
+// makes every track's events non-decreasing in virtual time — the
+// invariant `cgsim trace-check` verifies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/clock.h"
+#include "obs/metrics.h"
+
+namespace cg::obs {
+
+/// Trace verbosity. kCrawl covers the crawl pipeline (site/attempt spans,
+/// faults, retries, checkpoints); kFull adds the per-visit layers
+/// (navigations, event-loop tasks, CookieGuard interceptions) — richer and
+/// roughly an order of magnitude more events per site.
+enum class Detail { kCrawl = 0, kFull = 1 };
+
+struct TraceEvent {
+  char phase = 'i';         // 'X' span, 'i' instant, 'C' counter sample
+  std::int32_t track = 0;   // Chrome tid; 0 = crawl driver, rank+1 = site
+  TimeMillis ts_ms = 0;     // virtual time
+  TimeMillis dur_ms = 0;    // 'X' only
+  std::int64_t value = 0;   // 'C' only
+  std::int64_t wall_us = -1;  // optional wall clock; -1 = not captured
+  const char* category = "";  // static-lifetime string
+  std::string name;
+  std::string arg;  // optional annotation; empty = none
+};
+
+/// One scope's event buffer (one site, one test, ...). Disarmed buffers
+/// drop every event; the armed flag carries the recorder's detail level and
+/// wall-clock choice so emission helpers never touch the recorder itself.
+class TraceBuffer {
+ public:
+  void arm(std::int32_t track, Detail detail, bool capture_wall) {
+    armed_ = true;
+    track_ = track;
+    detail_ = detail;
+    capture_wall_ = capture_wall;
+  }
+
+  bool armed(Detail detail) const { return armed_ && detail <= detail_; }
+  bool capture_wall() const { return capture_wall_; }
+  std::int32_t track() const { return track_; }
+
+  void push(TraceEvent event) {
+    event.track = track_;
+    events_.push_back(std::move(event));
+  }
+
+  std::vector<TraceEvent>& events() { return events_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::int32_t track_ = 0;
+  Detail detail_ = Detail::kCrawl;
+  bool armed_ = false;
+  bool capture_wall_ = false;
+};
+
+/// The per-scope observability bundle the emission helpers write into: the
+/// trace buffer plus a metrics registry. Either half can be armed alone.
+struct LocalObs {
+  TraceBuffer trace;
+  MetricsRegistry metrics;
+  bool metrics_enabled = false;
+};
+
+namespace internal {
+/// Thread-local current sink. This is the library's one mutable
+/// thread-local: a non-owning pointer scoped by ObsScope (RAII), never
+/// shared across threads — see DESIGN.md §8 for why this passes the
+/// no-mutable-globals audit.
+extern thread_local LocalObs* tls_obs;
+std::int64_t wall_now_us();
+}  // namespace internal
+
+/// RAII binding of a LocalObs to the current thread. Nesting restores the
+/// previous binding; binding nullptr silences emission (the null sink).
+class ObsScope {
+ public:
+  explicit ObsScope(LocalObs* obs) : previous_(internal::tls_obs) {
+    internal::tls_obs = obs;
+  }
+  ~ObsScope() { internal::tls_obs = previous_; }
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  LocalObs* previous_;
+};
+
+inline LocalObs* current() { return internal::tls_obs; }
+
+/// True when a bound buffer accepts events at `detail` — use to guard
+/// emission sites that must build dynamic names/annotations.
+inline bool armed(Detail detail) {
+  const LocalObs* obs = internal::tls_obs;
+  return obs != nullptr && obs->trace.armed(detail);
+}
+
+inline MetricsRegistry* metrics() {
+  LocalObs* obs = internal::tls_obs;
+  return obs != nullptr && obs->metrics_enabled ? &obs->metrics : nullptr;
+}
+
+// ---- emission helpers (null sink: one pointer test, no allocation) -------
+
+inline void span(Detail detail, const char* category, std::string_view name,
+                 TimeMillis ts_ms, TimeMillis dur_ms) {
+  LocalObs* obs = internal::tls_obs;
+  if (obs == nullptr || !obs->trace.armed(detail)) return;
+  TraceEvent event;
+  event.phase = 'X';
+  event.ts_ms = ts_ms;
+  event.dur_ms = dur_ms;
+  event.category = category;
+  event.name = std::string(name);
+  if (obs->trace.capture_wall()) event.wall_us = internal::wall_now_us();
+  obs->trace.push(std::move(event));
+}
+
+inline void instant(Detail detail, const char* category, std::string_view name,
+                    TimeMillis ts_ms, std::string arg = {}) {
+  LocalObs* obs = internal::tls_obs;
+  if (obs == nullptr || !obs->trace.armed(detail)) return;
+  TraceEvent event;
+  event.phase = 'i';
+  event.ts_ms = ts_ms;
+  event.category = category;
+  event.name = std::string(name);
+  event.arg = std::move(arg);
+  if (obs->trace.capture_wall()) event.wall_us = internal::wall_now_us();
+  obs->trace.push(std::move(event));
+}
+
+inline void counter_sample(Detail detail, const char* category,
+                           std::string_view name, TimeMillis ts_ms,
+                           std::int64_t value) {
+  LocalObs* obs = internal::tls_obs;
+  if (obs == nullptr || !obs->trace.armed(detail)) return;
+  TraceEvent event;
+  event.phase = 'C';
+  event.ts_ms = ts_ms;
+  event.value = value;
+  event.category = category;
+  event.name = std::string(name);
+  if (obs->trace.capture_wall()) event.wall_us = internal::wall_now_us();
+  obs->trace.push(std::move(event));
+}
+
+inline void metric_add(std::string_view name, std::int64_t delta = 1) {
+  if (MetricsRegistry* m = metrics()) m->add(name, delta);
+}
+
+inline void metric_gauge_max(std::string_view name, std::int64_t value) {
+  if (MetricsRegistry* m = metrics()) m->gauge_max(name, value);
+}
+
+inline void metric_observe(std::string_view name,
+                           std::initializer_list<double> bounds,
+                           double value) {
+  if (MetricsRegistry* m = metrics()) {
+    m->observe(name, std::vector<double>(bounds), value);
+  }
+}
+
+// ---- crawl-level recorder ------------------------------------------------
+
+struct TraceConfig {
+  Detail detail = Detail::kFull;
+  /// Annotate every event with a real (steady_clock) timestamp. Diagnostic
+  /// only: wall time differs run-to-run and thread-count-to-thread-count,
+  /// so this deliberately trades byte-identity for latency visibility.
+  bool capture_wall_clock = false;
+};
+
+/// Accumulates (or streams) the merged trace. All methods are single-thread:
+/// the crawl calls append() on the merge thread in site-index order, which
+/// is exactly what makes the exported trace deterministic. Constructed with
+/// a stream, events are serialized as they arrive and never retained — a
+/// 20k-site trace does not need to fit in memory; without a stream they are
+/// kept for to_chrome_json() (tests, small runs).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceConfig config = {});
+  TraceRecorder(TraceConfig config, std::ostream* stream);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  const TraceConfig& config() const { return config_; }
+
+  /// Arms `obs` to feed this recorder: trace on `track` at the recorder's
+  /// detail/wall-clock settings, metrics if `with_metrics`.
+  void arm(LocalObs& obs, std::int32_t track, bool with_metrics) const {
+    obs.trace.arm(track, config_.detail, config_.capture_wall_clock);
+    obs.metrics_enabled = with_metrics;
+  }
+
+  /// Deterministic merge: stable-sorts the buffer by virtual time (tracks
+  /// become non-decreasing; overlap from retry backoff is tolerated by the
+  /// 'X' span encoding) and emits. Call in site-index order.
+  void append(TraceBuffer&& buffer);
+
+  /// Driver-lane (track 0) events for work that happens on the merge thread
+  /// itself — checkpoint writes, crawl-level counters. Timestamped at the
+  /// running maximum virtual time, which keeps track 0 monotonic.
+  void driver_instant(const char* category, std::string_view name,
+                      std::string arg = {});
+  void driver_counter(const char* category, std::string_view name,
+                      std::int64_t value);
+
+  std::size_t event_count() const { return count_; }
+  TimeMillis last_ts_ms() const { return last_ts_; }
+
+  /// In-memory mode only.
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::string to_chrome_json() const;
+
+  /// Streaming mode: closes the JSON document. Idempotent; the destructor
+  /// calls it as a safety net.
+  void finish();
+
+  /// One event as a Chrome trace-event JSON object (exposed for tests).
+  static std::string event_json(const TraceEvent& event);
+
+ private:
+  void emit(TraceEvent&& event);
+
+  TraceConfig config_;
+  std::ostream* stream_ = nullptr;
+  bool header_written_ = false;
+  bool finished_ = false;
+  bool first_event_ = true;
+  std::vector<TraceEvent> events_;
+  std::size_t count_ = 0;
+  TimeMillis last_ts_ = 0;
+};
+
+}  // namespace cg::obs

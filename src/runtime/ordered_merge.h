@@ -9,7 +9,9 @@
 // cursor's own index, so capacity 1 degrades to lockstep, never deadlock.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <map>
 #include <mutex>
@@ -17,9 +19,21 @@
 
 namespace cg::runtime {
 
+/// Occupancy/backpressure counters for scheduler tuning. Like the pool's
+/// WorkerStats these are diagnostics — they vary with thread count and
+/// timing and must never feed deterministic output. (Namespace-scope so the
+/// type is shared across OrderedMergeBuffer instantiations.)
+struct MergeBufferStats {
+  std::int64_t pushes = 0;          // items admitted
+  std::int64_t blocked_pushes = 0;  // pushes that hit backpressure
+  std::int64_t max_occupancy = 0;   // high-water mark of waiting items
+};
+
 template <typename T>
 class OrderedMergeBuffer {
  public:
+  using Stats = MergeBufferStats;
+
   /// Window admitting indices in [next, next + capacity) where `next`
   /// starts at `first` and advances on every pop.
   OrderedMergeBuffer(int first, int capacity)
@@ -30,10 +44,14 @@ class OrderedMergeBuffer {
   /// aborted — the producer should stop.
   bool push(int index, T&& value) {
     std::unique_lock<std::mutex> lock(mu_);
+    if (!failed_ && index >= next_ + capacity_) ++stats_.blocked_pushes;
     space_cv_.wait(lock,
                    [&] { return failed_ || index < next_ + capacity_; });
     if (failed_) return false;
     ready_.emplace(index, std::move(value));
+    ++stats_.pushes;
+    stats_.max_occupancy = std::max(
+        stats_.max_occupancy, static_cast<std::int64_t>(ready_.size()));
     if (index == next_) ready_cv_.notify_one();
     return true;
   }
@@ -72,11 +90,17 @@ class OrderedMergeBuffer {
     return failed_;
   }
 
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;  // consumer waits for next_
   std::condition_variable space_cv_;  // producers wait for window space
   std::map<int, T> ready_;
+  Stats stats_;
   int next_;
   int capacity_;
   bool failed_ = false;

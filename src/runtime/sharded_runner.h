@@ -39,6 +39,26 @@ struct ShardOptions {
 
 class ShardedRunner {
  public:
+  /// Scheduler diagnostics for the most recent completed run(): per-worker
+  /// execute/steal counts plus merge-window occupancy and backpressure.
+  /// Everything here varies with thread count and OS scheduling — report it
+  /// on a diagnostics channel, never in deterministic output.
+  struct RunStats {
+    std::vector<ThreadPool::WorkerStats> workers;
+    MergeBufferStats merge;
+
+    std::int64_t total_executed() const {
+      std::int64_t n = 0;
+      for (const auto& w : workers) n += w.executed;
+      return n;
+    }
+    std::int64_t total_stolen() const {
+      std::int64_t n = 0;
+      for (const auto& w : workers) n += w.stolen;
+      return n;
+    }
+  };
+
   explicit ShardedRunner(ShardOptions options = {})
       : options_(options),
         threads_(options.threads > 0 ? options.threads
@@ -92,11 +112,21 @@ class ShardedRunner {
       window.fail(std::current_exception());
       throw;
     }
+
+    // All results are merged; wait for the trailing task returns so the
+    // counters are a complete account of the run.
+    pool.wait_idle();
+    last_stats_.workers = pool.worker_stats();
+    last_stats_.merge = window.stats();
   }
+
+  /// Diagnostics for the last successful run() (empty before the first).
+  const RunStats& last_run_stats() const { return last_stats_; }
 
  private:
   ShardOptions options_;
   int threads_;
+  RunStats last_stats_;
 };
 
 }  // namespace cg::runtime

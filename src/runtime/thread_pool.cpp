@@ -20,6 +20,7 @@ ThreadPool::ThreadPool(int threads, bool start_paused)
     : started_(!start_paused) {
   const int n = threads > 0 ? threads : hardware_threads();
   queues_.resize(static_cast<std::size_t>(n));
+  stats_.resize(static_cast<std::size_t>(n));
   threads_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -76,6 +77,7 @@ bool ThreadPool::take_task(int self, Task& out) {
   if (!own.empty()) {
     out = std::move(own.front());
     own.pop_front();
+    ++stats_[static_cast<std::size_t>(self)].executed;
     return true;
   }
   // Steal the oldest task of the first busy victim. Oldest-first keeps each
@@ -86,10 +88,17 @@ bool ThreadPool::take_task(int self, Task& out) {
     if (!victim.empty()) {
       out = std::move(victim.front());
       victim.pop_front();
+      ++stats_[static_cast<std::size_t>(self)].executed;
+      ++stats_[static_cast<std::size_t>(self)].stolen;
       return true;
     }
   }
   return false;
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 void ThreadPool::worker_loop(int self) {

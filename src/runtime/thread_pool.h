@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -25,6 +26,16 @@ namespace cg::runtime {
 class ThreadPool {
  public:
   using Task = std::function<void()>;
+
+  /// Per-worker scheduling counters. `executed` counts every task the
+  /// worker ran; `stolen` counts the subset it took from another worker's
+  /// deque. Sum of `executed` across workers == tasks submitted (asserted
+  /// in runtime_test.cpp). Values are scheduler diagnostics: they vary
+  /// run-to-run and must never feed deterministic output.
+  struct WorkerStats {
+    std::int64_t executed = 0;
+    std::int64_t stolen = 0;
+  };
 
   /// `threads` <= 0 means hardware_threads(). With `start_paused` the
   /// workers exist but execute nothing until start() — submitters can
@@ -50,6 +61,10 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
+  /// Snapshot of per-worker counters. Consistent (taken under the pool
+  /// lock) but only meaningful as a total once the pool is idle.
+  std::vector<WorkerStats> worker_stats() const;
+
   /// std::thread::hardware_concurrency, but never 0.
   static int hardware_threads();
   /// Index of the pool worker running the current thread, -1 off-pool.
@@ -59,10 +74,11 @@ class ThreadPool {
   void worker_loop(int self);
   bool take_task(int self, Task& out);  // requires mu_ held
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::vector<std::deque<Task>> queues_;
+  std::vector<WorkerStats> stats_;  // guarded by mu_, one slot per worker
   std::vector<std::thread> threads_;
   std::size_t next_queue_ = 0;  // round-robin submit cursor
   std::size_t pending_ = 0;     // submitted, not yet finished

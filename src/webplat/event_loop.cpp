@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace cg::webplat {
 
 void EventLoop::post_task(Task task, TimeMillis delay_ms,
@@ -21,6 +23,7 @@ void EventLoop::drain_microtasks() {
     micro_.pop();
     current_scheduling_stack_ = std::move(mt.scheduling_stack);
     mt.task();
+    obs::metric_add("eventloop.microtasks");
   }
   current_scheduling_stack_ = {};
 }
@@ -37,6 +40,11 @@ bool EventLoop::run_one() {
   next.task();
   current_scheduling_stack_ = {};
   drain_microtasks();
+  obs::metric_add("eventloop.tasks");
+  // The span covers the macrotask plus the microtasks it flushed — all the
+  // virtual time this turn consumed.
+  obs::span(obs::Detail::kFull, "eventloop", "task", next.due,
+            clock_->now() - next.due);
   return true;
 }
 

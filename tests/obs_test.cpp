@@ -1,0 +1,351 @@
+// Tests for the observability subsystem: deterministic metrics
+// (counter/gauge/histogram merge must be shard-order independent) and the
+// virtual-time trace pipeline (null sink, detail filtering, Chrome
+// trace-event export, streaming/in-memory equivalence, per-track
+// monotonicity after the stable-sorted merge).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "report/json.h"
+
+namespace cg::obs {
+namespace {
+
+// ---- Histogram -----------------------------------------------------------
+
+TEST(HistogramTest, BoundsAreInclusiveUpperEdges) {
+  Histogram h({10, 20, 30});
+  h.observe(5);    // <= 10
+  h.observe(10);   // <= 10 (inclusive)
+  h.observe(15);   // <= 20
+  h.observe(30);   // <= 30
+  h.observe(31);   // overflow
+  EXPECT_EQ(h.buckets()[0], 2);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[2], 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 91);
+}
+
+TEST(HistogramTest, NonFiniteObservationsAreDroppedAndCounted) {
+  Histogram h({1});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.dropped_non_finite(), 3);
+  // The dump stays valid JSON no matter what was observed.
+  const std::string dump = h.to_json().dump();
+  EXPECT_TRUE(report::Json::parse(dump).has_value()) << dump;
+}
+
+TEST(HistogramTest, MergeAddsBucketwise) {
+  Histogram a({10, 20});
+  Histogram b({10, 20});
+  a.observe(5);
+  b.observe(15);
+  b.observe(100);
+  a.merge(b);
+  EXPECT_EQ(a.buckets()[0], 1);
+  EXPECT_EQ(a.buckets()[1], 1);
+  EXPECT_EQ(a.overflow(), 1);
+  EXPECT_EQ(a.count(), 3);
+}
+
+TEST(HistogramTest, MergeMismatchedBoundsDropsAndCounts) {
+  Histogram a({10, 20});
+  Histogram b({10, 30});
+  b.observe(25);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.merge_conflicts(), 1);
+}
+
+TEST(HistogramTest, MergeIntoDefaultSlotAdoptsShape) {
+  Histogram empty;
+  Histogram b({10, 20});
+  b.observe(15);
+  empty.merge(b);
+  EXPECT_EQ(empty.bounds(), b.bounds());
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_EQ(empty.buckets()[1], 1);
+}
+
+// ---- MetricsRegistry ----------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry m;
+  m.add("c");
+  m.add("c", 4);
+  m.gauge_max("g", 3);
+  m.gauge_max("g", 2);  // lower: ignored
+  m.observe("h", {10}, 7);
+  EXPECT_EQ(m.counter("c"), 5);
+  EXPECT_EQ(m.gauge("g"), 3);
+  ASSERT_NE(m.find_histogram("h"), nullptr);
+  EXPECT_EQ(m.find_histogram("h")->count(), 1);
+  EXPECT_EQ(m.counter("missing"), 0);
+  EXPECT_FALSE(m.empty());
+}
+
+// The determinism contract: fold the same per-site observations through
+// any shard grouping — {1, 2, 4, 8} "threads" — and the serialized
+// registry is byte-identical.
+TEST(MetricsRegistryTest, MergeIsShardCountIndependent) {
+  constexpr int kSites = 40;
+  const auto observe_site = [](MetricsRegistry& m, int site) {
+    m.add("sites");
+    m.add("weighted", site % 5);
+    m.gauge_max("max_rank", site);
+    m.observe("latency", {10, 100, 1000}, site * 7.5);
+  };
+
+  std::string reference;
+  for (const int shards : {1, 2, 4, 8}) {
+    // Deal sites round-robin into per-shard registries, then fold them in
+    // shard order — the same reduction the crawl merge performs.
+    std::vector<MetricsRegistry> per_shard(shards);
+    for (int site = 0; site < kSites; ++site) {
+      observe_site(per_shard[site % shards], site);
+    }
+    MetricsRegistry total;
+    for (const auto& shard : per_shard) total.merge(shard);
+    const std::string dump = total.to_json().dump();
+    if (reference.empty()) {
+      reference = dump;
+    } else {
+      EXPECT_EQ(dump, reference) << "shards=" << shards;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(MetricsRegistryTest, SerializesSortedAndParseable) {
+  MetricsRegistry m;
+  m.add("z");
+  m.add("a");
+  const std::string dump = m.to_json().dump();
+  EXPECT_LT(dump.find("\"a\""), dump.find("\"z\""));
+  EXPECT_TRUE(report::Json::parse(dump).has_value());
+}
+
+// ---- null sink / scope ---------------------------------------------------
+
+TEST(ObsScopeTest, NoScopeMeansNoEffectAndNoCrash) {
+  EXPECT_EQ(current(), nullptr);
+  EXPECT_FALSE(armed(Detail::kCrawl));
+  EXPECT_EQ(metrics(), nullptr);
+  span(Detail::kCrawl, "t", "s", 1, 2);
+  instant(Detail::kCrawl, "t", "i", 3);
+  counter_sample(Detail::kCrawl, "t", "c", 4, 5);
+  metric_add("x");
+  metric_observe("h", {1.0}, 0.5);
+}
+
+TEST(ObsScopeTest, BindsAndRestoresNested) {
+  LocalObs outer;
+  outer.metrics_enabled = true;
+  {
+    ObsScope bind_outer(&outer);
+    EXPECT_EQ(current(), &outer);
+    metric_add("depth");
+    {
+      LocalObs inner;
+      inner.metrics_enabled = true;
+      ObsScope bind_inner(&inner);
+      metric_add("depth");
+      EXPECT_EQ(inner.metrics.counter("depth"), 1);
+    }
+    EXPECT_EQ(current(), &outer);
+    metric_add("depth");
+  }
+  EXPECT_EQ(current(), nullptr);
+  EXPECT_EQ(outer.metrics.counter("depth"), 2);
+}
+
+TEST(ObsScopeTest, DisarmedTraceDropsEventsButMetricsStillFlow) {
+  LocalObs obs;  // trace never armed
+  obs.metrics_enabled = true;
+  ObsScope scope(&obs);
+  span(Detail::kCrawl, "t", "s", 1, 2);
+  metric_add("c");
+  EXPECT_TRUE(obs.trace.empty());
+  EXPECT_EQ(obs.metrics.counter("c"), 1);
+}
+
+TEST(TraceBufferTest, DetailFiltersFullEventsAtCrawlLevel) {
+  LocalObs obs;
+  obs.trace.arm(/*track=*/3, Detail::kCrawl, /*capture_wall=*/false);
+  ObsScope scope(&obs);
+  span(Detail::kCrawl, "crawl", "kept", 1, 2);
+  span(Detail::kFull, "eventloop", "dropped", 3, 4);
+  EXPECT_FALSE(armed(Detail::kFull));
+  ASSERT_EQ(obs.trace.events().size(), 1u);
+  EXPECT_EQ(obs.trace.events()[0].name, "kept");
+  EXPECT_EQ(obs.trace.events()[0].track, 3);
+  EXPECT_EQ(obs.trace.events()[0].wall_us, -1);
+}
+
+TEST(TraceBufferTest, WallClockCapturedOnlyWhenConfigured) {
+  LocalObs obs;
+  obs.trace.arm(1, Detail::kFull, /*capture_wall=*/true);
+  ObsScope scope(&obs);
+  instant(Detail::kCrawl, "t", "i", 5);
+  ASSERT_EQ(obs.trace.events().size(), 1u);
+  EXPECT_GE(obs.trace.events()[0].wall_us, 0);
+}
+
+// ---- TraceRecorder -------------------------------------------------------
+
+TraceBuffer filled_buffer(int track, std::vector<TimeMillis> ts) {
+  TraceBuffer buffer;
+  buffer.arm(track, Detail::kFull, false);
+  for (const TimeMillis t : ts) {
+    TraceEvent event;
+    event.phase = 'X';
+    event.ts_ms = t;
+    event.dur_ms = 10;
+    event.category = "test";
+    event.name = "e" + std::to_string(t);
+    buffer.push(std::move(event));
+  }
+  return buffer;
+}
+
+TEST(TraceRecorderTest, AppendStableSortsEachBufferByVirtualTime) {
+  TraceRecorder recorder;
+  recorder.append(filled_buffer(1, {30, 10, 20}));
+  recorder.append(filled_buffer(2, {5, 15}));
+  ASSERT_EQ(recorder.event_count(), 5u);
+  const auto& events = recorder.events();
+  EXPECT_EQ(events[0].ts_ms, 10);
+  EXPECT_EQ(events[1].ts_ms, 20);
+  EXPECT_EQ(events[2].ts_ms, 30);
+  // Buffers stay in append (site-index) order; within each, sorted.
+  EXPECT_EQ(events[3].ts_ms, 5);
+  EXPECT_EQ(events[3].track, 2);
+  EXPECT_EQ(recorder.last_ts_ms(), 40);  // max span end seen so far
+}
+
+TEST(TraceRecorderTest, DriverEventsRideAtRunningMaxTimestamp) {
+  TraceRecorder recorder;
+  recorder.append(filled_buffer(1, {100}));
+  recorder.driver_instant("crawl", "checkpoint", "n=1");
+  recorder.driver_counter("crawl", "done", 1);
+  const auto& events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].track, 0);
+  EXPECT_EQ(events[1].ts_ms, 110);  // span end of the 100+10 event
+  EXPECT_EQ(events[2].value, 1);
+  EXPECT_EQ(events[2].phase, 'C');
+}
+
+TEST(TraceRecorderTest, ExportsValidChromeTraceJson) {
+  TraceRecorder recorder;
+  recorder.append(filled_buffer(1, {10}));
+  LocalObs obs;
+  recorder.arm(obs, 2, /*with_metrics=*/false);
+  {
+    ObsScope scope(&obs);
+    instant(Detail::kCrawl, "fault", "dns_failure", 20, "host=a.com");
+    counter_sample(Detail::kCrawl, "crawl", "queue", 30, 7);
+  }
+  recorder.append(std::move(obs.trace));
+
+  const std::string json = recorder.to_chrome_json();
+  const auto parsed = report::Json::parse(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  const auto* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 3u);
+
+  const auto& span_event = events->at(0);
+  EXPECT_EQ(span_event.find("ph")->as_string(), "X");
+  EXPECT_EQ(span_event.find("pid")->as_int(), 1);
+  EXPECT_EQ(span_event.find("tid")->as_int(), 1);
+  EXPECT_EQ(span_event.find("ts")->as_int(), 10'000);   // microseconds
+  EXPECT_EQ(span_event.find("dur")->as_int(), 10'000);
+
+  const auto& instant_event = events->at(1);
+  EXPECT_EQ(instant_event.find("ph")->as_string(), "i");
+  EXPECT_EQ(instant_event.find("name")->as_string(), "dns_failure");
+  EXPECT_EQ(instant_event.find("args")->find("detail")->as_string(),
+            "host=a.com");
+
+  const auto& counter_event = events->at(2);
+  EXPECT_EQ(counter_event.find("ph")->as_string(), "C");
+  EXPECT_EQ(counter_event.find("args")->find("value")->as_int(), 7);
+}
+
+TEST(TraceRecorderTest, StreamingMatchesInMemoryByteForByte) {
+  const auto feed = [](TraceRecorder& recorder) {
+    recorder.append(filled_buffer(1, {30, 10}));
+    recorder.driver_instant("crawl", "checkpoint");
+    recorder.append(filled_buffer(2, {20}));
+  };
+  TraceRecorder memory;
+  feed(memory);
+
+  std::ostringstream stream;
+  {
+    TraceRecorder streaming({}, &stream);
+    feed(streaming);
+    streaming.finish();
+    streaming.finish();  // idempotent
+  }
+  EXPECT_EQ(stream.str(), memory.to_chrome_json());
+}
+
+TEST(TraceRecorderTest, EmptyTraceIsStillValidJson) {
+  std::ostringstream stream;
+  {
+    TraceRecorder recorder({}, &stream);
+  }  // destructor finishes the document
+  const auto parsed = report::Json::parse(stream.str());
+  ASSERT_TRUE(parsed.has_value()) << stream.str();
+  EXPECT_EQ(parsed->find("traceEvents")->size(), 0u);
+}
+
+TEST(TraceRecorderTest, EventJsonEscapesNamesAndArgs) {
+  TraceEvent event;
+  event.phase = 'i';
+  event.ts_ms = 1;
+  event.category = "test";
+  event.name = "quote\"and\\slash";
+  event.arg = "line\nbreak";
+  const std::string json = TraceRecorder::event_json(event);
+  const auto parsed = report::Json::parse(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  EXPECT_EQ(parsed->find("name")->as_string(), "quote\"and\\slash");
+  EXPECT_EQ(parsed->find("args")->find("detail")->as_string(), "line\nbreak");
+}
+
+// A traced parallel merge reproduced in miniature: per-track timestamps
+// stay non-decreasing regardless of the order events entered each buffer.
+TEST(TraceRecorderTest, PerTrackMonotoneAfterMerge) {
+  TraceRecorder recorder;
+  recorder.append(filled_buffer(1, {50, 10, 30}));
+  recorder.append(filled_buffer(2, {40, 20}));
+  recorder.append(filled_buffer(1, {70, 60}));  // same track, later append
+  std::map<int, TimeMillis> last;
+  for (const auto& event : recorder.events()) {
+    const auto it = last.find(event.track);
+    if (it != last.end()) {
+      EXPECT_GE(event.ts_ms, it->second);
+    }
+    last[event.track] = event.ts_ms;
+  }
+}
+
+}  // namespace
+}  // namespace cg::obs

@@ -4,7 +4,9 @@
 // different thread count without losing or double-counting a site.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -12,6 +14,9 @@
 #include "analysis/analyzer.h"
 #include "cookieguard/cookieguard.h"
 #include "crawler/crawler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "report/json.h"
 #include "report/report.h"
 
 namespace cg {
@@ -261,6 +266,107 @@ TEST(ParallelCrawlTest, AnalyzerShardMergeMatchesSequentialIngest) {
             report::summary_to_json(sequential, 20).dump(2));
   EXPECT_EQ(front.totals().unique_setter_scripts,
             sequential.totals().unique_setter_scripts);
+}
+
+struct TracedCrawl {
+  std::string trace_json;
+  std::string metrics_json;
+};
+
+TracedCrawl traced_crawl_with_threads(const corpus::Corpus& corpus,
+                                      int threads) {
+  crawler::Crawler crawler(corpus);
+  analysis::Analyzer analyzer(corpus.entities());
+  obs::TraceRecorder recorder({obs::Detail::kFull, false});
+  obs::MetricsRegistry metrics;
+  obs::MetricsRegistry scheduler;  // diagnostics: excluded from identity
+  crawler::CrawlOptions options;
+  options.threads = threads;
+  options.trace = &recorder;
+  options.metrics = &metrics;
+  options.scheduler_metrics = &scheduler;
+  crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
+    analyzer.ingest(log);
+  });
+  return {recorder.to_chrome_json(), metrics.to_json().dump(2)};
+}
+
+TEST(ParallelCrawlTest, TracedCrawlIsByteIdenticalAcrossThreadCounts) {
+  // The observability extension of the determinism contract: the full-detail
+  // trace and the site-merged metrics registry are byte-identical at any
+  // thread count. (Scheduler diagnostics legitimately differ and live in a
+  // separate registry precisely so this holds.)
+  corpus::Corpus corpus(small_params(200));
+  const TracedCrawl one = traced_crawl_with_threads(corpus, 1);
+  EXPECT_FALSE(one.trace_json.empty());
+  ASSERT_TRUE(report::Json::parse(one.trace_json).has_value());
+  for (const int threads : {2, 4, 8}) {
+    const TracedCrawl many = traced_crawl_with_threads(corpus, threads);
+    EXPECT_EQ(many.trace_json, one.trace_json) << threads << " threads";
+    EXPECT_EQ(many.metrics_json, one.metrics_json) << threads << " threads";
+  }
+}
+
+TEST(ParallelCrawlTest, TracedKillAndResumeProducesWellFormedTraces) {
+  // A crawl killed mid-flight must still leave a parseable trace document
+  // (the streaming recorder closes the JSON on destruction), and the
+  // resumed crawl's trace must be well-formed with per-track timestamps
+  // non-decreasing — the invariant `cgsim trace-check` enforces.
+  corpus::Corpus corpus(small_params(200));
+  crawler::Crawler crawler(corpus);
+
+  struct Killed {};
+  std::string persisted;
+  std::ostringstream first_stream;
+  {
+    obs::TraceRecorder recorder({obs::Detail::kCrawl, false}, &first_stream);
+    crawler::CrawlOptions options;
+    options.threads = 4;
+    options.trace = &recorder;
+    options.checkpoint_interval = 50;
+    options.on_checkpoint = [&](const crawler::CrawlCheckpoint& checkpoint) {
+      persisted = checkpoint.to_json_string();
+      if (checkpoint.next_index >= 100) throw Killed{};
+    };
+    EXPECT_THROW(
+        crawler.crawl(corpus.size(), options, [](instrument::VisitLog&&) {}),
+        Killed);
+  }  // recorder destruction closes the streamed document
+
+  const auto verify_trace = [](const std::string& text) {
+    const auto parsed = report::Json::parse(text);
+    ASSERT_TRUE(parsed.has_value());
+    const auto* events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    EXPECT_GT(events->size(), 0u);
+    std::map<std::int64_t, std::int64_t> last_ts_by_track;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+      const auto& event = events->at(i);
+      ASSERT_NE(event.find("ph"), nullptr);
+      ASSERT_NE(event.find("ts"), nullptr);
+      const std::int64_t track = event.find("tid")->as_int();
+      const std::int64_t ts = event.find("ts")->as_int();
+      const auto it = last_ts_by_track.find(track);
+      if (it != last_ts_by_track.end()) {
+        EXPECT_GE(ts, it->second);
+      }
+      last_ts_by_track[track] = ts;
+    }
+  };
+  verify_trace(first_stream.str());
+
+  const auto checkpoint = crawler::CrawlCheckpoint::from_json_string(persisted);
+  ASSERT_TRUE(checkpoint.has_value());
+  std::ostringstream resume_stream;
+  {
+    obs::TraceRecorder recorder({obs::Detail::kCrawl, false}, &resume_stream);
+    crawler::CrawlOptions options;
+    options.threads = 2;
+    options.trace = &recorder;
+    crawler.resume(*checkpoint, options, [](instrument::VisitLog&&) {});
+  }
+  verify_trace(resume_stream.str());
 }
 
 }  // namespace

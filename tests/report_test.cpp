@@ -1,6 +1,7 @@
 // Tests for the report module: JSON writer, CSV escaping, summary exports.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "analysis/analyzer.h"
@@ -38,6 +39,25 @@ TEST(JsonTest, IndentedOutputIsStable) {
   j["k"] = Json::object();
   j["k"]["v"] = 1;
   EXPECT_EQ(j.dump(2), "{\n  \"k\": {\n    \"v\": 1\n  }\n}");
+}
+
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull) {
+  // Regression guard: a bare `nan`/`inf` token is not valid JSON and breaks
+  // every downstream parser (Perfetto, `cgsim trace-check`, report
+  // re-ingestion). Non-finite doubles must degrade to null instead.
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+
+  Json j = Json::object();
+  j["rate"] = Json(std::numeric_limits<double>::quiet_NaN());
+  j["ok"] = 1.5;
+  const std::string text = j.dump();
+  EXPECT_EQ(text, "{\"ok\":1.5,\"rate\":null}");
+  // And the output must round-trip through our own parser.
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->find("rate")->is_null());
 }
 
 TEST(JsonTest, EmptyContainers) {

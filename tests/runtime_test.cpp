@@ -71,6 +71,38 @@ TEST(ThreadPoolTest, IdleWorkersStealFromBusyQueues) {
   EXPECT_NE(distinct_mask.load(), 0);
 }
 
+TEST(ThreadPoolTest, WorkerStatsAccountForEverySubmittedTask) {
+  constexpr int kTasks = 200;
+  ThreadPool pool(4);
+  for (int i = 0; i < kTasks; ++i) {
+    // Submit everything to worker 0 so the other workers have to steal —
+    // exercising both the own-queue and stolen increments.
+    pool.submit_to(0, [] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+  }
+  pool.wait_idle();
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::int64_t executed = 0;
+  std::int64_t stolen = 0;
+  for (const auto& w : stats) {
+    EXPECT_GE(w.executed, 0);
+    EXPECT_GE(w.stolen, 0);
+    EXPECT_LE(w.stolen, w.executed);
+    executed += w.executed;
+    stolen += w.stolen;
+  }
+  // The accounting invariant: every submitted task is executed exactly once,
+  // by its own worker or a thief — never dropped, never double-counted.
+  EXPECT_EQ(executed, kTasks);
+  EXPECT_LE(stolen, kTasks);
+  // Tasks executed by any worker other than 0 must have been stolen.
+  for (std::size_t w = 1; w < stats.size(); ++w) {
+    EXPECT_EQ(stats[w].executed, stats[w].stolen);
+  }
+}
+
 TEST(ThreadPoolTest, PausedPoolRunsNothingUntilStart) {
   ThreadPool pool(2, /*start_paused=*/true);
   std::atomic<int> ran{0};
@@ -247,6 +279,33 @@ TEST(ShardedRunnerTest, ParallelRunMatchesSequentialFold) {
     });
     EXPECT_EQ(parallel, sequential) << threads << " threads";
   }
+}
+
+TEST(ShardedRunnerTest, RunStatsAccountForEveryIndex) {
+  ShardOptions options;
+  options.threads = 4;
+  options.block_size = 2;
+  options.queue_capacity = 16;
+  ShardedRunner runner(options);
+  constexpr int kIndices = 120;
+  int merged = 0;
+  runner.run<int>(
+      0, kIndices, [](int index, int) { return index; },
+      [&](int, int&&) { ++merged; });
+  EXPECT_EQ(merged, kIndices);
+
+  const auto& stats = runner.last_run_stats();
+  ASSERT_EQ(stats.workers.size(), 4u);
+  // One pool task per block of indices, each executed exactly once.
+  EXPECT_EQ(stats.total_executed(),
+            (kIndices + options.block_size - 1) / options.block_size);
+  EXPECT_LE(stats.total_stolen(), stats.total_executed());
+  // Every index passed through the merge window exactly once.
+  EXPECT_EQ(stats.merge.pushes, kIndices);
+  EXPECT_GE(stats.merge.max_occupancy, 1);
+  EXPECT_LE(stats.merge.max_occupancy,
+            static_cast<std::int64_t>(options.queue_capacity));
+  EXPECT_GE(stats.merge.blocked_pushes, 0);
 }
 
 }  // namespace
