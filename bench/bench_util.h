@@ -25,10 +25,12 @@
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "analysis/archive.h"
 #include "corpus/corpus.h"
 #include "crawler/crawler.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
+#include "store/reader.h"
 
 namespace cg::bench {
 
@@ -129,16 +131,74 @@ inline void print_header(const char* title, const corpus::Corpus& corpus,
   std::printf("================================================================\n");
 }
 
+/// CG_ARCHIVE=<file.cgar>: replay a packed archive (cgsim pack) through the
+/// analyzer instead of crawling live. Only the plain measurement crawl —
+/// faults on, no extension — is archived, so that is the only configuration
+/// the archive can substitute for; provenance in the footer (corpus seed,
+/// site count, fault-plan seed) is checked against what the live crawl
+/// would have used, and any mismatch is a hard error rather than hours of
+/// silently-wrong numbers. Returns true when the archive was consumed.
+inline bool analyzer_from_archive_env(const corpus::Corpus& corpus,
+                                      analysis::Analyzer& analyzer) {
+  const char* path = std::getenv("CG_ARCHIVE");
+  if (path == nullptr) return false;
+  store::Error error;
+  const auto reader = store::Reader::open(path, &error);
+  if (!reader) {
+    std::fprintf(stderr, "error: CG_ARCHIVE %s rejected (%s)\n", path,
+                 error.to_string().c_str());
+    std::exit(2);
+  }
+  if (reader->corpus_seed() != corpus.params().seed ||
+      reader->site_count() != corpus.size()) {
+    std::fprintf(stderr,
+                 "error: CG_ARCHIVE %s was packed from a different corpus "
+                 "(%d sites, seed 0x%llX; this run wants %d sites, "
+                 "seed 0x%llX)\n",
+                 path, reader->site_count(),
+                 static_cast<unsigned long long>(reader->corpus_seed()),
+                 corpus.size(),
+                 static_cast<unsigned long long>(corpus.params().seed));
+    std::exit(2);
+  }
+  crawler::Crawler crawler(corpus);
+  const fault::FaultPlan plan = crawler.plan_for(crawler::CrawlOptions{});
+  const std::uint64_t expected_fault_seed =
+      plan.enabled() ? plan.params().seed : 0;
+  if (reader->fault_seed() != expected_fault_seed) {
+    std::fprintf(stderr,
+                 "error: CG_ARCHIVE %s was packed under a different fault "
+                 "plan (seed 0x%llX, expected 0x%llX) — repack without "
+                 "--no-faults\n",
+                 path, static_cast<unsigned long long>(reader->fault_seed()),
+                 static_cast<unsigned long long>(expected_fault_seed));
+    std::exit(2);
+  }
+  if (!analysis::analyze_archive(*reader, analyzer, &error)) {
+    std::fprintf(stderr, "error: CG_ARCHIVE %s is corrupt (%s)\n", path,
+                 error.to_string().c_str());
+    std::exit(2);
+  }
+  return true;
+}
+
 /// Runs the measurement crawl (no enforcement) into `analyzer`. A non-null
 /// `extra` extension forces a sequential crawl (shared instance); benches
 /// that want an extension at N threads use CrawlOptions::extension_factory
 /// directly. A non-null `trace` recorder receives the crawl's virtual-time
-/// trace.
+/// trace. With CG_ARCHIVE set, the plain configuration (no extension,
+/// faults on, no trace) replays the archive instead of crawling; other
+/// configurations — guarded or fault-free comparison crawls the archive
+/// does not represent — always run live.
 inline void run_measurement_crawl(const corpus::Corpus& corpus,
                                   analysis::Analyzer& analyzer,
                                   browser::Extension* extra = nullptr,
                                   bool with_faults = true, int threads = 1,
                                   obs::TraceRecorder* trace = nullptr) {
+  if (extra == nullptr && with_faults && trace == nullptr &&
+      analyzer_from_archive_env(corpus, analyzer)) {
+    return;
+  }
   crawler::Crawler crawler(corpus);
   crawler::CrawlOptions options;
   if (!with_faults) options.fault_plan.reset();

@@ -11,6 +11,19 @@
 //   cgsim breakage [--sites N] [--sample K]
 //   cgsim perf     [--sites N] [--threads T]
 //   cgsim trace-check FILE
+//   cgsim pack     [--sites N] [--threads T] [--no-faults] --out FILE
+//                  [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+//   cgsim query    --archive FILE [--site RANK] [--json FILE]
+//                  [--pairs-csv FILE] [--domains-csv FILE]
+//   cgsim verify-archive FILE
+//
+// pack runs the measurement crawl once and streams it into a CGAR archive
+// (src/store/) — crawl once, analyze many times. query replays an archive
+// through the analyzer in seconds; verify-archive CRC-walks every block and
+// reports the corruption taxonomy class on failure. pack at any thread
+// count emits a byte-identical archive, and pack --checkpoint / --resume
+// reuses the partial archive segment: the resumed file equals an
+// uninterrupted pack byte-for-byte.
 //
 // --threads 0 (the default for crawl/perf here is 1) uses every hardware
 // thread; any thread count produces byte-identical output — including the
@@ -32,6 +45,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/archive.h"
 #include "breakage/breakage.h"
 #include "cookieguard/cookieguard.h"
 #include "corpus/corpus.h"
@@ -41,6 +55,8 @@
 #include "perf/perf.h"
 #include "report/report.h"
 #include "runtime/thread_pool.h"
+#include "store/reader.h"
+#include "store/writer.h"
 
 namespace {
 
@@ -82,6 +98,34 @@ corpus::Corpus make_corpus(const Args& args) {
   corpus::CorpusParams params;
   params.site_count = args.get_int("sites", 2000);
   return corpus::Corpus(params);
+}
+
+/// Summary lines + optional machine-readable outputs, shared by the live
+/// crawl and the analyze-from-archive path so their stdout is diffable.
+void print_analysis(const Args& args, const analysis::Analyzer& analyzer) {
+  const auto& t = analyzer.totals();
+  const double n = t.sites_complete;
+  std::printf("sites analyzed: %d\n", t.sites_complete);
+  std::printf("cross-domain exfiltration: %.1f%% | overwriting: %.1f%% | "
+              "deletion: %.1f%%\n",
+              100.0 * t.sites_doc_exfil / n, 100.0 * t.sites_doc_overwrite / n,
+              100.0 * t.sites_doc_delete / n);
+
+  if (args.has("json")) {
+    std::ofstream out(args.get("json", "summary.json"));
+    out << report::summary_to_json(analyzer, 20).dump(2) << '\n';
+    std::printf("wrote %s\n", args.get("json", "summary.json").c_str());
+  }
+  if (args.has("pairs-csv")) {
+    std::ofstream out(args.get("pairs-csv", "pairs.csv"));
+    report::write_pairs_csv(analyzer, 20, out);
+    std::printf("wrote %s\n", args.get("pairs-csv", "pairs.csv").c_str());
+  }
+  if (args.has("domains-csv")) {
+    std::ofstream out(args.get("domains-csv", "domains.csv"));
+    report::write_domains_csv(analyzer, 20, out);
+    std::printf("wrote %s\n", args.get("domains-csv", "domains.csv").c_str());
+  }
 }
 
 int cmd_crawl(const Args& args) {
@@ -208,29 +252,193 @@ int cmd_crawl(const Args& args) {
     std::printf("wrote %s\n", args.get("health", "health.json").c_str());
   }
 
-  const auto& t = analyzer.totals();
-  const double n = t.sites_complete;
-  std::printf("sites analyzed: %d\n", t.sites_complete);
-  std::printf("cross-domain exfiltration: %.1f%% | overwriting: %.1f%% | "
-              "deletion: %.1f%%\n",
-              100.0 * t.sites_doc_exfil / n, 100.0 * t.sites_doc_overwrite / n,
-              100.0 * t.sites_doc_delete / n);
+  print_analysis(args, analyzer);
+  return 0;
+}
 
-  if (args.has("json")) {
-    std::ofstream out(args.get("json", "summary.json"));
-    out << report::summary_to_json(analyzer, 20).dump(2) << '\n';
-    std::printf("wrote %s\n", args.get("json", "summary.json").c_str());
+// Crawl once, analyze many times: pack streams the measurement crawl into a
+// CGAR archive. No analyzer runs here — the archive *is* the product.
+int cmd_pack(const Args& args) {
+  corpus::Corpus corpus(make_corpus(args));
+  crawler::Crawler crawler(corpus);
+
+  crawler::CrawlOptions options;
+  options.threads = args.get_int("threads", 1);
+  if (args.has("no-faults")) options.fault_plan.reset();
+
+  const std::string out_path = args.get("out", "crawl.cgar");
+  store::WriterOptions writer_options;
+  writer_options.corpus_seed = corpus.params().seed;
+  const fault::FaultPlan plan = crawler.plan_for(options);
+  writer_options.fault_seed = plan.enabled() ? plan.params().seed : 0;
+
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  if (!checkpoint_path.empty()) {
+    options.checkpoint_interval = args.get_int("checkpoint-every", 100);
   }
-  if (args.has("pairs-csv")) {
-    std::ofstream out(args.get("pairs-csv", "pairs.csv"));
-    report::write_pairs_csv(analyzer, 20, out);
-    std::printf("wrote %s\n", args.get("pairs-csv", "pairs.csv").c_str());
+
+  std::unique_ptr<store::Writer> writer;
+  store::Error store_error;
+  crawler::CrawlHealth health;
+
+  if (args.has("resume")) {
+    const std::string path = args.get("resume", "");
+    std::ifstream in(path);
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const auto checkpoint = crawler::CrawlCheckpoint::from_json_string(text);
+    if (!checkpoint) {
+      std::fprintf(stderr, "cgsim: cannot parse checkpoint %s\n", path.c_str());
+      return 1;
+    }
+    if (checkpoint->corpus_seed != corpus.params().seed ||
+        checkpoint->target_count > corpus.size()) {
+      std::fprintf(stderr, "cgsim: checkpoint does not match this corpus\n");
+      return 1;
+    }
+    if (checkpoint->archive_sites < 0) {
+      std::fprintf(stderr,
+                   "cgsim: checkpoint has no archive segment — it was "
+                   "written by `crawl`, not `pack`\n");
+      return 1;
+    }
+    // The checkpoint references the archive segment; the writer truncates
+    // any blocks written after it and appends from there.
+    writer = store::Writer::resume(out_path, writer_options,
+                                   checkpoint->archive_sites, &store_error);
+    if (writer == nullptr) {
+      std::fprintf(stderr, "cgsim: cannot resume archive %s (%s)\n",
+                   out_path.c_str(), store_error.to_string().c_str());
+      return 1;
+    }
+    options.archive = writer.get();
+    if (!checkpoint_path.empty()) {
+      options.on_checkpoint = [&](const crawler::CrawlCheckpoint& cp) {
+        std::ofstream out(checkpoint_path);
+        out << cp.to_json_string() << '\n';
+      };
+    }
+    std::printf("resuming pack at site %d of %d (%d blocks kept)...\n",
+                checkpoint->next_index, checkpoint->target_count,
+                writer->sites_written());
+    health = crawler.resume(*checkpoint, options,
+                            [](instrument::VisitLog&&) {});
+  } else {
+    writer = store::Writer::create(out_path, writer_options, &store_error);
+    if (writer == nullptr) {
+      std::fprintf(stderr, "cgsim: %s\n", store_error.to_string().c_str());
+      return 1;
+    }
+    options.archive = writer.get();
+    if (!checkpoint_path.empty()) {
+      options.on_checkpoint = [&](const crawler::CrawlCheckpoint& cp) {
+        std::ofstream out(checkpoint_path);
+        out << cp.to_json_string() << '\n';
+      };
+    }
+    std::printf("packing %d sites into %s...\n", corpus.size(),
+                out_path.c_str());
+    health = crawler.crawl(corpus.size(), options,
+                           [](instrument::VisitLog&&) {});
   }
-  if (args.has("domains-csv")) {
-    std::ofstream out(args.get("domains-csv", "domains.csv"));
-    report::write_domains_csv(analyzer, 20, out);
-    std::printf("wrote %s\n", args.get("domains-csv", "domains.csv").c_str());
+
+  if (!writer->finish(&store_error)) {
+    std::fprintf(stderr, "cgsim: finalising %s failed (%s)\n",
+                 out_path.c_str(), store_error.to_string().c_str());
+    return 1;
   }
+  std::printf(
+      "crawl health: %d retained, %d excluded (%.1f%%), %d attempts total\n",
+      health.sites_retained, health.sites_excluded,
+      100.0 * health.exclusion_rate(), health.total_attempts);
+  std::printf("wrote %s: %d sites, %llu bytes (%.1f bytes/site)\n",
+              out_path.c_str(), writer->sites_written(),
+              static_cast<unsigned long long>(writer->bytes_written()),
+              writer->sites_written() > 0
+                  ? static_cast<double>(writer->bytes_written()) /
+                        writer->sites_written()
+                  : 0.0);
+  return 0;
+}
+
+// Analyze-from-archive: everything `crawl` computes, without crawling.
+int cmd_query(const Args& args) {
+  if (!args.has("archive")) {
+    std::fprintf(stderr, "usage: cgsim query --archive FILE [--site RANK]\n");
+    return 2;
+  }
+  const std::string path = args.get("archive", "");
+  store::Error error;
+  const auto reader = store::Reader::open(path, &error);
+  if (!reader) {
+    std::fprintf(stderr, "cgsim: cannot open archive %s (%s)\n", path.c_str(),
+                 error.to_string().c_str());
+    return 1;
+  }
+
+  // Rebuild the corpus the archive was packed from — the entity map drives
+  // the analyzer, and provenance in the footer pins the exact corpus.
+  corpus::CorpusParams params;
+  params.site_count = reader->site_count();
+  params.seed = reader->corpus_seed();
+  corpus::Corpus corpus(params);
+
+  if (args.has("site")) {
+    const int rank = args.get_int("site", 0);
+    const auto log = reader->visit(rank, &error);
+    if (!log) {
+      std::fprintf(stderr, "cgsim: site %d: %s\n", rank,
+                   error.to_string().c_str());
+      return 1;
+    }
+    analysis::Analyzer analyzer(corpus.entities());
+    analyzer.ingest(*log);
+    std::printf("https://%s/ — %zu script inclusions, %zu cookie writes, "
+                "%zu requests (attempts: %d, failure: %s)\n",
+                log->site_host.c_str(), log->includes.size(),
+                log->script_sets.size(), log->requests.size(), log->attempts,
+                std::string(fault::failure_class_name(log->failure)).c_str());
+    std::printf("%s\n", report::summary_to_json(analyzer, 10).dump(2).c_str());
+    return 0;
+  }
+
+  analysis::Analyzer analyzer(corpus.entities());
+  if (!analysis::analyze_archive(*reader, analyzer, &error)) {
+    std::fprintf(stderr, "cgsim: archive %s is corrupt (%s)\n", path.c_str(),
+                 error.to_string().c_str());
+    return 1;
+  }
+  print_analysis(args, analyzer);
+  return 0;
+}
+
+// CRC-walks every block; the cheap "is this artifact intact?" gate.
+int cmd_verify_archive(const std::string& path) {
+  store::Error error;
+  const auto reader = store::Reader::open(path, &error);
+  if (!reader) {
+    std::fprintf(stderr, "cgsim: %s: rejected (%s)\n", path.c_str(),
+                 error.to_string().c_str());
+    return 1;
+  }
+  const auto stats = reader->verify(&error);
+  if (!stats) {
+    std::fprintf(stderr, "cgsim: %s: corrupt (%s)\n", path.c_str(),
+                 error.to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "%s: ok — %d sites, %llu records, %llu bytes (%.1f bytes/site), "
+      "format v%u, schema v%u, corpus seed 0x%llX\n",
+      path.c_str(), stats->sites,
+      static_cast<unsigned long long>(stats->record_count),
+      static_cast<unsigned long long>(stats->file_bytes),
+      stats->sites > 0
+          ? static_cast<double>(stats->file_bytes) / stats->sites
+          : 0.0,
+      static_cast<unsigned>(store::kFormatVersion),
+      static_cast<unsigned>(reader->schema_version()),
+      static_cast<unsigned long long>(reader->corpus_seed()));
   return 0;
 }
 
@@ -368,12 +576,24 @@ int main(int argc, char** argv) {
     }
     return cmd_trace_check(argv[2]);
   }
+  if (args.command == "pack") return cmd_pack(args);
+  if (args.command == "query") return cmd_query(args);
+  if (args.command == "verify-archive") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: cgsim verify-archive FILE\n");
+      return 2;
+    }
+    return cmd_verify_archive(argv[2]);
+  }
   std::fprintf(stderr,
-               "usage: cgsim <crawl|audit|breakage|perf|trace-check> "
-               "[--sites N] [--threads T] [--guard] [--site I] [--sample K]\n"
+               "usage: cgsim <crawl|audit|breakage|perf|trace-check|pack|"
+               "query|verify-archive>\n"
+               "             [--sites N] [--threads T] [--guard] [--site I] "
+               "[--sample K]\n"
                "             [--json FILE] [--pairs-csv FILE] "
                "[--domains-csv FILE]\n"
                "             [--trace FILE] [--metrics FILE] "
-               "[--runtime-metrics FILE]\n");
+               "[--runtime-metrics FILE]\n"
+               "             [--out FILE] [--archive FILE]\n");
   return 2;
 }

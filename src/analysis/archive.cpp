@@ -1,0 +1,12 @@
+#include "analysis/archive.h"
+
+namespace cg::analysis {
+
+bool analyze_archive(const store::Reader& reader, Analyzer& analyzer,
+                     store::Error* error) {
+  return reader.for_each(
+      [&analyzer](instrument::VisitLog&& log) { analyzer.ingest(log); },
+      error);
+}
+
+}  // namespace cg::analysis

@@ -1,0 +1,20 @@
+// Analysis-from-archive: the "analyze many times" half of the two-phase
+// pipeline. A CGAR archive replayed through an Analyzer reproduces the live
+// crawl's aggregates exactly — the crawler archives every site the sink
+// saw, retained and excluded alike, and Analyzer::ingest applies the same
+// completeness filter either way.
+#pragma once
+
+#include "analysis/analyzer.h"
+#include "store/reader.h"
+
+namespace cg::analysis {
+
+/// Streams every archived site into `analyzer` in rank order. False (with
+/// `error` naming the taxonomy class) on the first corrupt block — partial
+/// aggregates from a corrupt archive are worse than no aggregates, so
+/// callers should treat false as "discard the analyzer".
+bool analyze_archive(const store::Reader& reader, Analyzer& analyzer,
+                     store::Error* error = nullptr);
+
+}  // namespace cg::analysis

@@ -9,6 +9,8 @@
 #include "instrument/recorder.h"
 #include "runtime/sharded_runner.h"
 #include "script/rng.h"
+#include "store/record_codec.h"
+#include "store/writer.h"
 
 namespace cg::crawler {
 namespace {
@@ -135,6 +137,12 @@ std::string CrawlCheckpoint::to_json_string() const {
   j["corpus_seed"] = corpus_seed;
   j["fault_seed"] = fault_seed;
   j["threads"] = threads;
+  if (archive_sites >= 0) {
+    auto archive = report::Json::object();
+    archive["sites"] = archive_sites;
+    archive["bytes"] = archive_bytes;
+    j["archive"] = std::move(archive);
+  }
   if (!shard_completed.empty()) {
     auto shards = report::Json::array();
     for (const int done : shard_completed) shards.push_back(done);
@@ -165,6 +173,15 @@ std::optional<CrawlCheckpoint> CrawlCheckpoint::from_json_string(
   }
   if (const auto* threads = parsed->find("threads")) {
     checkpoint.threads = static_cast<int>(threads->as_int());
+  }
+  if (const auto* archive = parsed->find("archive");
+      archive != nullptr && archive->is_object()) {
+    if (const auto* sites = archive->find("sites")) {
+      checkpoint.archive_sites = static_cast<int>(sites->as_int());
+    }
+    if (const auto* bytes = archive->find("bytes")) {
+      checkpoint.archive_bytes = bytes->as_int();
+    }
   }
   if (const auto* shards = parsed->find("shard_completed");
       shards != nullptr && shards->is_array()) {
@@ -470,6 +487,14 @@ SiteOutcome Crawler::crawl_site(
       }
     }
   }
+
+  // Encode the site's archive block here, on the shard worker — the
+  // serialisation cost parallelises with the crawl; the merge thread only
+  // appends bytes. Pure function of the log, so the archive stays
+  // byte-identical at any thread count.
+  if (options.archive != nullptr) {
+    outcome.archive_block = store::encode_site_block(outcome.log);
+  }
   return outcome;
 }
 
@@ -514,6 +539,10 @@ CrawlHealth Crawler::crawl_range(
       }
       outcome.obs.reset();
     }
+    if (options.archive != nullptr && !outcome.archive_block.empty()) {
+      options.archive->append_site_block(outcome.log.rank,
+                                         std::move(outcome.archive_block));
+    }
     sink(std::move(outcome.log));
     if (options.on_progress) options.on_progress(i + 1, n);
     if (options.checkpoint_interval > 0 && options.on_checkpoint &&
@@ -524,6 +553,13 @@ CrawlHealth Crawler::crawl_range(
       checkpoint.corpus_seed = corpus_.params().seed;
       checkpoint.fault_seed = plan.enabled() ? plan.params().seed : 0;
       checkpoint.threads = threads;
+      if (options.archive != nullptr) {
+        // The archive reference: the segment holds exactly the merged
+        // prefix, since blocks flush in finish_site before this emission.
+        checkpoint.archive_sites = options.archive->sites_written();
+        checkpoint.archive_bytes =
+            static_cast<std::int64_t>(options.archive->bytes_written());
+      }
       for (const auto& done : shard_completed) {
         checkpoint.shard_completed.push_back(
             done.load(std::memory_order_relaxed));

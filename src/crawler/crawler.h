@@ -40,6 +40,10 @@
 #include "obs/trace.h"
 #include "report/json.h"
 
+namespace cg::store {
+class Writer;
+}
+
 namespace cg::crawler {
 
 struct CrawlCheckpoint;
@@ -116,6 +120,15 @@ struct CrawlOptions {
   /// thread count and OS timing, which is why they live in a separate
   /// registry instead of polluting the deterministic one.
   obs::MetricsRegistry* scheduler_metrics = nullptr;
+
+  /// CGAR archive receiving every site's visit log (src/store/), retained
+  /// and excluded alike — replaying the archive through an Analyzer
+  /// reproduces the live crawl's analysis byte-for-byte. Blocks are encoded
+  /// on the shard worker that crawled the site (the expensive half) and
+  /// appended by the merge thread in site-index order, so the archive is
+  /// byte-identical at any thread count. Non-owning; the caller calls
+  /// Writer::finish() after the crawl returns.
+  store::Writer* archive = nullptr;
 };
 
 /// Aggregate crawl-pipeline accounting. Byte-identical across runs of the
@@ -169,6 +182,10 @@ struct SiteOutcome {
   /// and flushed by the merge thread in site-index order. Null when
   /// observability is off.
   std::unique_ptr<obs::LocalObs> obs;
+  /// The site's encoded CGAR block (store::encode_site_block), produced on
+  /// the shard worker when CrawlOptions::archive is set; empty otherwise.
+  /// Appended to the writer by the merge thread in site-index order.
+  std::string archive_block;
 };
 
 /// Crash-safe snapshot of crawl progress: everything needed to continue a
@@ -188,6 +205,15 @@ struct CrawlCheckpoint {
   /// thread count resumes exactly at any other.
   int threads = 1;
   std::vector<int> shard_completed;
+
+  /// Archive-segment reference, set when the crawl packs to a CGAR writer:
+  /// site blocks flushed and bytes on disk at emission time. The checkpoint
+  /// references the segment rather than inlining per-site records — resume
+  /// hands `archive_sites` to store::Writer::resume(), which truncates any
+  /// blocks written after the checkpoint so checkpoint + archive replay to
+  /// exactly the uninterrupted crawl's archive. -1 = crawl did not pack.
+  int archive_sites = -1;
+  std::int64_t archive_bytes = 0;
 
   std::string to_json_string() const;
   static std::optional<CrawlCheckpoint> from_json_string(

@@ -1,0 +1,41 @@
+#include "crypto/crc32c.h"
+
+#include <array>
+
+namespace cg::crypto {
+namespace {
+
+// Reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed).
+constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32c::update(std::string_view data) {
+  std::uint32_t crc = state_;
+  for (const char c : data) {
+    crc = kTable[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  state_ = crc;
+}
+
+std::uint32_t crc32c(std::string_view data) {
+  Crc32c crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace cg::crypto

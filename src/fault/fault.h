@@ -71,6 +71,52 @@ constexpr bool is_fatal(FailureClass cls) {
          cls != FailureClass::kSubresourceFailure;
 }
 
+/// Corruption taxonomy for the CGAR archive store (src/store/). Every way a
+/// reader can reject an archive maps to exactly one class — corrupt inputs
+/// degrade to a diagnosable error, never a crash — and fleet dashboards can
+/// aggregate rejection causes the same way CrawlHealth aggregates
+/// FailureClass. Ordered roughly outermost-to-innermost validation layer.
+enum class ArchiveFault {
+  kNone = 0,
+  kIoError,           // the underlying file could not be opened or read
+  kTruncated,         // file or block shorter than its declared extent
+  kBadMagic,          // header or trailer magic mismatch: not a CGAR file
+  kVersionMismatch,   // unsupported or internally inconsistent format version
+  kSchemaMismatch,    // record schema newer than this reader understands
+  kChecksumMismatch,  // block CRC32C does not match its payload
+  kCorruptIndex,      // footer index inconsistent with the block stream
+  kDuplicateSite,     // two blocks claim the same site rank
+  kCorruptBlock,      // payload fails structural decode (varint, string ref)
+};
+
+inline constexpr int kArchiveFaultCount = 10;
+
+constexpr std::string_view archive_fault_name(ArchiveFault fault) {
+  switch (fault) {
+    case ArchiveFault::kNone:
+      return "none";
+    case ArchiveFault::kIoError:
+      return "io_error";
+    case ArchiveFault::kTruncated:
+      return "truncated";
+    case ArchiveFault::kBadMagic:
+      return "bad_magic";
+    case ArchiveFault::kVersionMismatch:
+      return "version_mismatch";
+    case ArchiveFault::kSchemaMismatch:
+      return "schema_mismatch";
+    case ArchiveFault::kChecksumMismatch:
+      return "checksum_mismatch";
+    case ArchiveFault::kCorruptIndex:
+      return "corrupt_index";
+    case ArchiveFault::kDuplicateSite:
+      return "duplicate_site";
+    case ArchiveFault::kCorruptBlock:
+      return "corrupt_block";
+  }
+  return "unknown";
+}
+
 /// Knobs of the fault schedule. The defaults are calibrated so that, with
 /// the crawler's default retry budget (2 retries), the retained fraction
 /// lands on the paper's 14,917/20,000 ≈ 74.6%:

@@ -3,6 +3,7 @@
 // posts to its background service (§4.1).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,12 @@
 #include "webplat/frame.h"
 
 namespace cg::instrument {
+
+/// Version of the record schema below as persisted by the CGAR archive
+/// store (src/store/). Bump whenever a record struct gains, loses, or
+/// reinterprets a field — the store's footer carries this value and its
+/// reader refuses archives written under a newer schema.
+inline constexpr std::uint32_t kVisitLogSchemaVersion = 1;
 
 /// A script-initiated cookie write/delete, attributed from the stack trace.
 struct ScriptCookieSetRecord {

@@ -1,0 +1,96 @@
+#include "store/cgar.h"
+
+#include "crypto/crc32c.h"
+
+namespace cg::store {
+
+std::string encode_block(BlockType type, std::string_view payload) {
+  std::string out;
+  out.push_back(static_cast<char>(type));
+  put_varint(out, payload.size());
+  put_u32le(out, crypto::crc32c(payload));
+  out += payload;
+  return out;
+}
+
+std::string encode_footer_payload(const FooterInfo& info,
+                                  const std::vector<IndexEntry>& index) {
+  std::string out;
+  out.push_back(static_cast<char>(info.format_version));
+  put_varint(out, info.schema_version);
+  put_varint(out, info.corpus_seed);
+  put_varint(out, info.fault_seed);
+  put_varint(out, index.size());
+  std::uint64_t prev_rank = 0;
+  std::uint64_t prev_offset = 0;
+  bool first = true;
+  for (const IndexEntry& entry : index) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(entry.rank);
+    if (first) {
+      put_varint(out, rank);
+      put_varint(out, entry.offset);
+      first = false;
+    } else {
+      // Ranks and offsets are strictly increasing in a valid archive, so
+      // deltas are small and nonnegative; a reader treats wrap-around as
+      // corruption.
+      put_varint(out, rank - prev_rank);
+      put_varint(out, entry.offset - prev_offset);
+    }
+    put_varint(out, entry.length);
+    prev_rank = rank;
+    prev_offset = entry.offset;
+  }
+  return out;
+}
+
+std::optional<BlockFrame> decode_block(std::string_view file,
+                                       std::size_t offset, Error* error) {
+  const auto fail = [error](fault::ArchiveFault code,
+                            std::string detail) -> std::optional<BlockFrame> {
+    if (error != nullptr) *error = {code, std::move(detail)};
+    return std::nullopt;
+  };
+  if (offset >= file.size()) {
+    return fail(fault::ArchiveFault::kTruncated,
+                "block offset " + std::to_string(offset) + " past end");
+  }
+  ByteReader reader(file.substr(offset));
+  const auto type_byte = reader.bytes(1);
+  const std::uint64_t payload_len = reader.varint();
+  const std::uint32_t crc = reader.u32le();
+  if (reader.failed) {
+    return fail(fault::ArchiveFault::kTruncated,
+                "block frame at offset " + std::to_string(offset) +
+                    " is cut short");
+  }
+  const std::uint8_t type = static_cast<std::uint8_t>(type_byte[0]);
+  if (type != static_cast<std::uint8_t>(BlockType::kSite) &&
+      type != static_cast<std::uint8_t>(BlockType::kFooter)) {
+    return fail(fault::ArchiveFault::kCorruptBlock,
+                "unknown block type " + std::to_string(type) + " at offset " +
+                    std::to_string(offset));
+  }
+  if (payload_len > reader.remaining()) {
+    return fail(fault::ArchiveFault::kTruncated,
+                "block at offset " + std::to_string(offset) + " declares " +
+                    std::to_string(payload_len) + " payload bytes, " +
+                    std::to_string(reader.remaining()) + " remain");
+  }
+  const std::string_view payload =
+      reader.bytes(static_cast<std::size_t>(payload_len));
+  if (crypto::crc32c(payload) != crc) {
+    return fail(fault::ArchiveFault::kChecksumMismatch,
+                "block at offset " + std::to_string(offset) +
+                    " fails its CRC32C");
+  }
+  BlockFrame frame;
+  frame.type = static_cast<BlockType>(type);
+  frame.payload = payload;
+  frame.total_size =
+      static_cast<std::size_t>(reader.cursor - (file.data() + offset));
+  if (error != nullptr) *error = {};
+  return frame;
+}
+
+}  // namespace cg::store

@@ -1,0 +1,242 @@
+// CGAR — the CookieGuard crawl-archive format (v1).
+//
+// The paper's pipeline is two-phase: crawl once, analyze many times (every
+// table and figure derives from one measurement corpus). CGAR is the
+// persistent form of that corpus: a binary, checksummed, random-access
+// record store that a 20k-site crawl streams into once and every analysis
+// afterwards replays in seconds.
+//
+// File layout (all multi-byte fixed-width integers little-endian):
+//
+//   Header   (16 bytes)  magic "CGAR\xF1\r\n\0", u8 version, u8 flags,
+//                        6 reserved zero bytes
+//   Block*               one site block per crawled site, in rank order
+//   Footer               one footer block (type 2)
+//   Trailer  (16 bytes)  u64 footer block offset, magic "CGAREND\x01"
+//
+//   Block := u8 type | varint payload_len | u32 crc32c(payload) | payload
+//
+// Site block payload: varint rank, a block-local string table (varint
+// count, then varint-length-prefixed bytes), and the visit-log body whose
+// string fields are varint indices into that table. Blocks are therefore
+// self-contained: any site decodes without touching the rest of the file,
+// which is what makes the footer's offset index a random-access index and
+// not just a table of contents.
+//
+// Footer payload: format version (again — a reader detects a footer spliced
+// from a different version), record schema version, corpus/fault seeds, and
+// the per-site index: (rank, offset, length) with rank and offset
+// delta-encoded. Site blocks are required to be contiguous — every index
+// entry must start exactly where the previous block ended — so a spliced,
+// duplicated, or reordered block stream cannot agree with any valid index.
+//
+// Determinism: the byte encoding has no timestamps, hashes, pointers, or
+// map iteration — string-table order is first-use order in record order —
+// so encoding a VisitLog is a pure function, and an archive written by an
+// N-thread crawl (blocks encoded on shard workers, flushed through the
+// in-order merge) is byte-identical to the 1-thread archive.
+//
+// Corruption never crashes a reader: every rejection carries a
+// fault::ArchiveFault taxonomy class (see src/fault/fault.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace cg::store {
+
+inline constexpr std::uint8_t kFormatVersion = 1;
+inline constexpr std::string_view kHeaderMagic = "CGAR\xF1\r\n";  // + NUL = 8
+inline constexpr std::string_view kTrailerMagic = "CGAREND\x01";
+inline constexpr std::size_t kHeaderSize = 16;
+inline constexpr std::size_t kTrailerSize = 16;
+
+enum class BlockType : std::uint8_t {
+  kSite = 1,
+  kFooter = 2,
+};
+
+/// Why a reader rejected an archive: taxonomy class plus a human-readable
+/// detail naming the offending offset/field.
+struct Error {
+  fault::ArchiveFault code = fault::ArchiveFault::kNone;
+  std::string detail;
+
+  bool ok() const { return code == fault::ArchiveFault::kNone; }
+  std::string to_string() const {
+    std::string out(fault::archive_fault_name(code));
+    if (!detail.empty()) {
+      out += ": ";
+      out += detail;
+    }
+    return out;
+  }
+};
+
+// ---- primitive encoding --------------------------------------------------
+// LEB128 varints; signed values zigzag-encoded. Decoders never read past
+// `end` and reject overlong (>10 byte) encodings — a flipped continuation
+// bit degrades to kCorruptBlock, not an infinite loop or a huge bogus value.
+
+inline void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+inline void put_zigzag(std::string& out, std::int64_t value) {
+  put_varint(out, (static_cast<std::uint64_t>(value) << 1) ^
+                      static_cast<std::uint64_t>(value >> 63));
+}
+
+inline void put_u32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+inline void put_u64le(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Cursor over an immutable byte range. All reads are bounds-checked; a
+/// failed read sets `failed` and every later read fails too, so decode
+/// loops need only one check at the end.
+struct ByteReader {
+  const char* cursor = nullptr;
+  const char* end = nullptr;
+  bool failed = false;
+
+  explicit ByteReader(std::string_view bytes)
+      : cursor(bytes.data()), end(bytes.data() + bytes.size()) {}
+
+  std::size_t remaining() const {
+    return failed ? 0 : static_cast<std::size_t>(end - cursor);
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (!failed) {
+      if (cursor == end || shift >= 64) {
+        failed = true;
+        break;
+      }
+      const std::uint8_t byte = static_cast<std::uint8_t>(*cursor++);
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+    return 0;
+  }
+
+  std::int64_t zigzag() {
+    const std::uint64_t raw = varint();
+    return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  }
+
+  std::uint32_t u32le() {
+    if (failed || remaining() < 4) {
+      failed = true;
+      return 0;
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(*cursor++))
+               << (8 * i);
+    }
+    return value;
+  }
+
+  std::uint64_t u64le() {
+    if (failed || remaining() < 8) {
+      failed = true;
+      return 0;
+    }
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(*cursor++))
+               << (8 * i);
+    }
+    return value;
+  }
+
+  std::string_view bytes(std::size_t n) {
+    if (failed || remaining() < n) {
+      failed = true;
+      return {};
+    }
+    const std::string_view view(cursor, n);
+    cursor += n;
+    return view;
+  }
+};
+
+// ---- block framing (shared by the writer, the reader, and the fuzz tests
+// that craft deliberately-evil archives) ----------------------------------
+
+/// The 16-byte file header.
+inline std::string encode_header() {
+  std::string out(kHeaderMagic);
+  out.push_back('\0');  // 8th magic byte
+  out.push_back(static_cast<char>(kFormatVersion));
+  out.push_back('\0');  // flags
+  out.append(6, '\0');  // reserved
+  return out;
+}
+
+/// Frames `payload` as a block: type, length, CRC32C, bytes.
+std::string encode_block(BlockType type, std::string_view payload);
+
+/// The 16-byte trailer pointing back at the footer block.
+inline std::string encode_trailer(std::uint64_t footer_offset) {
+  std::string out;
+  put_u64le(out, footer_offset);
+  out += kTrailerMagic;
+  return out;
+}
+
+/// One footer-index entry: where a site's block lives in the file.
+struct IndexEntry {
+  int rank = 0;
+  std::uint64_t offset = 0;  // file offset of the block's type byte
+  std::uint64_t length = 0;  // full framed block length (frame + payload)
+};
+
+/// Everything the footer records besides the index itself.
+struct FooterInfo {
+  std::uint8_t format_version = kFormatVersion;
+  std::uint32_t schema_version = 0;
+  std::uint64_t corpus_seed = 0;
+  std::uint64_t fault_seed = 0;
+};
+
+/// Footer payload: version + schema + seeds + delta-encoded index. Exposed
+/// (like encode_block) so tests can craft deliberately inconsistent
+/// archives with valid checksums.
+std::string encode_footer_payload(const FooterInfo& info,
+                                  const std::vector<IndexEntry>& index);
+
+/// One parsed block frame. `payload` aliases the input buffer.
+struct BlockFrame {
+  BlockType type = BlockType::kSite;
+  std::string_view payload;
+  std::size_t total_size = 0;  // frame + payload, for walking the stream
+};
+
+/// Parses and CRC-verifies the block starting at `offset`. On failure the
+/// returned optional is empty and `error` names the taxonomy class.
+std::optional<BlockFrame> decode_block(std::string_view file,
+                                       std::size_t offset, Error* error);
+
+}  // namespace cg::store

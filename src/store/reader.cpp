@@ -1,0 +1,262 @@
+#include "store/reader.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <utility>
+
+#include "store/record_codec.h"
+
+namespace cg::store {
+namespace {
+
+std::optional<Reader> fail(Error* error, fault::ArchiveFault code,
+                           std::string detail) {
+  if (error != nullptr) *error = {code, std::move(detail)};
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Reader> Reader::open(const std::string& path, Error* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return fail(error, fault::ArchiveFault::kIoError, "cannot open " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return fail(error, fault::ArchiveFault::kIoError, "read failed: " + path);
+  }
+  return from_buffer(std::move(bytes), error);
+}
+
+std::optional<Reader> Reader::from_buffer(std::string bytes, Error* error) {
+  const std::string header = encode_header();
+
+  // Envelope. Magic first: "not a CGAR file" and "CGAR file cut short" are
+  // different operational problems and get different taxonomy classes.
+  const std::size_t magic_len = std::min(bytes.size(), std::size_t{8});
+  if (std::string_view(bytes).substr(0, magic_len) !=
+      std::string_view(header).substr(0, magic_len)) {
+    return fail(error, fault::ArchiveFault::kBadMagic,
+                "missing CGAR header magic");
+  }
+  if (bytes.size() < kHeaderSize + kTrailerSize) {
+    return fail(error, fault::ArchiveFault::kTruncated,
+                "file smaller than header + trailer");
+  }
+  const std::uint8_t version = static_cast<std::uint8_t>(bytes[8]);
+  if (version != kFormatVersion) {
+    return fail(error, fault::ArchiveFault::kVersionMismatch,
+                "header declares format v" + std::to_string(version) +
+                    ", reader understands v" +
+                    std::to_string(kFormatVersion));
+  }
+  const std::string_view tail =
+      std::string_view(bytes).substr(bytes.size() - kTrailerSize);
+  if (tail.substr(8) != kTrailerMagic) {
+    return fail(error, fault::ArchiveFault::kTruncated,
+                "missing trailer magic — archive not finalised or cut short");
+  }
+  ByteReader trailer(tail);
+  const std::uint64_t footer_offset = trailer.u64le();
+  const std::uint64_t footer_end = bytes.size() - kTrailerSize;
+  if (footer_offset < kHeaderSize || footer_offset >= footer_end) {
+    return fail(error, fault::ArchiveFault::kCorruptIndex,
+                "trailer points the footer at offset " +
+                    std::to_string(footer_offset) + ", outside the file");
+  }
+
+  // Footer block.
+  Error block_error;
+  const auto footer = decode_block(bytes, footer_offset, &block_error);
+  if (!footer) {
+    if (error != nullptr) *error = block_error;
+    return std::nullopt;
+  }
+  if (footer->type != BlockType::kFooter ||
+      footer_offset + footer->total_size != footer_end) {
+    return fail(error, fault::ArchiveFault::kCorruptIndex,
+                "trailer does not point at the footer block");
+  }
+
+  // Footer payload.
+  ByteReader fr(footer->payload);
+  const auto version_byte = fr.bytes(1);
+  if (fr.failed) {
+    return fail(error, fault::ArchiveFault::kCorruptIndex, "empty footer");
+  }
+  const std::uint8_t footer_version =
+      static_cast<std::uint8_t>(version_byte[0]);
+  if (footer_version != version) {
+    return fail(error, fault::ArchiveFault::kVersionMismatch,
+                "footer declares format v" + std::to_string(footer_version) +
+                    " inside a v" + std::to_string(version) +
+                    " file — mixed-version archive");
+  }
+  Reader reader;
+  reader.info_.format_version = footer_version;
+  const std::uint64_t schema = fr.varint();
+  if (schema > instrument::kVisitLogSchemaVersion) {
+    return fail(error, fault::ArchiveFault::kSchemaMismatch,
+                "records use schema v" + std::to_string(schema) +
+                    ", reader understands up to v" +
+                    std::to_string(instrument::kVisitLogSchemaVersion));
+  }
+  reader.info_.schema_version = static_cast<std::uint32_t>(schema);
+  reader.info_.corpus_seed = fr.varint();
+  reader.info_.fault_seed = fr.varint();
+  const std::uint64_t count = fr.varint();
+  if (fr.failed || count > fr.remaining()) {
+    return fail(error, fault::ArchiveFault::kCorruptIndex,
+                "index count exceeds footer size");
+  }
+
+  // Index: delta-decoded, then the consistency argument — entries must tile
+  // [header, footer) exactly, with strictly increasing ranks.
+  reader.index_.reserve(static_cast<std::size_t>(count));
+  std::uint64_t rank = 0;
+  std::uint64_t offset = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t rank_delta = fr.varint();
+    const std::uint64_t offset_delta = fr.varint();
+    const std::uint64_t length = fr.varint();
+    if (fr.failed) {
+      return fail(error, fault::ArchiveFault::kCorruptIndex,
+                  "index entry " + std::to_string(i) + " is cut short");
+    }
+    if (i == 0) {
+      rank = rank_delta;
+      offset = offset_delta;
+    } else {
+      if (rank_delta == 0) {
+        return fail(error, fault::ArchiveFault::kDuplicateSite,
+                    "index entries " + std::to_string(i - 1) + " and " +
+                        std::to_string(i) + " both claim rank " +
+                        std::to_string(rank));
+      }
+      rank += rank_delta;
+      offset += offset_delta;
+    }
+    if (rank > static_cast<std::uint64_t>(std::numeric_limits<int>::max()) ||
+        offset >= footer_offset || length > footer_offset - offset) {
+      return fail(error, fault::ArchiveFault::kCorruptIndex,
+                  "index entry " + std::to_string(i) +
+                      " lies outside the block stream");
+    }
+    reader.index_.push_back({static_cast<int>(rank), offset, length});
+  }
+  if (fr.remaining() != 0) {
+    return fail(error, fault::ArchiveFault::kCorruptIndex,
+                "trailing bytes after the footer index");
+  }
+  // Contiguity: blocks tile the file exactly. A duplicated, dropped, or
+  // spliced block cannot satisfy this against any footer.
+  std::uint64_t expected = kHeaderSize;
+  for (std::size_t i = 0; i < reader.index_.size(); ++i) {
+    if (reader.index_[i].offset != expected) {
+      return fail(error, fault::ArchiveFault::kCorruptIndex,
+                  "index entry " + std::to_string(i) + " starts at offset " +
+                      std::to_string(reader.index_[i].offset) +
+                      ", expected " + std::to_string(expected));
+    }
+    expected += reader.index_[i].length;
+  }
+  if (expected != footer_offset) {
+    return fail(error, fault::ArchiveFault::kCorruptIndex,
+                "block stream ends at offset " + std::to_string(expected) +
+                    ", footer begins at " + std::to_string(footer_offset));
+  }
+
+  reader.bytes_ = std::move(bytes);
+  if (error != nullptr) *error = {};
+  return reader;
+}
+
+std::optional<instrument::VisitLog> Reader::decode_entry(
+    const IndexEntry& entry, Error* error) const {
+  Error block_error;
+  const auto frame =
+      decode_block(bytes_, static_cast<std::size_t>(entry.offset),
+                   &block_error);
+  if (!frame) {
+    if (error != nullptr) *error = block_error;
+    return std::nullopt;
+  }
+  if (frame->type != BlockType::kSite || frame->total_size != entry.length) {
+    if (error != nullptr) {
+      *error = {fault::ArchiveFault::kCorruptIndex,
+                "block at offset " + std::to_string(entry.offset) +
+                    " does not match its index entry"};
+    }
+    return std::nullopt;
+  }
+  auto log = decode_site_payload(frame->payload, error);
+  if (log && log->rank != entry.rank) {
+    if (error != nullptr) {
+      *error = {fault::ArchiveFault::kCorruptIndex,
+                "block at offset " + std::to_string(entry.offset) +
+                    " holds rank " + std::to_string(log->rank) +
+                    ", index claims " + std::to_string(entry.rank)};
+    }
+    return std::nullopt;
+  }
+  return log;
+}
+
+std::optional<instrument::VisitLog> Reader::visit(int rank,
+                                                  Error* error) const {
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), rank,
+      [](const IndexEntry& entry, int r) { return entry.rank < r; });
+  if (it == index_.end() || it->rank != rank) {
+    if (error != nullptr) {
+      *error = {fault::ArchiveFault::kNone,
+                "rank " + std::to_string(rank) + " is not in the archive"};
+    }
+    return std::nullopt;
+  }
+  return decode_entry(*it, error);
+}
+
+std::optional<instrument::VisitLog> Reader::visit_at(std::size_t i,
+                                                     Error* error) const {
+  if (i >= index_.size()) {
+    if (error != nullptr) {
+      *error = {fault::ArchiveFault::kNone, "index position out of range"};
+    }
+    return std::nullopt;
+  }
+  return decode_entry(index_[i], error);
+}
+
+bool Reader::for_each(
+    const std::function<void(instrument::VisitLog&&)>& sink,
+    Error* error) const {
+  for (const IndexEntry& entry : index_) {
+    auto log = decode_entry(entry, error);
+    if (!log) return false;
+    sink(std::move(*log));
+  }
+  if (error != nullptr) *error = {};
+  return true;
+}
+
+std::optional<Reader::VerifyStats> Reader::verify(Error* error) const {
+  VerifyStats stats;
+  stats.file_bytes = bytes_.size();
+  const bool ok = for_each(
+      [&stats](instrument::VisitLog&& log) {
+        ++stats.sites;
+        stats.record_count += log.script_sets.size() + log.http_sets.size() +
+                              log.reads.size() + log.requests.size() +
+                              log.dom_mods.size() + log.includes.size();
+      },
+      error);
+  if (!ok) return std::nullopt;
+  return stats;
+}
+
+}  // namespace cg::store

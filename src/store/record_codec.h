@@ -1,0 +1,41 @@
+// VisitLog ⇄ CGAR site-block payload.
+//
+// Encoding is a pure function of the log (no clocks, no map iteration, no
+// pointers), so shard workers can encode blocks in parallel and the merged
+// archive stays byte-identical at any thread count. Strings are interned
+// into a block-local table in first-use order; records reference them by
+// varint index — the setter domains and script URLs that repeat hundreds of
+// times per site are stored once.
+//
+// Decoding validates everything: enum values in range, string indices in
+// table, record counts consistent with the bytes that follow. Any
+// violation degrades to Error{kCorruptBlock}, never UB — the decoder is
+// fuzzed over truncated and bit-flipped inputs (tests/fuzz_test.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "instrument/records.h"
+#include "store/cgar.h"
+
+namespace cg::store {
+
+/// Encodes `log` as a site-block payload (rank, string table, body).
+std::string encode_site_payload(const instrument::VisitLog& log);
+
+/// Convenience: the payload framed as a complete site block, ready to
+/// append to an archive stream. Pure — safe on any shard worker.
+std::string encode_site_block(const instrument::VisitLog& log);
+
+/// Reads the rank varint off the front of a site-block payload without
+/// decoding the rest (the writer's resume scan needs only this).
+std::optional<int> peek_site_rank(std::string_view payload);
+
+/// Decodes a site-block payload. Empty optional + taxonomy'd `error` on any
+/// structural violation.
+std::optional<instrument::VisitLog> decode_site_payload(
+    std::string_view payload, Error* error);
+
+}  // namespace cg::store

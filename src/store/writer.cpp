@@ -1,0 +1,167 @@
+#include "store/writer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "store/record_codec.h"
+
+namespace cg::store {
+namespace {
+
+void set_error(Error* error, fault::ArchiveFault code, std::string detail) {
+  if (error != nullptr) *error = {code, std::move(detail)};
+}
+
+}  // namespace
+
+Writer::Writer(std::ostream* out, WriterOptions options)
+    : out_(out), options_(options) {
+  write(encode_header());
+}
+
+Writer::Writer(std::unique_ptr<std::ostream> owned, WriterOptions options,
+               std::vector<IndexEntry> index, std::uint64_t bytes)
+    : owned_out_(std::move(owned)),
+      out_(owned_out_.get()),
+      options_(options),
+      index_(std::move(index)),
+      bytes_(bytes) {}
+
+Writer::~Writer() {
+  // Deliberately no auto-finish: an unfinished archive (no footer) is the
+  // on-disk signature of an interrupted crawl, which resume() understands.
+  // Finishing in a destructor would turn a crash-mid-crawl into a footer
+  // claiming the truncated site set is complete.
+}
+
+std::unique_ptr<Writer> Writer::create(const std::string& path,
+                                       WriterOptions options, Error* error) {
+  auto out = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::trunc);
+  if (!*out) {
+    set_error(error, fault::ArchiveFault::kIoError, "cannot create " + path);
+    return nullptr;
+  }
+  const std::string header = encode_header();
+  out->write(header.data(), static_cast<std::streamsize>(header.size()));
+  return std::unique_ptr<Writer>(
+      new Writer(std::move(out), options, {}, header.size()));
+}
+
+std::unique_ptr<Writer> Writer::resume(const std::string& path,
+                                       WriterOptions options, int sites,
+                                       Error* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    set_error(error, fault::ArchiveFault::kIoError, "cannot open " + path);
+    return nullptr;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  const std::string header = encode_header();
+  if (bytes.size() < header.size() ||
+      std::string_view(bytes).substr(0, header.size()) != header) {
+    set_error(error, fault::ArchiveFault::kBadMagic,
+              path + " does not start with a CGAR v1 header");
+    return nullptr;
+  }
+
+  // CRC-walk the prefix the checkpoint accounted for, rebuilding the
+  // writer's index. Footer blocks (a previously *finished* archive being
+  // extended) are skipped, not counted.
+  std::vector<IndexEntry> index;
+  index.reserve(static_cast<std::size_t>(sites < 0 ? 0 : sites));
+  std::size_t offset = header.size();
+  while (static_cast<int>(index.size()) < sites) {
+    Error block_error;
+    const auto frame = decode_block(bytes, offset, &block_error);
+    if (!frame) {
+      set_error(error, fault::ArchiveFault::kTruncated,
+                path + " holds only " + std::to_string(index.size()) +
+                    " intact site blocks before offset " +
+                    std::to_string(offset) + ", checkpoint expects " +
+                    std::to_string(sites) + " (" + block_error.to_string() +
+                    ")");
+      return nullptr;
+    }
+    if (frame->type == BlockType::kSite) {
+      const auto rank = peek_site_rank(frame->payload);
+      if (!rank) {
+        set_error(error, fault::ArchiveFault::kCorruptBlock,
+                  "site block at offset " + std::to_string(offset) +
+                      " has an unreadable rank");
+        return nullptr;
+      }
+      index.push_back({*rank, offset, frame->total_size});
+    }
+    offset += frame->total_size;
+  }
+
+  // Everything after the checkpointed prefix — blocks written between the
+  // checkpoint and the crash, or an old footer — is discarded so the resumed
+  // crawl re-emits it deterministically.
+  std::error_code ec;
+  std::filesystem::resize_file(path, offset, ec);
+  if (ec) {
+    set_error(error, fault::ArchiveFault::kIoError,
+              "cannot truncate " + path + ": " + ec.message());
+    return nullptr;
+  }
+  auto out = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::app);
+  if (!*out) {
+    set_error(error, fault::ArchiveFault::kIoError, "cannot reopen " + path);
+    return nullptr;
+  }
+  return std::unique_ptr<Writer>(
+      new Writer(std::move(out), options, std::move(index), offset));
+}
+
+void Writer::write(std::string_view bytes) {
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  bytes_ += bytes.size();
+}
+
+void Writer::add(const instrument::VisitLog& log) {
+  append_site_block(log.rank, encode_site_block(log));
+}
+
+void Writer::append_site_block(int rank, std::string&& block) {
+  if (!index_.empty() && rank <= index_.back().rank) {
+    rank_order_violated_ = true;
+  }
+  index_.push_back({rank, bytes_, block.size()});
+  write(block);
+}
+
+bool Writer::finish(Error* error) {
+  if (finished_) return true;
+  if (rank_order_violated_) {
+    set_error(error, fault::ArchiveFault::kDuplicateSite,
+              "site blocks were appended out of rank order");
+    return false;
+  }
+  FooterInfo info;
+  info.format_version = kFormatVersion;
+  info.schema_version = instrument::kVisitLogSchemaVersion;
+  info.corpus_seed = options_.corpus_seed;
+  info.fault_seed = options_.fault_seed;
+  const std::uint64_t footer_offset = bytes_;
+  write(encode_block(BlockType::kFooter, encode_footer_payload(info, index_)));
+  write(encode_trailer(footer_offset));
+  out_->flush();
+  if (!*out_) {
+    set_error(error, fault::ArchiveFault::kIoError,
+              "stream failed while finalising the archive");
+    return false;
+  }
+  finished_ = true;
+  if (error != nullptr) *error = {};
+  return true;
+}
+
+}  // namespace cg::store

@@ -1,0 +1,98 @@
+// Streaming CGAR writer.
+//
+// Append-only: header on construction, one site block per add() /
+// append_site_block() call, footer + trailer on finish(). The writer holds
+// only the (rank, offset, length) index in memory — a 20k-site archive
+// streams to disk without the record corpus ever being resident.
+//
+// Threading contract mirrors the crawl's merge discipline: encoding a block
+// (encode_site_block) is pure and runs on shard workers; the Writer itself
+// is single-thread and is only ever called from the merge thread, in
+// site-index order. That makes the archive byte-identical at any thread
+// count.
+//
+// Crash safety: resume() reopens a partial archive (header + site blocks,
+// no footer), keeps exactly the `sites` blocks a crawl checkpoint accounted
+// for, truncates anything written after the checkpoint, and continues
+// appending — the finished file is byte-identical to an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "instrument/records.h"
+#include "store/cgar.h"
+
+namespace cg::store {
+
+struct WriterOptions {
+  /// Provenance recorded in the footer; readers cross-check these against
+  /// the corpus an analysis is about to run with.
+  std::uint64_t corpus_seed = 0;
+  std::uint64_t fault_seed = 0;  // 0 = crawl ran with faults disabled
+};
+
+class Writer {
+ public:
+  /// Streams to an externally-owned ostream (must be opened binary; tests
+  /// use std::ostringstream). Writes the header immediately.
+  Writer(std::ostream* out, WriterOptions options);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Creates `path` (truncating) and returns a writer that owns the stream.
+  /// Null + Error{kIoError} when the file cannot be opened.
+  static std::unique_ptr<Writer> create(const std::string& path,
+                                        WriterOptions options,
+                                        Error* error = nullptr);
+
+  /// Reopens a partial archive for checkpoint resume: validates the header,
+  /// CRC-walks the first `sites` site blocks (rebuilding the index),
+  /// truncates everything after them, and appends from there. Null +
+  /// taxonomy'd error when the prefix is unusable — fewer than `sites`
+  /// intact blocks is kTruncated.
+  static std::unique_ptr<Writer> resume(const std::string& path,
+                                        WriterOptions options, int sites,
+                                        Error* error = nullptr);
+
+  /// Encodes and appends one site block. Equivalent to
+  /// append_site_block(log.rank, encode_site_block(log)) — use the split
+  /// form when blocks are encoded ahead of time on shard workers.
+  void add(const instrument::VisitLog& log);
+
+  /// Appends a pre-framed site block (from encode_site_block). Blocks must
+  /// arrive in strictly increasing rank order; violations are surfaced at
+  /// finish() rather than silently producing an unreadable archive.
+  void append_site_block(int rank, std::string&& block);
+
+  /// Writes footer + trailer and flushes. False + taxonomy'd error if the
+  /// stream failed or blocks arrived out of rank order. Idempotent.
+  bool finish(Error* error = nullptr);
+
+  int sites_written() const { return static_cast<int>(index_.size()); }
+  /// Bytes emitted so far (header + site blocks; footer/trailer only after
+  /// finish()). A crawl checkpoint records this for resume verification.
+  std::uint64_t bytes_written() const { return bytes_; }
+  const std::vector<IndexEntry>& index() const { return index_; }
+
+ private:
+  Writer(std::unique_ptr<std::ostream> owned, WriterOptions options,
+         std::vector<IndexEntry> index, std::uint64_t bytes);
+
+  void write(std::string_view bytes);
+
+  std::unique_ptr<std::ostream> owned_out_;
+  std::ostream* out_;
+  WriterOptions options_;
+  std::vector<IndexEntry> index_;
+  std::uint64_t bytes_ = 0;
+  bool finished_ = false;
+  bool rank_order_violated_ = false;
+};
+
+}  // namespace cg::store

@@ -243,6 +243,18 @@ TEST(CrawlResilienceTest, CheckpointRoundTripsThroughJson) {
   EXPECT_EQ(parsed->fault_seed, 0xFA177ULL);
   EXPECT_EQ(parsed->health.to_json().dump(),
             checkpoint.health.to_json().dump());
+  // A checkpoint from a non-packing crawl carries no archive segment.
+  EXPECT_EQ(parsed->archive_sites, -1);
+  EXPECT_EQ(parsed->archive_bytes, 0);
+
+  // A packing crawl's checkpoint references its archive segment.
+  checkpoint.archive_sites = 50;
+  checkpoint.archive_bytes = 123456;
+  const auto packed =
+      CrawlCheckpoint::from_json_string(checkpoint.to_json_string());
+  ASSERT_TRUE(packed.has_value());
+  EXPECT_EQ(packed->archive_sites, 50);
+  EXPECT_EQ(packed->archive_bytes, 123456);
 
   EXPECT_FALSE(CrawlCheckpoint::from_json_string("not json").has_value());
   EXPECT_FALSE(CrawlCheckpoint::from_json_string("{}").has_value());

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "crypto/base64.h"
+#include "crypto/crc32c.h"
 #include "crypto/hex.h"
 #include "crypto/md5.h"
 #include "crypto/sha1.h"
@@ -118,6 +119,49 @@ TEST(Sha1Test, BlockBoundaryLengths) {
     split.update(data.substr(0, 1));
     split.update(data.substr(1));
     EXPECT_EQ(to_hex(split.digest()), Sha1::hex(data)) << "len=" << len;
+  }
+}
+
+// -------------------------------------------------------------- crc32c ----
+
+TEST(Crc32cTest, Rfc3720Vectors) {
+  // iSCSI (RFC 3720 §B.4) reference vectors for CRC32C/Castagnoli.
+  EXPECT_EQ(crc32c(std::string(32, '\x00')), 0x8A9136AAu);
+  EXPECT_EQ(crc32c(std::string(32, '\xFF')), 0x62A8AB43u);
+  std::string ascending, descending;
+  for (int i = 0; i < 32; ++i) {
+    ascending.push_back(static_cast<char>(i));
+    descending.push_back(static_cast<char>(31 - i));
+  }
+  EXPECT_EQ(crc32c(ascending), 0x46DD794Eu);
+  EXPECT_EQ(crc32c(descending), 0x113FDB5Cu);
+}
+
+TEST(Crc32cTest, CheckValue) {
+  // The classic CRC "check" input.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the first-party cookie jar, block by block";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Crc32c crc;
+    crc.update(std::string_view(data).substr(0, split));
+    crc.update(std::string_view(data).substr(split));
+    EXPECT_EQ(crc.value(), crc32c(data)) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  const std::string data = "CGAR block payload";
+  const std::uint32_t good = crc32c(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = data;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+      EXPECT_NE(crc32c(bad), good) << "byte=" << byte << " bit=" << bit;
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 // per parser, checking no-crash plus structural invariants.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "cookies/cookie_jar.h"
@@ -15,6 +16,9 @@
 #include "report/json.h"
 #include "script/interpreter.h"
 #include "script/rng.h"
+#include "store/reader.h"
+#include "store/record_codec.h"
+#include "store/writer.h"
 
 namespace cg {
 namespace {
@@ -69,7 +73,9 @@ TEST(FuzzTest, SetCookieParserToleratesGarbage) {
     // Parsed names/values never contain the separators that would break
     // re-serialisation into a jar line.
     EXPECT_EQ(parsed->name.find(';'), std::string::npos);
-    if (!parsed->path.empty()) EXPECT_EQ(parsed->path.front(), '/');
+    if (!parsed->path.empty()) {
+      EXPECT_EQ(parsed->path.front(), '/');
+    }
   }
 }
 
@@ -216,6 +222,178 @@ TEST(FuzzTest, JsonParserToleratesMalformedStringEscapes) {
     if (parsed) {
       const auto again = report::Json::parse(parsed->dump());
       ASSERT_TRUE(again.has_value()) << text;
+    }
+  }
+}
+
+// ---- store::Reader -------------------------------------------------------
+// The archive reader consumes files that may have been truncated by a
+// crash, bit-rotted on disk, or stitched together by a buggy sync tool.
+// Whatever the bytes, it must return a fault::ArchiveFault taxonomy code —
+// never crash, hang, or fabricate records with out-of-range enums.
+
+/// A small but structurally rich archive: several sites, shared strings,
+/// every record channel populated.
+std::string seed_archive(script::Rng& rng) {
+  std::ostringstream out;
+  store::Writer writer(&out, {0xC0FFEEu, 0xFA17u});
+  for (int rank = 0; rank < 8; ++rank) {
+    instrument::VisitLog log;
+    log.site_host = "www.site" + std::to_string(rank) + ".com";
+    log.site = "site" + std::to_string(rank) + ".com";
+    log.rank = rank;
+    log.has_cookie_logs = true;
+    log.has_request_logs = rank % 2 == 0;
+    log.attempts = 1 + static_cast<int>(rng.below(3));
+    const int records = 1 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < records; ++i) {
+      instrument::ScriptCookieSetRecord set;
+      set.cookie_name = "c" + std::to_string(i);
+      set.value = "v" + std::to_string(rng.below(1000));
+      set.setter_url = "https://cdn.tracker.net/t.js";
+      set.setter_domain = "tracker.net";
+      set.time = static_cast<TimeMillis>(rng.below(10000));
+      log.script_sets.push_back(set);
+      instrument::RequestRecord req;
+      req.url = "https://px.tracker.net/p?x=" + std::to_string(i);
+      req.host = "px.tracker.net";
+      req.dest_domain = "tracker.net";
+      req.time = set.time + 1;
+      log.requests.push_back(req);
+    }
+    writer.add(log);
+  }
+  EXPECT_TRUE(writer.finish());
+  return out.str();
+}
+
+/// Shared oracle: whatever `bytes` holds, opening and fully decoding it
+/// must either succeed or stop with a valid taxonomy code. Returns true
+/// when the archive was accepted end-to-end.
+bool open_and_drain(const std::string& bytes) {
+  store::Error error;
+  const auto reader = store::Reader::from_buffer(bytes, &error);
+  if (!reader) {
+    EXPECT_NE(error.code, fault::ArchiveFault::kNone);
+    EXPECT_LT(static_cast<int>(error.code), fault::kArchiveFaultCount);
+    return false;
+  }
+  store::Error decode_error;
+  const bool drained = reader->for_each(
+      [](instrument::VisitLog&& log) {
+        // Decoded records carry in-range enums or the block was rejected.
+        for (const auto& record : log.script_sets) {
+          EXPECT_LT(static_cast<int>(record.api), 3);
+          EXPECT_LT(static_cast<int>(record.category), 11);
+        }
+      },
+      &decode_error);
+  if (!drained) {
+    EXPECT_NE(decode_error.code, fault::ArchiveFault::kNone);
+    EXPECT_LT(static_cast<int>(decode_error.code),
+              fault::kArchiveFaultCount);
+  }
+  return drained;
+}
+
+TEST(FuzzTest, CgarReaderSurvivesBitFlips) {
+  script::Rng rng(0xC6A2);
+  const std::string archive = seed_archive(rng);
+  ASSERT_TRUE(open_and_drain(archive));
+  for (int i = 0; i < 4000; ++i) {
+    std::string bad = archive;
+    const int flips = 1 + static_cast<int>(rng.below(8));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.below(bad.size());
+      bad[pos] = static_cast<char>(bad[pos] ^ (1u << rng.below(8)));
+    }
+    open_and_drain(bad);  // must not crash; rejections are taxonomy'd
+  }
+}
+
+TEST(FuzzTest, CgarReaderRejectsEveryTruncationAndExtension) {
+  script::Rng rng(0xC6A3);
+  const std::string archive = seed_archive(rng);
+  for (int i = 0; i < 3000; ++i) {
+    const std::size_t len = rng.below(archive.size());
+    EXPECT_FALSE(open_and_drain(archive.substr(0, len))) << "len=" << len;
+  }
+  // Bytes appended after the trailer shift the trailer out of position.
+  EXPECT_FALSE(open_and_drain(archive + "tail"));
+}
+
+TEST(FuzzTest, CgarReaderSurvivesSplicedAndDuplicatedBlocks) {
+  script::Rng rng(0xC6A4);
+  const std::string archive = seed_archive(rng);
+  for (int i = 0; i < 3000; ++i) {
+    std::string bad = archive;
+    const std::size_t from = rng.below(bad.size());
+    const std::size_t span = 1 + rng.below(bad.size() - from);
+    const std::string slice = bad.substr(from, span);
+    if (rng.below(2) == 0) {
+      bad.insert(rng.below(bad.size() + 1), slice);  // duplicate a range
+    } else {
+      bad.erase(from, span);  // drop a range
+    }
+    // A splice that leaves the byte count and every checksum and index
+    // offset consistent is only the identity; anything else is rejected.
+    if (bad != archive) {
+      EXPECT_FALSE(open_and_drain(bad)) << "from=" << from << " span=" << span
+                                        << " len=" << bad.size();
+    }
+  }
+}
+
+TEST(FuzzTest, CgarReaderToleratesArbitraryGarbage) {
+  script::Rng rng(0xC6A5);
+  for (int i = 0; i < 4000; ++i) {
+    open_and_drain(i % 2 == 0 ? random_bytes(rng, 300)
+                              : random_structured(rng, 300));
+  }
+  // Near-miss headers: correct magic, garbage after.
+  for (int i = 0; i < 1000; ++i) {
+    std::string bytes(store::kHeaderMagic);
+    bytes += random_bytes(rng, 120);
+    EXPECT_FALSE(open_and_drain(bytes));
+  }
+}
+
+TEST(FuzzTest, CgarPayloadDecoderNeverCrashesOnMutatedPayloads) {
+  script::Rng rng(0xC6A6);
+  instrument::VisitLog log;
+  log.site_host = "www.fuzz.example";
+  log.site = "fuzz.example";
+  log.rank = 3;
+  instrument::ScriptCookieSetRecord set;
+  set.cookie_name = "id";
+  set.value = "123";
+  set.setter_url = "https://t.example/x.js";
+  set.setter_domain = "t.example";
+  log.script_sets.push_back(set);
+  const std::string payload = store::encode_site_payload(log);
+
+  for (int i = 0; i < 4000; ++i) {
+    std::string bad = payload;
+    const int edits = 1 + static_cast<int>(rng.below(4));
+    for (int e = 0; e < edits; ++e) {
+      if (bad.empty()) bad.push_back('\0');
+      switch (rng.below(3)) {
+        case 0:  // flip
+          bad[rng.below(bad.size())] ^= static_cast<char>(1u << rng.below(8));
+          break;
+        case 1:  // truncate
+          bad.resize(rng.below(bad.size() + 1));
+          break;
+        default:  // extend with junk
+          bad += random_bytes(rng, 16);
+          break;
+      }
+    }
+    if (bad.empty()) bad.push_back('\0');
+    store::Error error;
+    const auto decoded = store::decode_site_payload(bad, &error);
+    if (!decoded.has_value()) {
+      EXPECT_EQ(error.code, fault::ArchiveFault::kCorruptBlock);
     }
   }
 }
