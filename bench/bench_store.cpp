@@ -217,8 +217,9 @@ int main(int argc, char** argv) {
               read_s > 0 ? archive_mb / read_s : 0.0, archive_mb, read_s);
   std::printf("  %-28s %8.1f bytes/site\n", "archive density",
               sites > 0 ? static_cast<double>(archive.size()) / sites : 0.0);
-  std::printf("  %-28s %8.1f bytes/site\n", "JSON equivalent",
-              sites > 0 ? static_cast<double>(json_total) / sites : 0.0);
+  std::printf("  %-28s %8.1f bytes/site  (%.2f MB)\n", "JSON equivalent",
+              sites > 0 ? static_cast<double>(json_total) / sites : 0.0,
+              json_mb);
   std::printf("  %-28s %8.1f%% of JSON (bar: <= 25%%)  [%s]\n", "size ratio",
               100.0 * ratio, ratio <= 0.25 ? "PASS" : "FAIL");
   std::printf("\n");

@@ -75,10 +75,13 @@ void BM_JarSerialization(benchmark::State& state) {
   cookies::CookieJar jar;
   const auto url = net::Url::must_parse("https://www.site1.com/");
   for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
-    jar.set_from_string(url,
-                        "c" + std::to_string(i) + "=v" + std::to_string(i) +
-                            "; Path=/",
-                        1746748800000);
+    // Append, not chained operator+: GCC 12 -Wrestrict FP (PR 105329).
+    std::string line = "c";
+    line += std::to_string(i);
+    line += "=v";
+    line += std::to_string(i);
+    line += "; Path=/";
+    jar.set_from_string(url, line, 1746748800000);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(jar.document_cookie_string(url, 1746748800000));
@@ -101,9 +104,12 @@ void BM_GuardedReadFilter(benchmark::State& state) {
   tracker.script_domain = "tracker.com";
   page->run_as(tracker, [&](script::PageServices& services) {
     for (int i = 0; i < 30; ++i) {
-      services.document_cookie_write(
-          tracker, "c" + std::to_string(i) + "=val" + std::to_string(i) +
-                       "0123456789; Path=/");
+      std::string line = "c";
+      line += std::to_string(i);
+      line += "=val";
+      line += std::to_string(i);
+      line += "0123456789; Path=/";
+      services.document_cookie_write(tracker, line);
     }
   });
   script::ExecContext reader;

@@ -85,11 +85,13 @@ Args parse_args(int argc, char** argv) {
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
     // Flags without values: --guard
+    // Built locally then moved in: a char* assign through the map's
+    // operator[] trips the GCC 12 -Wrestrict false positive (PR 105329).
+    std::string value = "1";
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      args.options[key] = argv[++i];
-    } else {
-      args.options[key] = "1";
+      value.assign(argv[++i]);
     }
+    args.options[key] = std::move(value);
   }
   return args;
 }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <unordered_map>
 
 #include "crypto/base64.h"
 #include "crypto/md5.h"
@@ -203,7 +202,9 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
   // into the first party, as the paper does for inline scripts.
   std::map<std::string, std::pair<std::string, CookieSource>> owner;
   // Candidate identifiers: encoded form -> owning pair (for exfiltration).
-  std::unordered_map<std::string, CookiePair> candidates;
+  // Ordered map (cglint D3): lookups dominate, but nothing downstream may
+  // ever depend on hash-table iteration order.
+  std::map<std::string, CookiePair> candidates;
   std::set<CookiePair> pairs_this_visit;
 
   // A candidate segment seen in the values of two *different* pairs (e.g. a

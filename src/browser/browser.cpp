@@ -6,9 +6,9 @@
 namespace cg::browser {
 
 NavigationResult::NavigationResult() = default;
-NavigationResult::NavigationResult(std::unique_ptr<Page> page,
-                                   fault::FailureClass failure)
-    : page(std::move(page)), failure(failure) {}
+NavigationResult::NavigationResult(std::unique_ptr<Page> page_in,
+                                   fault::FailureClass failure_in)
+    : page(std::move(page_in)), failure(failure_in) {}
 NavigationResult::NavigationResult(NavigationResult&&) noexcept = default;
 NavigationResult& NavigationResult::operator=(NavigationResult&&) noexcept =
     default;

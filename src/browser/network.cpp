@@ -34,8 +34,8 @@ net::HttpResponse NetworkLayer::dispatch(
     response = it->second(request);
   } else {
     const std::string site = net::etld_plus_one(request.url.host());
-    if (const auto it = sites_.find(site); it != sites_.end()) {
-      response = it->second(request);
+    if (const auto site_it = sites_.find(site); site_it != sites_.end()) {
+      response = site_it->second(request);
     } else {
       response.status = 200;
     }

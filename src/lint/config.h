@@ -1,0 +1,68 @@
+// cglint configuration: the declared module DAG plus per-rule scoping.
+//
+// The checked-in `lint/layering.txt` is the single source of truth for which
+// module may include which. Grammar (one statement per line, `#` comments):
+//
+//   path <repo-relative-prefix> <module>     # map files to a module
+//   deps <module>: [dep ...]                 # complete allowed include list
+//   open <module> [module ...]               # exempt from L1 (apps, tests)
+//   allow <RULE> under <path-prefix> [...]   # rule allowlisted below prefix
+//   restrict <RULE> <module> [module ...]    # rule applies only in these
+//
+// A file's module defaults to its first path component (bench/, tests/, ...)
+// or, under src/, the second (src/obs/... → obs). `path` overrides win and
+// are matched longest-prefix-first, which is how report/json.* is carved out
+// as the `jsoncore` module the CMake build already links separately.
+// The declared `deps` graph must be acyclic; load() rejects cyclic configs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cg::lint {
+
+class Config {
+ public:
+  /// Parse from text. On grammar errors or a cyclic deps graph returns
+  /// nullopt and sets *error to a "line N: ..." message.
+  static std::optional<Config> parse(std::string_view text,
+                                     std::string* error);
+  /// Parse from a file on disk.
+  static std::optional<Config> load(const std::string& file,
+                                    std::string* error);
+
+  /// Module owning a repo-relative path ("src/obs/trace.cpp" → "obs").
+  std::string module_of(std::string_view path) const;
+
+  /// True if `from` may include from `to` (same module, open module, or a
+  /// declared edge).
+  bool edge_allowed(const std::string& from, const std::string& to) const;
+
+  /// True if `module` has a `deps` line or is `open` (i.e. L1 knows it).
+  bool module_declared(const std::string& module) const;
+
+  /// True if `rule` is switched off for `path` by an `allow ... under` line.
+  bool rule_allowlisted(std::string_view rule, std::string_view path) const;
+
+  /// True if `rule` applies to `module`: unrestricted rules apply
+  /// everywhere, `restrict`-ed ones only to the listed modules.
+  bool rule_applies(std::string_view rule, const std::string& module) const;
+
+  const std::map<std::string, std::set<std::string>>& deps() const {
+    return deps_;
+  }
+  const std::set<std::string>& open_modules() const { return open_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> path_overrides_;
+  std::map<std::string, std::set<std::string>> deps_;
+  std::set<std::string> open_;
+  std::map<std::string, std::vector<std::string>> allow_prefixes_;
+  std::map<std::string, std::set<std::string>> restrict_;
+};
+
+}  // namespace cg::lint

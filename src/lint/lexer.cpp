@@ -1,0 +1,313 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace cg::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Valid string-literal prefixes; a trailing R makes the literal raw.
+bool is_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "L" || ident == "u" || ident == "U" ||
+         ident == "u8" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        string_literal(pos_, /*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        number();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier();
+        continue;
+      }
+      punct();
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(TokenKind kind, std::size_t begin, int line) {
+    tokens_.push_back({kind, src_.substr(begin, pos_ - begin), line});
+  }
+
+  void count_lines(std::size_t begin) {
+    for (std::size_t i = begin; i < pos_; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+  }
+
+  // `// ...` to end of line; a trailing backslash continues the comment onto
+  // the next line, exactly as the preprocessor sees it.
+  void line_comment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        std::size_t back = pos_;
+        while (back > begin && src_[back - 1] == '\r') --back;
+        if (back > begin && src_[back - 1] == '\\') {
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      ++pos_;
+    }
+    emit(TokenKind::kComment, begin, line);
+    at_line_start_ = true;  // the upcoming '\n' re-arms directives anyway
+  }
+
+  void block_comment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += 2;
+    emit(TokenKind::kComment, begin, line);
+  }
+
+  // A preprocessor directive runs to end of line, honoring backslash
+  // continuations. A trailing // or /* comment is NOT part of the directive
+  // token — it is lexed separately so suppression annotations work on
+  // #include lines.
+  void directive() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    bool in_string = false;
+    char quote = '\0';
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        std::size_t back = pos_;
+        while (back > begin && src_[back - 1] == '\r') --back;
+        if (back > begin && src_[back - 1] == '\\') {
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (in_string) {
+        if (c == '\\' && quote == '"') {
+          pos_ += 2;
+          continue;
+        }
+        if (c == quote) in_string = false;
+        ++pos_;
+        continue;
+      }
+      if (c == '"' || (c == '<' && directive_is_include(begin))) {
+        in_string = true;
+        quote = c == '<' ? '>' : '"';
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      ++pos_;
+    }
+    emit(TokenKind::kDirective, begin, line);
+  }
+
+  bool directive_is_include(std::size_t begin) const {
+    const auto text = src_.substr(begin, pos_ - begin);
+    return text.find("include") != std::string_view::npos;
+  }
+
+  void string_literal(std::size_t begin, bool raw) {
+    const int line = line_;
+    if (raw) {
+      // R"delim( ... )delim"
+      ++pos_;  // opening quote
+      const std::size_t delim_begin = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+      const std::string_view delim = src_.substr(delim_begin, pos_ - delim_begin);
+      std::string closer = ")";
+      closer += delim;
+      closer += '"';
+      const std::size_t close = src_.find(closer, pos_);
+      pos_ = close == std::string_view::npos ? src_.size()
+                                            : close + closer.size();
+      count_lines(begin);
+      emit(TokenKind::kString, begin, line);
+      return;
+    }
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"' || c == '\n') break;  // robust to unterminated literals
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    emit(TokenKind::kString, begin, line);
+  }
+
+  void char_literal() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'' || c == '\n') break;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    emit(TokenKind::kString, begin, line);
+  }
+
+  void number() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+          c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e+5, 0x1p-3
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, begin, line);
+  }
+
+  void identifier() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    const std::string_view ident = src_.substr(begin, pos_ - begin);
+    // String-literal prefix? u8"x", R"(x)", LR"(x)" ...
+    if (pos_ < src_.size() && src_[pos_] == '"' && is_string_prefix(ident)) {
+      string_literal(begin, /*raw=*/ident.back() == 'R');
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (ident == "L" || ident == "u" || ident == "U" || ident == "u8")) {
+      char_literal();
+      // Re-label to include the prefix.
+      tokens_.back().text = src_.substr(begin, pos_ - begin);
+      return;
+    }
+    emit(TokenKind::kIdentifier, begin, line);
+  }
+
+  void punct() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    const char c = src_[pos_];
+    ++pos_;
+    // Multi-char tokens the rules care about; everything else is one char.
+    if (pos_ < src_.size()) {
+      const char n = src_[pos_];
+      if ((c == ':' && n == ':') || (c == '-' && n == '>') ||
+          (c == '#' && n == '#')) {
+        ++pos_;
+      }
+    }
+    emit(TokenKind::kPunct, begin, line);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return Scanner(source).run();
+}
+
+std::optional<IncludeTarget> parse_include(const Token& directive) {
+  if (directive.kind != TokenKind::kDirective) return std::nullopt;
+  std::string_view text = directive.text;
+  // "#" [ws] "include" [ws] <"path"|<path>>
+  std::size_t i = 1;  // skip '#'
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  static constexpr std::string_view kInclude = "include";
+  if (text.substr(i, kInclude.size()) != kInclude) return std::nullopt;
+  i += kInclude.size();
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i >= text.size()) return std::nullopt;
+  const char open = text[i];
+  if (open != '"' && open != '<') return std::nullopt;
+  const char close = open == '<' ? '>' : '"';
+  const std::size_t end = text.find(close, i + 1);
+  if (end == std::string_view::npos) return std::nullopt;
+  return IncludeTarget{std::string(text.substr(i + 1, end - i - 1)),
+                       open == '"'};
+}
+
+}  // namespace cg::lint

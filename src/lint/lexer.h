@@ -1,0 +1,45 @@
+// Comment/string-aware C++ token scanner for cglint.
+//
+// This is not a compiler front end: it is a single-pass lexer that is exact
+// about the things static determinism rules care about — what is code, what
+// is a comment, what is inside a string (including raw strings), and which
+// line everything is on — and deliberately naive about everything else.
+// Tokens are string_views into the caller's source buffer; the buffer must
+// outlive the token vector.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cg::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,      // numeric literals (incl. digit separators, exponents)
+  kString,      // "...", R"(...)", '...' — prefix and quotes included
+  kPunct,       // operators/punctuation; :: -> ## are single tokens
+  kComment,     // // or /* */ — delimiters included
+  kDirective,   // a whole preprocessor directive (sans trailing comment)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string_view text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+/// Lex an entire translation unit. Never fails: unterminated strings stop at
+/// end of line, unterminated comments/raw strings at end of file.
+std::vector<Token> lex(std::string_view source);
+
+/// The target of an #include directive token: `#include "a/b.h"` →
+/// {path="a/b.h", quoted=true}. nullopt for other directives.
+struct IncludeTarget {
+  std::string path;
+  bool quoted = false;
+};
+std::optional<IncludeTarget> parse_include(const Token& directive);
+
+}  // namespace cg::lint

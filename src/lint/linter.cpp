@@ -1,0 +1,169 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cg::lint {
+namespace {
+
+void merge_into(LintReport& total, LintReport&& part) {
+  total.violations.insert(total.violations.end(),
+                          std::make_move_iterator(part.violations.begin()),
+                          std::make_move_iterator(part.violations.end()));
+  total.suppressed.insert(total.suppressed.end(),
+                          std::make_move_iterator(part.suppressed.begin()),
+                          std::make_move_iterator(part.suppressed.end()));
+  for (const auto& [rule, count] : part.suppression_census) {
+    total.suppression_census[rule] += count;
+  }
+  total.unused_suppressions.insert(
+      total.unused_suppressions.end(),
+      std::make_move_iterator(part.unused_suppressions.begin()),
+      std::make_move_iterator(part.unused_suppressions.end()));
+  total.files_scanned += part.files_scanned;
+  total.bytes_scanned += part.bytes_scanned;
+}
+
+bool lintable_file(const std::filesystem::path& path) {
+  const auto ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool skip_directory(const std::filesystem::path& path) {
+  const auto name = path.filename().string();
+  return name.empty() || name.front() == '.' ||
+         name.rfind("build", 0) == 0;
+}
+
+}  // namespace
+
+LintReport lint_source(const Config& config, const std::string& path,
+                       std::string_view source) {
+  LintReport report;
+  report.files_scanned = 1;
+  report.bytes_scanned = source.size();
+
+  const std::vector<Token> tokens = lex(source);
+  auto suppressions = parse_suppressions(tokens, path, &report.violations);
+  std::vector<Violation> raw = run_rules(config, path, tokens);
+
+  for (Violation& violation : raw) {
+    Suppression* match = nullptr;
+    for (Suppression& suppression : suppressions) {
+      if (suppression.target_line != violation.line) continue;
+      if (std::find(suppression.rules.begin(), suppression.rules.end(),
+                    violation.rule) == suppression.rules.end()) {
+        continue;
+      }
+      match = &suppression;
+      break;
+    }
+    if (match != nullptr) {
+      match->used = true;
+      ++report.suppression_census[violation.rule];
+      report.suppressed.push_back({std::move(violation), match->reason});
+    } else {
+      report.violations.push_back(std::move(violation));
+    }
+  }
+  for (const Suppression& suppression : suppressions) {
+    if (suppression.used) continue;
+    std::string rules;
+    for (const auto& rule : suppression.rules) {
+      if (!rules.empty()) rules += ',';
+      rules += rule;
+    }
+    report.unused_suppressions.push_back(
+        {path, suppression.comment_line, "S3",
+         "suppression allow(" + rules + ") matched no violation"});
+  }
+  return report;
+}
+
+LintReport lint_paths(const Config& config,
+                      const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    const fs::path root_path(root);
+    std::error_code ec;
+    if (fs::is_regular_file(root_path, ec)) {
+      files.push_back(root_path.generic_string());
+      continue;
+    }
+    fs::recursive_directory_iterator it(
+        root_path, fs::directory_options::skip_permission_denied, ec);
+    if (ec) continue;
+    for (const auto& entry : it) {
+      if (entry.is_directory(ec)) {
+        if (skip_directory(entry.path())) it.disable_recursion_pending();
+        continue;
+      }
+      if (entry.is_regular_file(ec) && lintable_file(entry.path())) {
+        files.push_back(entry.path().generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  LintReport total;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      total.violations.push_back({file, 0, "IO", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+    // Normalize "./src/x" → "src/x" so module mapping is stable however the
+    // root was spelled.
+    std::string rel = file;
+    while (rel.rfind("./", 0) == 0) rel.erase(0, 2);
+    merge_into(total, lint_source(config, rel, source));
+  }
+  std::stable_sort(total.violations.begin(), total.violations.end(),
+                   [](const Violation& a, const Violation& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return total;
+}
+
+std::string format_report(const LintReport& report, bool census) {
+  std::ostringstream out;
+  for (const Violation& violation : report.violations) {
+    out << violation.file << ':' << violation.line << ": [" << violation.rule
+        << "] " << violation.message << '\n';
+  }
+  if (census) {
+    out << "suppression census:";
+    if (report.suppression_census.empty()) {
+      out << " none\n";
+    } else {
+      out << '\n';
+      for (const auto& [rule, count] : report.suppression_census) {
+        out << "  " << rule << ": " << count << '\n';
+      }
+      for (const auto& entry : report.suppressed) {
+        out << "  " << entry.violation.file << ':' << entry.violation.line
+            << " allow(" << entry.violation.rule << ") — " << entry.reason
+            << '\n';
+      }
+    }
+    for (const Violation& unused : report.unused_suppressions) {
+      out << "note: " << unused.file << ':' << unused.line << ": "
+          << unused.message << '\n';
+    }
+  }
+  out << "cglint: " << report.files_scanned << " files, "
+      << report.bytes_scanned << " bytes, " << report.violations.size()
+      << " violation(s), " << report.suppressed.size() << " suppressed\n";
+  return out.str();
+}
+
+}  // namespace cg::lint

@@ -1,0 +1,48 @@
+// The cglint driver: walks source trees, runs the rules, matches
+// suppressions, and aggregates a report with a suppression census.
+//
+// Everything is deterministic: files are visited in sorted path order and
+// violations are reported in (file, line, rule) order, so two runs over the
+// same tree emit byte-identical output — the tool holds itself to the
+// invariants it enforces.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/config.h"
+#include "lint/rules.h"
+
+namespace cg::lint {
+
+struct SuppressedViolation {
+  Violation violation;
+  std::string reason;
+};
+
+struct LintReport {
+  std::vector<Violation> violations;            // unsuppressed, incl. S1/S2
+  std::vector<SuppressedViolation> suppressed;  // for the census
+  std::map<std::string, int> suppression_census;  // rule → suppressed count
+  std::vector<Violation> unused_suppressions;   // informational only
+  int files_scanned = 0;
+  std::size_t bytes_scanned = 0;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Lint one in-memory source (fixtures, tests). `path` is repo-relative and
+/// decides module membership.
+LintReport lint_source(const Config& config, const std::string& path,
+                       std::string_view source);
+
+/// Lint every .h/.hpp/.cc/.cpp under the given roots (files or directories,
+/// repo-relative). Hidden and build*/ directories are skipped.
+LintReport lint_paths(const Config& config,
+                      const std::vector<std::string>& roots);
+
+/// Render `path:line: [RULE] message` lines, the census, and a summary.
+std::string format_report(const LintReport& report, bool census);
+
+}  // namespace cg::lint

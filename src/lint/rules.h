@@ -1,0 +1,57 @@
+// The cglint rule set and the suppression grammar.
+//
+// Rule families (see DESIGN.md §10 for the full catalogue and rationale):
+//   D1  wall-clock time source outside allowlisted diagnostic paths
+//   D2  nondeterministic randomness (rand/random_device/std engines)
+//   D3  unordered-container iteration hazard in output-feeding modules
+//   D4  mutable static state (globals, function-local statics, thread_local)
+//   L1  layering: include crosses a module edge not declared in the DAG
+//   S1  malformed suppression annotation
+//   S2  suppression without a reason string
+//
+// Suppressions are inline `allow(RULE[,RULE]) — reason` comments, either
+// trailing the offending line or alone on the line above it; DESIGN.md §10
+// spells out the grammar. S1/S2 are not themselves suppressible.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/config.h"
+#include "lint/lexer.h"
+
+namespace cg::lint {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Violation&) const = default;
+};
+
+struct Suppression {
+  int comment_line = 0;  // where the annotation sits (for S2 / census)
+  int target_line = 0;   // the code line it suppresses
+  std::vector<std::string> rules;
+  std::string reason;
+  bool used = false;
+};
+
+/// Extract every suppression annotation from the comment tokens. Malformed
+/// annotations and missing reasons are reported straight into `errors`
+/// (rules S1/S2) — a broken suppression must fail the build, not silently
+/// stop suppressing.
+std::vector<Suppression> parse_suppressions(const std::vector<Token>& tokens,
+                                            const std::string& file,
+                                            std::vector<Violation>* errors);
+
+/// Run rules D1-D4 and L1 over one lexed file. `path` is repo-relative; it
+/// decides the module (layering) and rule allowlists. Suppressions are NOT
+/// applied here — the linter driver matches them so it can report a census.
+std::vector<Violation> run_rules(const Config& config, const std::string& path,
+                                 const std::vector<Token>& tokens);
+
+}  // namespace cg::lint

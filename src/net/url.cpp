@@ -137,9 +137,14 @@ Url Url::resolve(std::string_view relative) const {
 }
 
 std::string Url::origin() const {
-  std::string out = scheme_ + "://" + host_;
+  // Appends rather than chained operator+ to sidestep a GCC 12 -Wrestrict
+  // false positive (PR 105329) that trips warnings-as-errors builds.
+  std::string out = scheme_;
+  out += "://";
+  out += host_;
   if (port_ != default_port_for_scheme(scheme_)) {
-    out += ":" + std::to_string(port_);
+    out += ':';
+    out += std::to_string(port_);
   }
   return out;
 }

@@ -48,12 +48,17 @@ void Histogram::merge(const Histogram& other) {
 
 report::Json Histogram::to_json() const {
   auto j = report::Json::object();
-  auto bounds = report::Json::array();
-  for (const double b : bounds_) bounds.push_back(b);
-  j["bounds"] = std::move(bounds);
-  auto buckets = report::Json::array();
-  for (const std::int64_t c : buckets_) buckets.push_back(c);
-  j["buckets"] = std::move(buckets);
+  // Filled as Json::Array rather than via Json::push_back in a loop: GCC 12
+  // flags the variant move inside push_back with a spurious
+  // -Wmaybe-uninitialized that would fail warnings-as-errors builds.
+  report::Json::Array bounds;
+  bounds.reserve(bounds_.size());
+  for (const double b : bounds_) bounds.emplace_back(b);
+  j["bounds"] = report::Json(std::move(bounds));
+  report::Json::Array buckets;
+  buckets.reserve(buckets_.size());
+  for (const std::int64_t c : buckets_) buckets.emplace_back(c);
+  j["buckets"] = report::Json(std::move(buckets));
   j["overflow"] = overflow_;
   j["count"] = count_;
   j["sum"] = sum_;  // Json::dump serializes non-finite doubles as null

@@ -12,11 +12,14 @@ namespace cg::obs {
 
 namespace internal {
 
+// cglint: allow(D4) — DESIGN.md §8: the one amendment to the §7 no-mutable-globals audit; a non-owning thread-confined pointer bound/restored by RAII ObsScope, never shared across threads
 thread_local LocalObs* tls_obs = nullptr;
 
 std::int64_t wall_now_us() {
+  // cglint: allow(D1) — DESIGN.md §8: --trace-wall-clock diagnostic lane only; real timestamps for latency triage, off by default because they break byte-identity
+  const auto now = std::chrono::steady_clock::now();
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             now.time_since_epoch())
       .count();
 }
 

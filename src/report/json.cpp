@@ -6,6 +6,13 @@
 #include <cstdlib>
 
 namespace cg::report {
+
+Json::Json(const Json&) = default;
+Json::Json(Json&&) noexcept = default;
+Json& Json::operator=(const Json&) = default;
+Json& Json::operator=(Json&&) noexcept = default;
+Json::~Json() = default;
+
 namespace {
 
 /// Recursive-descent parser over a string_view; fails by returning false

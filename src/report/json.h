@@ -37,6 +37,15 @@ class Json {
   Json(Array a) : value_(std::move(a)) {}
   Json(Object o) : value_(std::move(o)) {}
 
+  // Defined out-of-line (json.cpp): keeping the variant copy/move out of
+  // callers' inlining scope avoids a spurious GCC 12 -Wmaybe-uninitialized
+  // on moved-from temporaries that breaks warnings-as-errors builds.
+  Json(const Json&);
+  Json(Json&&) noexcept;
+  Json& operator=(const Json&);
+  Json& operator=(Json&&) noexcept;
+  ~Json();
+
   static Json object() { return Json(Object{}); }
   static Json array() { return Json(Array{}); }
 

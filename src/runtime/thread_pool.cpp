@@ -5,6 +5,7 @@
 namespace cg::runtime {
 namespace {
 
+// cglint: allow(D4) — DESIGN.md §7: thread-confined worker index for current_worker(); written once per pool thread at spawn, never shared, never crawl-visible
 thread_local int tls_worker_index = -1;
 
 }  // namespace

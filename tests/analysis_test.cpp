@@ -186,6 +186,56 @@ TEST_F(AnalyzerTest, AmbiguousSegmentsNeverMatch) {
   EXPECT_EQ(analyzer_.totals().sites_doc_exfil, 0);
 }
 
+TEST_F(AnalyzerTest, CandidateMatchingIsInsertionOrderInvariant) {
+  // Regression for the cglint D3 finding at analyzer.cpp:206: the candidate
+  // identifier index must not leak container iteration order into results.
+  // Two cookies set at the SAME virtual time are ingested in both vector
+  // orders (stable_sort preserves them), so the candidate index is populated
+  // in a different order each run; every observable output must agree —
+  // including the ambiguity verdict for the segment their values share.
+  const auto a = set_record("a_id", "shared.4443323641746", "a-owner.com", 1);
+  const auto b = set_record("b_id", "shared.8683084998459", "b-owner.com", 1);
+  const auto exfil_a = request(
+      "https://collector.example/p?x=4443323641746", "reader.com", 5);
+  const auto exfil_shared =
+      request("https://collector.example/p?s=shared", "reader.com", 6);
+
+  Analyzer first(entities::EntityMap::builtin());
+  Analyzer second(entities::EntityMap::builtin());
+  {
+    auto log = base_log();
+    log.script_sets = {a, b};
+    log.requests = {exfil_a, exfil_shared};
+    first.ingest(log);
+  }
+  {
+    auto log = base_log();
+    log.script_sets = {b, a};
+    log.requests = {exfil_a, exfil_shared};
+    second.ingest(log);
+  }
+
+  EXPECT_EQ(first.totals().sites_doc_exfil, second.totals().sites_doc_exfil);
+  EXPECT_EQ(first.totals().script_set_events,
+            second.totals().script_set_events);
+  ASSERT_EQ(first.pairs().size(), second.pairs().size());
+  auto it1 = first.pairs().begin();
+  auto it2 = second.pairs().begin();
+  for (; it1 != first.pairs().end(); ++it1, ++it2) {
+    EXPECT_EQ(it1->first, it2->first);
+    EXPECT_EQ(it1->second.sites_set, it2->second.sites_set);
+    EXPECT_EQ(it1->second.exfiltrator_entities,
+              it2->second.exfiltrator_entities);
+    EXPECT_EQ(it1->second.destination_entities,
+              it2->second.destination_entities);
+  }
+  // The distinct segment matched; the shared one was ambiguous in BOTH runs
+  // (regardless of which cookie claimed it first).
+  EXPECT_TRUE(first.pairs().at({"a_id", "a-owner.com"}).exfiltrated());
+  EXPECT_FALSE(first.pairs().at({"b_id", "b-owner.com"}).exfiltrated());
+  EXPECT_FALSE(second.pairs().at({"b_id", "b-owner.com"}).exfiltrated());
+}
+
 TEST_F(AnalyzerTest, ShortSegmentsIgnored) {
   auto log = base_log();
   log.script_sets.push_back(set_record("theme", "dark", "a.com", 1));

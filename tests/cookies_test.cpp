@@ -241,6 +241,15 @@ INSTANTIATE_TEST_SUITE_P(
 namespace cg::cookies {
 namespace {
 
+// Built by append: chained operator+ over to_string trips the GCC 12
+// -Wrestrict false positive (PR 105329) under warnings-as-errors.
+std::string numbered_cookie(std::size_t i) {
+  std::string s = "c";
+  s += std::to_string(i);
+  s += "=v; Path=/";
+  return s;
+}
+
 TEST(CookieJarLimitsTest, OversizedPairRejected) {
   CookieJar jar;
   const auto url = net::Url::must_parse("https://www.example.com/");
@@ -262,8 +271,7 @@ TEST(CookieJarLimitsTest, EvictsLeastRecentlyAccessedBeyondCap) {
   CookieJar jar;
   const auto url = net::Url::must_parse("https://www.example.com/");
   for (std::size_t i = 0; i <= CookieJar::kMaxCookies; ++i) {
-    jar.set_from_string(url,
-                        "c" + std::to_string(i) + "=v; Path=/",
+    jar.set_from_string(url, numbered_cookie(i),
                         kNow + static_cast<TimeMillis>(i));
   }
   EXPECT_EQ(jar.size(), CookieJar::kMaxCookies);
@@ -276,7 +284,7 @@ TEST(CookieJarLimitsTest, RecentlyReadCookieSurvivesEviction) {
   CookieJar jar;
   const auto url = net::Url::must_parse("https://www.example.com/");
   for (std::size_t i = 0; i < CookieJar::kMaxCookies; ++i) {
-    jar.set_from_string(url, "c" + std::to_string(i) + "=v; Path=/",
+    jar.set_from_string(url, numbered_cookie(i),
                         kNow + static_cast<TimeMillis>(i));
   }
   // Touch c0 (read refreshes last_access), then overflow the jar.
@@ -294,7 +302,7 @@ TEST(CookieJarLimitsTest, ExpiredEvictedBeforeLiveOnes) {
   const auto url = net::Url::must_parse("https://www.example.com/");
   jar.set_from_string(url, "dying=v; Path=/; Max-Age=1", kNow);
   for (std::size_t i = 1; i <= CookieJar::kMaxCookies; ++i) {
-    jar.set_from_string(url, "c" + std::to_string(i) + "=v; Path=/",
+    jar.set_from_string(url, numbered_cookie(i),
                         kNow + 5'000 + static_cast<TimeMillis>(i));
   }
   EXPECT_EQ(jar.size(), CookieJar::kMaxCookies);

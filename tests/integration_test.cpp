@@ -19,7 +19,7 @@ class IntegrationTest : public ::testing::Test {
       p.site_count = kSites;
       return p;
     }();
-    static corpus::Corpus instance(params);
+    static const corpus::Corpus instance(params);
     return instance;
   }
 

@@ -1,0 +1,519 @@
+// cglint tests: per-rule fixtures (positive hit, near-misses inside string
+// literals and comments, suppressed hit, raw-string edge cases), the
+// suppression grammar, layering-config validation, and a self-hosting run
+// over the real repository tree.
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "lint/config.h"
+#include "lint/lexer.h"
+#include "lint/linter.h"
+
+namespace {
+
+using cg::lint::Config;
+using cg::lint::LintReport;
+using cg::lint::Token;
+using cg::lint::TokenKind;
+
+// A miniature layering universe for fixtures. webplat must not include
+// crawler; report may consume analysis; jsoncore is carved out of report/.
+constexpr std::string_view kFixtureConfig = R"cfg(
+path src/report/json jsoncore
+deps net:
+deps jsoncore:
+deps webplat: net
+deps analysis: net
+deps crawler: webplat analysis
+deps report: analysis jsoncore
+open tests
+allow D1 under bench/
+restrict D3 analysis report jsoncore store obs instrument
+)cfg";
+
+const Config& fixture_config() {
+  static const Config config = [] {
+    std::string error;
+    auto parsed = Config::parse(kFixtureConfig, &error);
+    if (!parsed) ADD_FAILURE() << "fixture config: " << error;
+    return parsed.value_or(Config{});
+  }();
+  return config;
+}
+
+LintReport run(const std::string& path, std::string_view source) {
+  return lint_source(fixture_config(), path, source);
+}
+
+bool has_violation(const LintReport& report, const std::string& rule,
+                   int line) {
+  for (const auto& violation : report.violations) {
+    if (violation.rule == rule && violation.line == line) return true;
+  }
+  return false;
+}
+
+// ---- lexer ---------------------------------------------------------------
+
+TEST(LexerTest, ClassifiesCommentsStringsAndCode) {
+  const auto tokens = cg::lint::lex(
+      "int a; // line comment\n"
+      "/* block */ const char* s = \"str\";\n");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  int comments = 0;
+  int strings = 0;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kComment) ++comments;
+    if (token.kind == TokenKind::kString) ++strings;
+  }
+  EXPECT_EQ(comments, 2);
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(LexerTest, RawStringSwallowsFakeTokensAndKeepsLineNumbers) {
+  const auto tokens = cg::lint::lex(
+      "const char* s = R\"lit(\n"
+      "  system_clock rand( std::unordered_map \"\n"
+      ")lit\";\n"
+      "int after;\n");
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kString) continue;
+    EXPECT_NE(token.text, "system_clock");
+    EXPECT_NE(token.text, "unordered_map");
+    if (token.text == "after") {
+      EXPECT_EQ(token.line, 4);
+    }
+  }
+}
+
+TEST(LexerTest, DigitSeparatorIsNotACharLiteral) {
+  const auto tokens = cg::lint::lex("int x = 1'000'000; int y = 2;\n");
+  // If 1'000'000 were mis-lexed, the char literal would swallow "; int y".
+  bool saw_y = false;
+  for (const Token& token : tokens) saw_y = saw_y || token.text == "y";
+  EXPECT_TRUE(saw_y);
+}
+
+TEST(LexerTest, ParsesIncludeTargets) {
+  const auto tokens = cg::lint::lex(
+      "#include \"obs/trace.h\"\n#include <vector>\n");
+  ASSERT_EQ(tokens.size(), 2u);
+  const auto quoted = cg::lint::parse_include(tokens[0]);
+  ASSERT_TRUE(quoted.has_value());
+  EXPECT_EQ(quoted->path, "obs/trace.h");
+  EXPECT_TRUE(quoted->quoted);
+  const auto angled = cg::lint::parse_include(tokens[1]);
+  ASSERT_TRUE(angled.has_value());
+  EXPECT_FALSE(angled->quoted);
+}
+
+// ---- D1: wall clock ------------------------------------------------------
+
+TEST(RuleD1Test, FlagsWallClockUse) {
+  const auto report = run("src/crawler/visit.cpp",
+                          "void f() {\n"
+                          "  auto t = std::chrono::system_clock::now();\n"
+                          "}\n");
+  EXPECT_TRUE(has_violation(report, "D1", 2));
+}
+
+TEST(RuleD1Test, FlagsLibcTimeCallButNotMembersNamedTime) {
+  const auto report = run("src/crawler/visit.cpp",
+                          "void f(Event e) {\n"
+                          "  auto a = time(nullptr);\n"
+                          "  auto b = e.time;\n"
+                          "  e.time(3);\n"
+                          "}\n");
+  EXPECT_TRUE(has_violation(report, "D1", 2));
+  EXPECT_FALSE(has_violation(report, "D1", 3));
+  EXPECT_FALSE(has_violation(report, "D1", 4));
+}
+
+TEST(RuleD1Test, IgnoresStringAndCommentNearMisses) {
+  const auto report = run("src/crawler/visit.cpp",
+                          "// system_clock would break determinism\n"
+                          "const char* s = \"system_clock\";\n"
+                          "/* steady_clock too */\n");
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(RuleD1Test, SuppressionWithReasonCountsInCensus) {
+  const auto report = run(
+      "src/obs/wall.cpp",
+      "auto t = std::chrono::steady_clock::now();  "
+      "// cglint: allow(D1) — diagnostic lane\n");
+  EXPECT_TRUE(report.violations.empty());
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].violation.rule, "D1");
+  EXPECT_EQ(report.suppressed[0].reason, "diagnostic lane");
+  EXPECT_EQ(report.suppression_census.at("D1"), 1);
+}
+
+TEST(RuleD1Test, BenchPathIsAllowlisted) {
+  const auto report = run("bench/bench_x.cpp",
+                          "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.suppressed.empty());  // allowlisted, not suppressed
+}
+
+// ---- D2: randomness ------------------------------------------------------
+
+TEST(RuleD2Test, FlagsRandomDeviceAndEngines) {
+  const auto report = run("src/corpus/gen.cpp",
+                          "std::random_device rd;\n"
+                          "std::mt19937 gen(rd());\n"
+                          "int r = rand();\n");
+  EXPECT_TRUE(has_violation(report, "D2", 1));
+  EXPECT_TRUE(has_violation(report, "D2", 2));
+  EXPECT_TRUE(has_violation(report, "D2", 3));
+}
+
+TEST(RuleD2Test, IgnoresNearMissesAndMembers) {
+  const auto report = run("src/corpus/gen.cpp",
+                          "// no rand() here\n"
+                          "const char* s = \"std::random_device\";\n"
+                          "auto v = rng.rand();\n"
+                          "int operand(int x);\n");
+  EXPECT_TRUE(report.violations.empty());
+}
+
+// ---- D3: unordered iteration hazard --------------------------------------
+
+// The seeded analyzer bug: an unordered candidates map in analysis code
+// (src/analysis/analyzer.cpp:206 before this PR). The rule must name the
+// exact declaration line.
+TEST(RuleD3Test, CatchesTheSeededAnalyzerHazard) {
+  const auto report = run(
+      "src/analysis/analyzer.cpp",
+      "void Analyzer::ingest(const VisitLog& log) {\n"
+      "  std::map<std::string, Owner> owner;\n"
+      "  std::unordered_map<std::string, CookiePair> candidates;\n"
+      "  candidates.try_emplace(\"k\", CookiePair{});\n"
+      "}\n");
+  EXPECT_TRUE(has_violation(report, "D3", 3));
+  EXPECT_FALSE(has_violation(report, "D3", 2));
+}
+
+TEST(RuleD3Test, OutsideRestrictedModulesOnlyIterationIsFlagged) {
+  const auto lookup_only = run(
+      "src/crawler/sched.cpp",
+      "int hits() {\n"
+      "  std::unordered_map<int, int> cache;\n"
+      "  return cache.count(3);\n"
+      "}\n");
+  EXPECT_TRUE(lookup_only.violations.empty());
+
+  const auto iterated = run(
+      "src/crawler/sched.cpp",
+      "void dump() {\n"
+      "  std::unordered_map<int, int> cache;\n"
+      "  for (const auto& [k, v] : cache) emit(k, v);\n"
+      "}\n");
+  EXPECT_TRUE(has_violation(iterated, "D3", 3));
+
+  const auto via_begin = run(
+      "src/crawler/sched.cpp",
+      "void scan() {\n"
+      "  std::unordered_set<int> seen;\n"
+      "  auto it = seen.begin();\n"
+      "}\n");
+  EXPECT_TRUE(has_violation(via_begin, "D3", 3));
+}
+
+TEST(RuleD3Test, StringCommentAndRawStringNearMisses) {
+  const auto report = run(
+      "src/analysis/doc.cpp",
+      "// unordered_map iteration order is the enemy\n"
+      "const char* a = \"std::unordered_map<k,v>\";\n"
+      "const char* b = R\"(for (auto& x : unordered_set))\";\n");
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(RuleD3Test, SuppressibleWithReason) {
+  const auto report = run(
+      "src/store/index.cpp",
+      "void build_index() {\n"
+      "  // cglint: allow(D3) — drained in sorted key order before emission\n"
+      "  std::unordered_map<std::string, int> sizes;\n"
+      "}\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppression_census.at("D3"), 1);
+}
+
+// ---- D4: mutable static state --------------------------------------------
+
+TEST(RuleD4Test, FlagsMutableFunctionLocalStatic) {
+  const auto report = run("src/crawler/x.cpp",
+                          "int f() {\n"
+                          "  static int counter = 0;\n"
+                          "  static const int k = 3;\n"
+                          "  return ++counter + k;\n"
+                          "}\n");
+  EXPECT_TRUE(has_violation(report, "D4", 2));
+  EXPECT_FALSE(has_violation(report, "D4", 3));
+}
+
+TEST(RuleD4Test, FlagsConstructorCallStatics) {
+  // The pre-PR test-fixture pattern: static corpus::Corpus instance(params);
+  const auto report = run("src/corpus/cache.cpp",
+                          "const Corpus& corpus() {\n"
+                          "  static corpus::Corpus instance(params);\n"
+                          "  return instance;\n"
+                          "}\n");
+  EXPECT_TRUE(has_violation(report, "D4", 2));
+
+  const auto const_ok = run("src/corpus/cache.cpp",
+                            "const Corpus& corpus() {\n"
+                            "  static const corpus::Corpus instance(params);\n"
+                            "  return instance;\n"
+                            "}\n");
+  EXPECT_TRUE(const_ok.violations.empty());
+}
+
+TEST(RuleD4Test, FlagsMutableNamespaceScopeGlobals) {
+  const auto report = run("src/crawler/x.cpp",
+                          "namespace cg {\n"
+                          "int visit_count = 0;\n"
+                          "const int kLimit = 5;\n"
+                          "constexpr char kName[] = \"x\";\n"
+                          "}\n");
+  EXPECT_TRUE(has_violation(report, "D4", 2));
+  EXPECT_FALSE(has_violation(report, "D4", 3));
+  EXPECT_FALSE(has_violation(report, "D4", 4));
+}
+
+TEST(RuleD4Test, FlagsThreadLocalDefinitionNotExternDeclaration) {
+  const auto definition = run("src/obs/t.cpp",
+                              "thread_local LocalObs* tls_obs = nullptr;\n");
+  EXPECT_TRUE(has_violation(definition, "D4", 1));
+
+  const auto declaration = run("src/obs/t.h",
+                               "extern thread_local LocalObs* tls_obs;\n");
+  EXPECT_TRUE(declaration.violations.empty());
+}
+
+TEST(RuleD4Test, IgnoresStaticMemberFunctionsAndFileStaticFunctions) {
+  const auto report = run(
+      "src/net/url.h",
+      "class Url {\n"
+      " public:\n"
+      "  static std::optional<Url> parse(std::string_view input);\n"
+      "  static Url must_parse(std::string_view input);\n"
+      "};\n"
+      "static int helper(int x) { return x + 1; }\n");
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(RuleD4Test, FlagsMutableStaticInlineDataMember) {
+  const auto report = run("src/crawler/x.h",
+                          "struct Stats {\n"
+                          "  static inline int live_instances = 0;\n"
+                          "  static constexpr int kMax = 8;\n"
+                          "};\n");
+  EXPECT_TRUE(has_violation(report, "D4", 2));
+  EXPECT_FALSE(has_violation(report, "D4", 3));
+}
+
+TEST(RuleD4Test, LambdaInitializedConstStaticIsClean) {
+  const auto report = run(
+      "src/corpus/cache.cpp",
+      "const Params& params() {\n"
+      "  static const Params p = [] {\n"
+      "    Params q;\n"
+      "    q.site_count = 40;\n"
+      "    return q;\n"
+      "  }();\n"
+      "  return p;\n"
+      "}\n");
+  EXPECT_TRUE(report.violations.empty());
+}
+
+// ---- L1: layering --------------------------------------------------------
+
+TEST(RuleL1Test, SeededLayeringViolationIsCaught) {
+  // webplat must never include crawler: the dependency points the other way.
+  const auto report = run("src/webplat/dom.cpp",
+                          "#include \"webplat/dom.h\"\n"
+                          "\n"
+                          "#include \"crawler/crawler.h\"\n");
+  EXPECT_TRUE(has_violation(report, "L1", 3));
+  EXPECT_FALSE(has_violation(report, "L1", 1));  // own module is free
+}
+
+TEST(RuleL1Test, DeclaredEdgesAndOpenModulesPass) {
+  const auto report_ok = run("src/report/report.cpp",
+                             "#include \"analysis/analyzer.h\"\n"
+                             "#include \"report/json.h\"\n");
+  EXPECT_TRUE(report_ok.violations.empty());
+
+  const auto tests_ok = run("tests/x_test.cpp",
+                            "#include \"crawler/crawler.h\"\n"
+                            "#include \"webplat/dom.h\"\n");
+  EXPECT_TRUE(tests_ok.violations.empty());
+}
+
+TEST(RuleL1Test, PathOverrideCarvesJsoncoreOutOfReport) {
+  // webplat may not include report, and indeed may not reach json either
+  // (only obs may in the real config; here webplat lacks the edge).
+  const auto bad = run("src/webplat/dom.cpp",
+                       "#include \"report/json.h\"\n");
+  EXPECT_TRUE(has_violation(bad, "L1", 1));
+
+  // analysis → jsoncore is not declared in the fixture either, but
+  // report → jsoncore is.
+  const auto good = run("src/report/report.cpp",
+                        "#include \"report/json.h\"\n");
+  EXPECT_TRUE(good.violations.empty());
+}
+
+TEST(RuleL1Test, SuppressibleOnTheIncludeLine) {
+  const auto report = run(
+      "src/webplat/dom.cpp",
+      "#include \"crawler/crawler.h\"  "
+      "// cglint: allow(L1) — transitional; tracked in ISSUE\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppression_census.at("L1"), 1);
+}
+
+// ---- suppression grammar -------------------------------------------------
+
+TEST(SuppressionTest, OwnLineAppliesToNextCodeLine) {
+  const auto report = run(
+      "src/crawler/x.cpp",
+      "// cglint: allow(D1) — virtual deadline diagnostics only\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppression_census.at("D1"), 1);
+}
+
+TEST(SuppressionTest, MultiRuleAllowCoversBoth) {
+  const auto report = run(
+      "src/analysis/x.cpp",
+      "// cglint: allow(D3,D4) — ordered drain audited in review\n"
+      "static std::unordered_map<int, int> cache;\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppression_census.at("D3"), 1);
+  EXPECT_EQ(report.suppression_census.at("D4"), 1);
+}
+
+TEST(SuppressionTest, MissingReasonIsItsOwnViolation) {
+  const auto report = run(
+      "src/crawler/x.cpp",
+      "auto t = std::chrono::steady_clock::now();  // cglint: allow(D1)\n");
+  // The D1 hit is suppressed, but the reasonless suppression fails the run.
+  EXPECT_TRUE(has_violation(report, "S2", 1));
+  EXPECT_EQ(report.suppression_census.at("D1"), 1);
+}
+
+TEST(SuppressionTest, MalformedAnnotationIsReported) {
+  const auto report = run("src/crawler/x.cpp",
+                          "// cglint: alow(D1) — typo in the verb\n");
+  EXPECT_TRUE(has_violation(report, "S1", 1));
+}
+
+TEST(SuppressionTest, WrongRuleDoesNotSuppress) {
+  const auto report = run(
+      "src/crawler/x.cpp",
+      "auto t = std::chrono::steady_clock::now();  "
+      "// cglint: allow(D2) — wrong rule\n");
+  EXPECT_TRUE(has_violation(report, "D1", 1));
+}
+
+// ---- config --------------------------------------------------------------
+
+TEST(ConfigTest, RejectsCyclicLayering) {
+  std::string error;
+  const auto config = Config::parse(
+      "deps a: b\n"
+      "deps b: c\n"
+      "deps c: a\n",
+      &error);
+  EXPECT_FALSE(config.has_value());
+  EXPECT_NE(error.find("cycle"), std::string::npos);
+}
+
+TEST(ConfigTest, RejectsUndeclaredDependency) {
+  std::string error;
+  const auto config = Config::parse("deps a: ghost\n", &error);
+  EXPECT_FALSE(config.has_value());
+  EXPECT_NE(error.find("undeclared"), std::string::npos);
+}
+
+TEST(ConfigTest, RejectsUnknownKeyword) {
+  std::string error;
+  const auto config = Config::parse("allowrule D1 everywhere\n", &error);
+  EXPECT_FALSE(config.has_value());
+}
+
+TEST(ConfigTest, ModuleMappingAndOverrides) {
+  std::string error;
+  const auto config = Config::parse(
+      "path src/report/json jsoncore\n"
+      "deps jsoncore:\n"
+      "deps report: jsoncore\n",
+      &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->module_of("src/report/report.cpp"), "report");
+  EXPECT_EQ(config->module_of("src/report/json.h"), "jsoncore");
+  EXPECT_EQ(config->module_of("bench/bench_fig2.cpp"), "bench");
+  EXPECT_EQ(config->module_of("tools/cglint.cpp"), "tools");
+}
+
+// ---- self-hosting --------------------------------------------------------
+
+// The repo must lint clean: zero unsuppressed violations, every suppression
+// reasoned, and the full-tree scan comfortably inside the 2 s budget.
+TEST(SelfHostTest, RepositoryLintsCleanAndFast) {
+  const std::filesystem::path root = CG_SOURCE_ROOT;
+  ASSERT_TRUE(std::filesystem::exists(root / "lint" / "layering.txt"));
+
+  const auto previous = std::filesystem::current_path();
+  std::filesystem::current_path(root);
+
+  std::string error;
+  const auto config = Config::load("lint/layering.txt", &error);
+  ASSERT_TRUE(config.has_value()) << error;
+
+  const auto start = std::chrono::steady_clock::now();  // cglint: allow(D1) — measuring the linter's own wall-clock budget is this test's purpose
+  const LintReport report = cg::lint::lint_paths(
+      *config, {"src", "bench", "examples", "tests", "tools"});
+  const auto elapsed = std::chrono::steady_clock::now() - start;  // cglint: allow(D1) — measuring the linter's own wall-clock budget is this test's purpose
+
+  std::filesystem::current_path(previous);
+
+  for (const auto& violation : report.violations) {
+    ADD_FAILURE() << violation.file << ":" << violation.line << ": ["
+                  << violation.rule << "] " << violation.message;
+  }
+  for (const auto& entry : report.suppressed) {
+    EXPECT_FALSE(entry.reason.empty())
+        << entry.violation.file << ":" << entry.violation.line;
+  }
+  EXPECT_GT(report.files_scanned, 100);
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 2.0);
+}
+
+// The tool's own determinism: linting the same tree twice formats
+// byte-identically.
+TEST(SelfHostTest, ReportFormattingIsDeterministic) {
+  const std::filesystem::path root = CG_SOURCE_ROOT;
+  const auto previous = std::filesystem::current_path();
+  std::filesystem::current_path(root);
+
+  std::string error;
+  const auto config = Config::load("lint/layering.txt", &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  const auto a = cg::lint::lint_paths(*config, {"src", "tools"});
+  const auto b = cg::lint::lint_paths(*config, {"src", "tools"});
+  std::filesystem::current_path(previous);
+
+  EXPECT_EQ(cg::lint::format_report(a, true), cg::lint::format_report(b, true));
+}
+
+}  // namespace

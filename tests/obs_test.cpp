@@ -215,7 +215,9 @@ TraceBuffer filled_buffer(int track, std::vector<TimeMillis> ts) {
     event.ts_ms = t;
     event.dur_ms = 10;
     event.category = "test";
-    event.name = "e" + std::to_string(t);
+    // Append, not operator+: GCC 12 -Wrestrict false positive (PR 105329).
+    event.name = "e";
+    event.name += std::to_string(t);
     buffer.push(std::move(event));
   }
   return buffer;

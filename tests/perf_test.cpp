@@ -32,7 +32,7 @@ class PerfComparisonTest : public ::testing::Test {
       p.site_count = 120;
       return p;
     }();
-    static corpus::Corpus instance(params);
+    static const corpus::Corpus instance(params);
     return instance;
   }
 };

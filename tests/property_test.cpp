@@ -180,7 +180,7 @@ class DeterminismTest : public ::testing::TestWithParam<int> {
       p.site_count = 40;
       return p;
     }();
-    static corpus::Corpus instance(params);
+    static const corpus::Corpus instance(params);
     return instance;
   }
 };

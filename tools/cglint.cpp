@@ -1,0 +1,77 @@
+// cglint — determinism & layering static analysis for the CookieGuard tree.
+//
+// Usage:
+//   cglint [--config lint/layering.txt] [--census] [--quiet] PATH...
+//
+// Exit codes: 0 clean, 1 violations (or reasonless/malformed suppressions),
+// 2 usage or configuration error. Run from the repository root so module
+// mapping sees repo-relative paths:
+//
+//   ./build/tools/cglint --config lint/layering.txt --census src bench
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/config.h"
+#include "lint/linter.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--config FILE] [--census] [--quiet] PATH...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_file = "lint/layering.txt";
+  bool census = false;
+  bool quiet = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config") {
+      if (++i >= argc) return usage(argv[0]);
+      config_file = argv[i];
+    } else if (arg == "--census") {
+      census = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  std::string error;
+  const auto config = cg::lint::Config::load(config_file, &error);
+  if (!config) {
+    std::cerr << "cglint: " << config_file << ": " << error << '\n';
+    return 2;
+  }
+
+  // Tool-side timing is diagnostic output about the linter itself, never
+  // crawl-visible bytes; the virtual clock does not exist at lint time.
+  const auto start =
+      std::chrono::steady_clock::now();  // cglint: allow(D1) — linter wall-clock timing is diagnostic-only output
+  const cg::lint::LintReport report = cg::lint::lint_paths(*config, roots);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)  // cglint: allow(D1) — linter wall-clock timing is diagnostic-only output
+          .count();
+
+  if (!quiet) {
+    std::cout << cg::lint::format_report(report, census);
+    std::cout << "cglint: scanned in " << elapsed_ms << " ms\n";
+  }
+  return report.clean() ? 0 : 1;
+}
