@@ -13,6 +13,7 @@
 //   cgsim trace-check FILE
 //   cgsim pack     [--sites N] [--threads T] [--no-faults] --out FILE
 //                  [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+//                  [--scrub] [--metrics FILE]
 //   cgsim query    --archive FILE [--site RANK] [--json FILE]
 //                  [--pairs-csv FILE] [--domains-csv FILE]
 //   cgsim verify-archive FILE
@@ -37,10 +38,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -55,6 +59,7 @@
 #include "perf/perf.h"
 #include "report/report.h"
 #include "runtime/thread_pool.h"
+#include "store/atomic_file.h"
 #include "store/reader.h"
 #include "store/writer.h"
 
@@ -102,9 +107,23 @@ corpus::Corpus make_corpus(const Args& args) {
   return corpus::Corpus(params);
 }
 
+/// Renders `contents` into `path` via tmp+flush+rename. False (with the
+/// failure on stderr) when the result did not land — callers treat their
+/// output files as products, never as best-effort side effects.
+bool write_output(const std::string& path, const std::string& contents) {
+  store::Error error;
+  if (!store::write_file_atomic(path, contents, &error)) {
+    std::fprintf(stderr, "cgsim: %s\n", error.to_string().c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 /// Summary lines + optional machine-readable outputs, shared by the live
 /// crawl and the analyze-from-archive path so their stdout is diffable.
-void print_analysis(const Args& args, const analysis::Analyzer& analyzer) {
+/// False when a requested output file could not be written.
+bool print_analysis(const Args& args, const analysis::Analyzer& analyzer) {
   const auto& t = analyzer.totals();
   const double n = t.sites_complete;
   std::printf("sites analyzed: %d\n", t.sites_complete);
@@ -113,21 +132,69 @@ void print_analysis(const Args& args, const analysis::Analyzer& analyzer) {
               100.0 * t.sites_doc_exfil / n, 100.0 * t.sites_doc_overwrite / n,
               100.0 * t.sites_doc_delete / n);
 
+  bool ok = true;
   if (args.has("json")) {
-    std::ofstream out(args.get("json", "summary.json"));
+    std::ostringstream out;
     out << report::summary_to_json(analyzer, 20).dump(2) << '\n';
-    std::printf("wrote %s\n", args.get("json", "summary.json").c_str());
+    ok = write_output(args.get("json", "summary.json"), out.str()) && ok;
   }
   if (args.has("pairs-csv")) {
-    std::ofstream out(args.get("pairs-csv", "pairs.csv"));
+    std::ostringstream out;
     report::write_pairs_csv(analyzer, 20, out);
-    std::printf("wrote %s\n", args.get("pairs-csv", "pairs.csv").c_str());
+    ok = write_output(args.get("pairs-csv", "pairs.csv"), out.str()) && ok;
   }
   if (args.has("domains-csv")) {
-    std::ofstream out(args.get("domains-csv", "domains.csv"));
+    std::ostringstream out;
     report::write_domains_csv(analyzer, 20, out);
-    std::printf("wrote %s\n", args.get("domains-csv", "domains.csv").c_str());
+    ok = write_output(args.get("domains-csv", "domains.csv"), out.str()) && ok;
   }
+  return ok;
+}
+
+/// Loads a crawl checkpoint, ignoring (and warning about) a leftover
+/// `<path>.tmp` from an interrupted atomic write — its contents were never
+/// promoted to truth, so `path` itself is the trustworthy state.
+std::optional<crawler::CrawlCheckpoint> load_checkpoint(
+    const std::string& path) {
+  std::string tmp = path;
+  tmp += store::kAtomicTmpSuffix;
+  std::error_code tmp_ec;
+  if (std::filesystem::exists(tmp, tmp_ec)) {
+    std::fprintf(stderr,
+                 "cgsim: ignoring leftover %s (interrupted checkpoint write)\n",
+                 tmp.c_str());
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cgsim: cannot open checkpoint %s\n", path.c_str());
+    return std::nullopt;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    std::fprintf(stderr, "cgsim: read failed on checkpoint %s\n", path.c_str());
+    return std::nullopt;
+  }
+  auto checkpoint = crawler::CrawlCheckpoint::from_json_string(text);
+  if (!checkpoint) {
+    std::fprintf(stderr, "cgsim: cannot parse checkpoint %s\n", path.c_str());
+  }
+  return checkpoint;
+}
+
+/// Checkpoint emission callback: atomic replace, warn-only on failure (the
+/// crawl keeps running; the previous checkpoint stays the recovery point).
+std::function<void(const crawler::CrawlCheckpoint&)> checkpoint_writer(
+    const std::string& checkpoint_path) {
+  return [checkpoint_path](const crawler::CrawlCheckpoint& checkpoint) {
+    std::string contents = checkpoint.to_json_string();
+    contents += '\n';
+    store::Error error;
+    if (!store::write_file_atomic(checkpoint_path, contents, &error)) {
+      std::fprintf(stderr, "cgsim: checkpoint not persisted: %s\n",
+                   error.to_string().c_str());
+    }
+  };
 }
 
 int cmd_crawl(const Args& args) {
@@ -191,24 +258,14 @@ int cmd_crawl(const Args& args) {
   const std::string checkpoint_path = args.get("checkpoint", "");
   if (!checkpoint_path.empty()) {
     options.checkpoint_interval = args.get_int("checkpoint-every", 100);
-    options.on_checkpoint = [&](const crawler::CrawlCheckpoint& checkpoint) {
-      std::ofstream out(checkpoint_path);
-      out << checkpoint.to_json_string() << '\n';
-    };
+    options.on_checkpoint = checkpoint_writer(checkpoint_path);
   }
 
   const auto sink = [&](instrument::VisitLog&& log) { analyzer.ingest(log); };
   crawler::CrawlHealth health;
   if (args.has("resume")) {
-    const std::string path = args.get("resume", "");
-    std::ifstream in(path);
-    const std::string text((std::istreambuf_iterator<char>(in)),
-                           std::istreambuf_iterator<char>());
-    const auto checkpoint = crawler::CrawlCheckpoint::from_json_string(text);
-    if (!checkpoint) {
-      std::fprintf(stderr, "cgsim: cannot parse checkpoint %s\n", path.c_str());
-      return 1;
-    }
+    const auto checkpoint = load_checkpoint(args.get("resume", ""));
+    if (!checkpoint) return 1;
     if (checkpoint->corpus_seed != corpus.params().seed ||
         checkpoint->target_count > corpus.size()) {
       std::fprintf(stderr, "cgsim: checkpoint does not match this corpus\n");
@@ -225,21 +282,30 @@ int cmd_crawl(const Args& args) {
 
   if (recorder != nullptr) {
     recorder->finish();
+    trace_out.flush();
+    if (!trace_out.good()) {
+      std::fprintf(stderr, "cgsim: writing %s failed\n",
+                   args.get("trace", "trace.json").c_str());
+      return 1;
+    }
     std::printf("wrote %s (%zu trace events)\n",
                 args.get("trace", "trace.json").c_str(),
                 recorder->event_count());
   }
   if (args.has("metrics")) {
-    const std::string path = args.get("metrics", "metrics.json");
-    std::ofstream out(path);
+    std::ostringstream out;
     out << metrics.to_json().dump(2) << '\n';
-    std::printf("wrote %s\n", path.c_str());
+    if (!write_output(args.get("metrics", "metrics.json"), out.str())) {
+      return 1;
+    }
   }
   if (args.has("runtime-metrics")) {
-    const std::string path = args.get("runtime-metrics", "runtime.json");
-    std::ofstream out(path);
+    std::ostringstream out;
     out << scheduler_metrics.to_json().dump(2) << '\n';
-    std::printf("wrote %s\n", path.c_str());
+    if (!write_output(args.get("runtime-metrics", "runtime.json"),
+                      out.str())) {
+      return 1;
+    }
   }
 
   std::printf(
@@ -249,13 +315,12 @@ int cmd_crawl(const Args& args) {
       100.0 * health.exclusion_rate(), health.sites_degraded,
       health.sites_recovered, health.total_attempts);
   if (args.has("health")) {
-    std::ofstream out(args.get("health", "health.json"));
+    std::ostringstream out;
     out << health.to_json().dump(2) << '\n';
-    std::printf("wrote %s\n", args.get("health", "health.json").c_str());
+    if (!write_output(args.get("health", "health.json"), out.str())) return 1;
   }
 
-  print_analysis(args, analyzer);
-  return 0;
+  return print_analysis(args, analyzer) ? 0 : 1;
 }
 
 // Crawl once, analyze many times: pack streams the measurement crawl into a
@@ -278,21 +343,22 @@ int cmd_pack(const Args& args) {
   if (!checkpoint_path.empty()) {
     options.checkpoint_interval = args.get_int("checkpoint-every", 100);
   }
+  // Self-healing I/O: read-back-verify appended blocks on request, and when
+  // checkpointing, keep the unsynced tail in memory so an fsync loss at the
+  // checkpoint barrier is healed instead of killing the pack.
+  writer_options.io.scrub_writes = args.has("scrub");
+  writer_options.io.buffer_unsynced = options.checkpoint_interval > 0;
+  obs::MetricsRegistry pack_metrics;
+  writer_options.metrics = &pack_metrics;
+  if (args.has("metrics")) options.metrics = &pack_metrics;
 
   std::unique_ptr<store::Writer> writer;
   store::Error store_error;
   crawler::CrawlHealth health;
 
   if (args.has("resume")) {
-    const std::string path = args.get("resume", "");
-    std::ifstream in(path);
-    const std::string text((std::istreambuf_iterator<char>(in)),
-                           std::istreambuf_iterator<char>());
-    const auto checkpoint = crawler::CrawlCheckpoint::from_json_string(text);
-    if (!checkpoint) {
-      std::fprintf(stderr, "cgsim: cannot parse checkpoint %s\n", path.c_str());
-      return 1;
-    }
+    const auto checkpoint = load_checkpoint(args.get("resume", ""));
+    if (!checkpoint) return 1;
     if (checkpoint->corpus_seed != corpus.params().seed ||
         checkpoint->target_count > corpus.size()) {
       std::fprintf(stderr, "cgsim: checkpoint does not match this corpus\n");
@@ -315,10 +381,7 @@ int cmd_pack(const Args& args) {
     }
     options.archive = writer.get();
     if (!checkpoint_path.empty()) {
-      options.on_checkpoint = [&](const crawler::CrawlCheckpoint& cp) {
-        std::ofstream out(checkpoint_path);
-        out << cp.to_json_string() << '\n';
-      };
+      options.on_checkpoint = checkpoint_writer(checkpoint_path);
     }
     std::printf("resuming pack at site %d of %d (%d blocks kept)...\n",
                 checkpoint->next_index, checkpoint->target_count,
@@ -333,10 +396,7 @@ int cmd_pack(const Args& args) {
     }
     options.archive = writer.get();
     if (!checkpoint_path.empty()) {
-      options.on_checkpoint = [&](const crawler::CrawlCheckpoint& cp) {
-        std::ofstream out(checkpoint_path);
-        out << cp.to_json_string() << '\n';
-      };
+      options.on_checkpoint = checkpoint_writer(checkpoint_path);
     }
     std::printf("packing %d sites into %s...\n", corpus.size(),
                 out_path.c_str());
@@ -353,6 +413,20 @@ int cmd_pack(const Args& args) {
       "crawl health: %d retained, %d excluded (%.1f%%), %d attempts total\n",
       health.sites_retained, health.sites_excluded,
       100.0 * health.exclusion_rate(), health.total_attempts);
+  const int quarantined = health.exclusions[static_cast<int>(
+      fault::FailureClass::kStorageFailure)];
+  if (quarantined > 0) {
+    std::printf("storage quarantine: %d sites excluded after exhausting the "
+                "I/O retry budget\n",
+                quarantined);
+  }
+  if (args.has("metrics")) {
+    std::ostringstream out;
+    out << pack_metrics.to_json().dump(2) << '\n';
+    if (!write_output(args.get("metrics", "metrics.json"), out.str())) {
+      return 1;
+    }
+  }
   std::printf("wrote %s: %d sites, %llu bytes (%.1f bytes/site)\n",
               out_path.c_str(), writer->sites_written(),
               static_cast<unsigned long long>(writer->bytes_written()),
@@ -410,8 +484,7 @@ int cmd_query(const Args& args) {
                  error.to_string().c_str());
     return 1;
   }
-  print_analysis(args, analyzer);
-  return 0;
+  return print_analysis(args, analyzer) ? 0 : 1;
 }
 
 // CRC-walks every block; the cheap "is this artifact intact?" gate.

@@ -526,6 +526,60 @@ CrawlHealth Crawler::crawl_range(
   // here, on the calling thread, once per site in index order — identical
   // whether outcomes arrive from the loop below or from shard workers.
   const auto finish_site = [&](int i, SiteOutcome&& outcome) {
+    // Archive append happens FIRST, before the site's tallies fold into
+    // health: if the block cannot be persisted even after the writer's
+    // internal retry/heal budget, the site is quarantined — reclassified as
+    // a kStorageFailure exclusion — and the crawl continues. The delta and
+    // the worker's metric increments are rewritten before they merge, so
+    // health, metrics, checkpoints, and the archive all agree that the
+    // site is excluded (no silent divergence between the in-memory sink
+    // and the on-disk block stream).
+    if (options.archive != nullptr && !outcome.archive_block.empty() &&
+        !options.archive->append_site_block(
+            outcome.log.rank, std::move(outcome.archive_block))) {
+      CrawlHealth& delta = outcome.delta;
+      const fault::FailureClass prior = outcome.log.failure;
+      obs::MetricsRegistry* site_metrics =
+          outcome.obs != nullptr && outcome.obs->metrics_enabled
+              ? &outcome.obs->metrics
+              : nullptr;
+      if (!fault::is_fatal(prior)) {
+        --delta.sites_retained;
+        ++delta.sites_excluded;
+        if (!delta.retained_ranks.empty()) delta.retained_ranks.pop_back();
+        if (site_metrics != nullptr) {
+          site_metrics->add("crawl.sites_retained", -1);
+          site_metrics->add("crawl.sites_excluded");
+        }
+        if (delta.sites_degraded > 0) {
+          --delta.sites_degraded;
+          if (site_metrics != nullptr) {
+            site_metrics->add("crawl.sites_degraded", -1);
+          }
+        }
+        if (delta.sites_recovered > 0) {
+          --delta.sites_recovered;
+          if (site_metrics != nullptr) {
+            site_metrics->add("crawl.sites_recovered", -1);
+          }
+        }
+      } else {
+        // Already excluded for a visit-level reason; the storage loss is
+        // the more actionable class, so the exclusion is reclassified.
+        --delta.exclusions[static_cast<int>(prior)];
+      }
+      outcome.log.failure = fault::FailureClass::kStorageFailure;
+      ++delta.exclusions[static_cast<int>(fault::FailureClass::kStorageFailure)];
+      if (site_metrics != nullptr) {
+        site_metrics->add("crawl.sites_quarantined");
+      }
+      if (options.trace != nullptr) {
+        options.trace->driver_instant(
+            "crawl", "site_quarantined",
+            outcome.log.site_host + ": " +
+                options.archive->last_io_error().to_string());
+      }
+    }
     health.merge(outcome.delta);
     // Flush the site's observability buffers before the sink: trace buffers
     // append (stable-sorted) in site-index order, metrics fold through the
@@ -539,14 +593,26 @@ CrawlHealth Crawler::crawl_range(
       }
       outcome.obs.reset();
     }
-    if (options.archive != nullptr && !outcome.archive_block.empty()) {
-      options.archive->append_site_block(outcome.log.rank,
-                                         std::move(outcome.archive_block));
-    }
     sink(std::move(outcome.log));
     if (options.on_progress) options.on_progress(i + 1, n);
     if (options.checkpoint_interval > 0 && options.on_checkpoint &&
         (i + 1) % options.checkpoint_interval == 0) {
+      // Durability barrier before the checkpoint exists: a checkpoint may
+      // only reference archive bytes that survive a crash. If the barrier
+      // cannot be established, this emission is skipped — the previous
+      // checkpoint remains the recovery point, which is always safe.
+      if (options.archive != nullptr &&
+          !options.archive->sync_for_checkpoint()) {
+        if (options.metrics != nullptr) {
+          options.metrics->add("crawl.checkpoints_skipped");
+        }
+        if (options.trace != nullptr) {
+          options.trace->driver_instant(
+              "crawl", "checkpoint_skipped",
+              options.archive->last_io_error().to_string());
+        }
+        return;
+      }
       CrawlCheckpoint checkpoint;
       checkpoint.next_index = i + 1;
       checkpoint.target_count = n;

@@ -10,6 +10,11 @@ namespace {
 constexpr std::uint64_t kRankSalt = 0xFA177ULL;
 constexpr std::uint64_t kRankMix = 0x9E3779B97F4A7C15ULL;
 
+// Per-op streams for the write-side plan; a distinct salt keeps the I/O
+// schedule uncorrelated with the site-fault schedule under a shared seed.
+constexpr std::uint64_t kOpSalt = 0x10FA17ULL;
+constexpr std::uint64_t kCrashSalt = 0xC4A54ULL;
+
 }  // namespace
 
 FaultDecision FaultPlan::decide(int rank, int attempt,
@@ -69,6 +74,58 @@ FaultDecision FaultPlan::decide(int rank, int attempt,
   out.crash_after_page = crash_after_page;
   out.crash_loses_cookie_channel = crash_loses_cookie;
   out.subresource_fail_rate = params_.subresource_fail_rate;
+  return out;
+}
+
+IoFaultDecision IoFaultPlan::decide(std::uint64_t op) const {
+  IoFaultDecision out;
+  if (!enabled_ || op < params_.min_op || op >= params_.max_op) return out;
+
+  script::Rng rng(params_.seed ^ (kOpSalt + op * kRankMix));
+  if (!rng.chance(params_.op_fault_rate)) return out;
+
+  static constexpr IoFault kClasses[] = {
+      IoFault::kNoSpace,
+      IoFault::kShortWrite,
+      IoFault::kFsyncLost,
+      IoFault::kBitFlip,
+  };
+  const double weights[] = {
+      params_.no_space_weight,
+      params_.short_write_weight,
+      params_.fsync_loss_weight,
+      params_.bit_flip_weight,
+  };
+  double total = 0;
+  for (const double w : weights) total += w > 0 ? w : 0;
+  // All-zero weights degrade to the mildest class rather than silently
+  // disabling the plan — mirrors FaultPlan's kSubresourceFailure fallback.
+  IoFault cls = IoFault::kBitFlip;
+  if (total > 0) {
+    double roll = rng.uniform() * total;
+    for (int i = 0; i < 4; ++i) {
+      const double w = weights[i] > 0 ? weights[i] : 0;
+      if (roll < w) {
+        cls = kClasses[i];
+        break;
+      }
+      roll -= w;
+    }
+  }
+
+  out.cls = cls;
+  out.cut = rng.uniform();
+  out.flip = rng.next();
+  return out;
+}
+
+IoFaultDecision IoFaultPlan::decide_crash(std::uint64_t key) const {
+  IoFaultDecision out;
+  if (!enabled_) return out;
+  script::Rng rng(params_.seed ^ (kCrashSalt + key * kRankMix));
+  out.cls = IoFault::kTornTail;
+  out.cut = rng.uniform();
+  out.flip = rng.next();
   return out;
 }
 

@@ -39,9 +39,10 @@ enum class FailureClass {
   kSubresourceFailure,  // script fetches failed; visit degraded, retained
   kExtensionCrash,      // measurement extension died mid-visit
   kIncompleteLogs,      // a log channel is missing with no deeper cause
+  kStorageFailure,      // archive write path exhausted its I/O retry budget
 };
 
-inline constexpr int kFailureClassCount = 8;
+inline constexpr int kFailureClassCount = 9;
 
 constexpr std::string_view failure_class_name(FailureClass cls) {
   switch (cls) {
@@ -61,6 +62,8 @@ constexpr std::string_view failure_class_name(FailureClass cls) {
       return "extension_crash";
     case FailureClass::kIncompleteLogs:
       return "incomplete_logs";
+    case FailureClass::kStorageFailure:
+      return "storage_failure";
   }
   return "unknown";
 }
@@ -116,6 +119,109 @@ constexpr std::string_view archive_fault_name(ArchiveFault fault) {
   }
   return "unknown";
 }
+
+/// Write-side I/O fault taxonomy (the mirror of ArchiveFault for the write
+/// path). Every way a store::ByteSink operation can fail — for real or by
+/// injection — maps to exactly one class, so the error-budget metrics
+/// (io.injected.*, io.faults.*) account for every fault a chaos run plants.
+enum class IoFault {
+  kNone = 0,
+  kStreamError,  // the underlying stream/file failed (a real error)
+  kNoSpace,      // ENOSPC: the write consumed no bytes at all
+  kShortWrite,   // only a prefix of the buffer reached the file
+  kFsyncLost,    // fsync failed and unsynced bytes were dropped (fsyncgate)
+  kTornTail,     // a crash tore the file mid-block
+  kBitFlip,      // a bit flipped between the buffer and the medium (silent)
+};
+
+inline constexpr int kIoFaultCount = 7;
+
+constexpr std::string_view io_fault_name(IoFault fault) {
+  switch (fault) {
+    case IoFault::kNone:
+      return "none";
+    case IoFault::kStreamError:
+      return "stream_error";
+    case IoFault::kNoSpace:
+      return "no_space";
+    case IoFault::kShortWrite:
+      return "short_write";
+    case IoFault::kFsyncLost:
+      return "fsync_lost";
+    case IoFault::kTornTail:
+      return "torn_tail";
+    case IoFault::kBitFlip:
+      return "bit_flip";
+  }
+  return "unknown";
+}
+
+/// Knobs of a write-side fault schedule. Unlike FaultPlanParams there is no
+/// permanence model: every sink operation is an independent per-op draw, and
+/// "permanent" storage trouble is modeled with a [min_op, max_op) window at
+/// fault_rate 1.0 (tests) — the retry loop exhausts its budget inside the
+/// window and the affected site is quarantined.
+struct IoFaultPlanParams {
+  std::uint64_t seed = 0x10FA17C4A05ULL;
+  /// P(any given sink operation faults).
+  double op_fault_rate = 0.05;
+  /// Ops with index < min_op never fault (op 0 is the archive header —
+  /// keeping it clean by default means injected damage is always
+  /// recoverable tail damage, not an unusable file).
+  std::uint64_t min_op = 1;
+  /// Ops with index >= max_op never fault (window end, exclusive).
+  std::uint64_t max_op = ~std::uint64_t{0};
+  /// Relative class weights (normalised internally). kFsyncLost only
+  /// applies to sync() ops and the others only to write() ops — the sink
+  /// filters by op kind, so the realized class mix also depends on the
+  /// write/sync ratio of the workload.
+  double no_space_weight = 0.30;
+  double short_write_weight = 0.30;
+  double fsync_loss_weight = 0.20;
+  double bit_flip_weight = 0.20;
+};
+
+/// The fault (if any) scheduled for one sink operation, with its parameters
+/// pre-drawn: where a short write / sync loss cuts, which bit flips.
+struct IoFaultDecision {
+  IoFault cls = IoFault::kNone;
+  /// Fraction in [0,1): how much of the affected range survives — a short
+  /// write keeps floor(cut * len) bytes, a lost sync keeps that fraction of
+  /// the unsynced tail, a torn tail that fraction of the torn block.
+  double cut = 0;
+  /// kBitFlip / kTornTail: determinant for which bit flips (mod range).
+  std::uint64_t flip = 0;
+
+  bool active() const { return cls != IoFault::kNone; }
+};
+
+/// A seeded, per-operation-deterministic schedule of injectable storage
+/// faults. decide(op) is a pure function of (seed, op): since the writer's
+/// sink is only ever driven from the merge thread in site-index order, the
+/// op sequence — and therefore the whole fault schedule — is byte-identical
+/// at any crawl thread count.
+class IoFaultPlan {
+ public:
+  /// Default-constructed plans are disabled: decide() never faults.
+  IoFaultPlan() = default;
+  explicit IoFaultPlan(IoFaultPlanParams params)
+      : params_(params), enabled_(true) {}
+
+  bool enabled() const { return enabled_; }
+  const IoFaultPlanParams& params() const { return params_; }
+
+  /// The fault (if any) for the `op`-th sink operation.
+  IoFaultDecision decide(std::uint64_t op) const;
+
+  /// Deterministic crash corruption keyed off `key` (chaos harness: which
+  /// torn-tail/bit-flip artifact a simulated crash leaves behind). Always
+  /// active when the plan is enabled, independent of op_fault_rate.
+  IoFaultDecision decide_crash(std::uint64_t key) const;
+
+ private:
+  IoFaultPlanParams params_;
+  bool enabled_ = false;
+};
 
 /// Knobs of the fault schedule. The defaults are calibrated so that, with
 /// the crawler's default retry budget (2 retries), the retained fraction

@@ -475,6 +475,65 @@ void rule_d4(const Sink& sink, const std::vector<Token>& code) {
   }
 }
 
+// W1: an std::ofstream that is written but never health-checked turns disk
+// errors (ENOSPC, quota, dying media) into silent data loss. In modules on
+// the durable-output path (restrict W1 ... in the config), every owning
+// ofstream declaration must be paired — somewhere in the same file — with a
+// health check of that stream (`!name`, or name.good()/fail()/bad()/
+// rdstate()), or replaced with store::ByteSink / store::write_file_atomic,
+// which taxonomize failures instead of swallowing them.
+void rule_w1(const Sink& sink, const std::vector<Token>& code) {
+  if (!sink.config->rule_applies("W1", sink.module)) return;
+
+  struct Decl {
+    std::string_view name;
+    int line;
+  };
+  std::vector<Decl> decls;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier ||
+        code[i].text != "ofstream") {
+      continue;
+    }
+    const std::size_t j = i + 1;
+    if (j >= code.size()) continue;
+    if (code[j].text == "&" || code[j].text == "*") {
+      continue;  // reference/pointer: not the owner of the stream's fate
+    }
+    if (code[j].kind == TokenKind::kIdentifier) {
+      decls.push_back({code[j].text, code[i].line});
+    }
+  }
+  if (decls.empty()) return;
+
+  // Names that are stream-health-checked anywhere in the file.
+  std::set<std::string_view> checked;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].text == "!" && i + 1 < code.size() &&
+        code[i + 1].kind == TokenKind::kIdentifier) {
+      checked.insert(code[i + 1].text);
+    }
+    if (code[i].kind == TokenKind::kIdentifier && next_is(code, i, ".") &&
+        i + 2 < code.size() && next_is(code, i + 2, "(")) {
+      const std::string_view member = code[i + 2].text;
+      if (member == "good" || member == "fail" || member == "bad" ||
+          member == "rdstate") {
+        checked.insert(code[i].text);
+      }
+    }
+  }
+
+  for (const Decl& decl : decls) {
+    if (checked.count(decl.name) != 0) continue;
+    sink.add("W1", decl.line,
+             concat("std::ofstream '", decl.name,
+                    "' is never health-checked — a failed write is silent "
+                    "data loss; test !", decl.name, " / ", decl.name,
+                    ".good() after writing, or use store::ByteSink / "
+                    "store::write_file_atomic"));
+  }
+}
+
 // L1: every quoted cross-module include must be a declared DAG edge.
 void rule_l1(const Sink& sink, const std::vector<Token>& tokens) {
   for (const Token& token : tokens) {
@@ -520,6 +579,7 @@ std::vector<Violation> run_rules(const Config& config, const std::string& path,
   rule_d2(sink, code);
   rule_d3(sink, code);
   rule_d4(sink, code);
+  rule_w1(sink, code);
   rule_l1(sink, tokens);
 
   std::stable_sort(violations.begin(), violations.end(),

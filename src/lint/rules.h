@@ -6,6 +6,8 @@
 //   D3  unordered-container iteration hazard in output-feeding modules
 //   D4  mutable static state (globals, function-local statics, thread_local)
 //   L1  layering: include crosses a module edge not declared in the DAG
+//   W1  std::ofstream written without a stream-health check (durable-output
+//       modules only, via `restrict W1 ...`)
 //   S1  malformed suppression annotation
 //   S2  suppression without a reason string
 //
@@ -48,7 +50,7 @@ std::vector<Suppression> parse_suppressions(const std::vector<Token>& tokens,
                                             const std::string& file,
                                             std::vector<Violation>* errors);
 
-/// Run rules D1-D4 and L1 over one lexed file. `path` is repo-relative; it
+/// Run rules D1-D4, W1, and L1 over one lexed file. `path` is repo-relative; it
 /// decides the module (layering) and rule allowlists. Suppressions are NOT
 /// applied here — the linter driver matches them so it can report a census.
 std::vector<Violation> run_rules(const Config& config, const std::string& path,

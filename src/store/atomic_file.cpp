@@ -1,0 +1,55 @@
+#include "store/atomic_file.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace cg::store {
+namespace {
+
+void set_error(Error* error, std::string detail) {
+  if (error != nullptr) *error = {fault::ArchiveFault::kIoError,
+                                  std::move(detail)};
+}
+
+/// Append-style message builder (GCC 12 -Wrestrict, PR 105329).
+template <typename... Parts>
+std::string concat(Parts&&... parts) {
+  std::string out;
+  (out.append(parts), ...);
+  return out;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       Error* error) {
+  std::string tmp = path;
+  tmp += kAtomicTmpSuffix;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      set_error(error, concat("cannot create ", tmp));
+      return false;
+    }
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      set_error(error, concat("write to ", tmp, " failed"));
+      return false;
+    }
+  }
+  std::error_code rename_ec;
+  std::filesystem::rename(tmp, path, rename_ec);
+  if (rename_ec) {
+    const std::string message = rename_ec.message();
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp, remove_ec);
+    set_error(error,
+              concat("cannot rename ", tmp, " over ", path, ": ", message));
+    return false;
+  }
+  if (error != nullptr) *error = {};
+  return true;
+}
+
+}  // namespace cg::store

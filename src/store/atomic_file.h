@@ -1,0 +1,30 @@
+// Atomic small-file replacement for checkpoints and summaries.
+//
+// A checkpoint overwritten in place is a crash hazard: die mid-write and
+// the very file resume depends on is half the old state, half the new.
+// write_file_atomic renders to `<path>.tmp`, flushes, verifies stream
+// health, and renames over `path` — on POSIX the rename is atomic, so
+// `path` always holds either the complete old contents or the complete new
+// contents. A crash between write and rename leaves a `<path>.tmp` orphan;
+// loaders must ignore it (the rename never happened, so its contents were
+// never promoted to truth).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "store/cgar.h"
+
+namespace cg::store {
+
+/// Suffix of the temporary used by write_file_atomic. Loaders treat a
+/// leftover `<path>.tmp` as an interrupted write, never as data.
+inline constexpr std::string_view kAtomicTmpSuffix = ".tmp";
+
+/// Atomically replaces `path` with `contents`. False + Error{kIoError} on
+/// any failure (the destination is left untouched; a partial .tmp may
+/// remain and is removed on the next successful write).
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       Error* error = nullptr);
+
+}  // namespace cg::store

@@ -20,14 +20,14 @@ std::optional<Reader> fail(Error* error, fault::ArchiveFault code,
 }  // namespace
 
 std::optional<Reader> Reader::open(const std::string& path, Error* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return fail(error, fault::ArchiveFault::kIoError, "cannot open " + path);
-  }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    return fail(error, fault::ArchiveFault::kIoError, "read failed: " + path);
+  FileSource source(path);
+  return from_source(source, error);
+}
+
+std::optional<Reader> Reader::from_source(ByteSource& source, Error* error) {
+  std::string bytes;
+  if (const IoStatus status = source.read_all(&bytes); !status.ok()) {
+    return fail(error, fault::ArchiveFault::kIoError, status.to_string());
   }
   return from_buffer(std::move(bytes), error);
 }

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "instrument/records.h"
+#include "store/byte_sink.h"
 #include "store/cgar.h"
 
 namespace cg::store {
@@ -34,6 +35,11 @@ class Reader {
 
   /// Same, over an in-memory archive image (tests, fuzzing).
   static std::optional<Reader> from_buffer(std::string bytes,
+                                           Error* error = nullptr);
+
+  /// Same, reading the image through a ByteSource (open() is this over a
+  /// FileSource). Read failures surface as Error{kIoError}.
+  static std::optional<Reader> from_source(ByteSource& source,
                                            Error* error = nullptr);
 
   // ---- provenance (footer) ----------------------------------------------

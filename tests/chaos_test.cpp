@@ -1,0 +1,524 @@
+// Storage-chaos tests: FaultingSink injection semantics, the self-healing
+// Writer (retry/heal/scrub/quarantine), crash-resume over every tail
+// corruption class, atomic file replacement, and the crawler's poison-site
+// quarantine when the archive path fails permanently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "crawler/crawler.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "store/atomic_file.h"
+#include "store/byte_sink.h"
+#include "store/cgar.h"
+#include "store/reader.h"
+#include "store/record_codec.h"
+#include "store/writer.h"
+
+namespace cg::store {
+namespace {
+
+std::filesystem::path temp_path(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+/// A small but non-trivial VisitLog so site blocks span a few hundred bytes
+/// — enough for short writes and bit flips to land mid-block.
+instrument::VisitLog make_log(int rank) {
+  instrument::VisitLog log;
+  log.rank = rank;
+  log.site = "site" + std::to_string(rank) + ".example";
+  log.site_host = "www." + log.site;
+  log.pages_visited = 1 + rank % 4;
+  log.has_cookie_logs = true;
+  log.has_request_logs = true;
+
+  instrument::ScriptCookieSetRecord set;
+  set.cookie_name = "_ga";
+  set.value = "GA1.2." + std::to_string(rank * 7919);
+  set.setter_url = "https://cdn.tracker.net/collect.js";
+  set.setter_domain = "tracker.net";
+  set.true_domain = "tracker.net";
+  set.time = 100 + rank;
+  log.script_sets.push_back(set);
+
+  instrument::HttpCookieSetRecord http;
+  http.cookie_name = "session";
+  http.value = std::to_string(rank) + "-abcdef";
+  http.response_host = log.site_host;
+  http.setter_domain = log.site;
+  http.first_party = true;
+  http.time = 90;
+  log.http_sets.push_back(http);
+
+  instrument::RequestRecord req;
+  req.url = "https://px.tracker.net/p?r=" + std::to_string(rank);
+  req.host = "px.tracker.net";
+  req.dest_domain = "tracker.net";
+  req.time = 1700;
+  log.requests.push_back(req);
+  return log;
+}
+
+/// Packs `count` logs through a fault-free BufferSink writer, syncing every
+/// `sync_every` sites (0 = never), and returns the finished archive bytes.
+std::string reference_pack(int count, int sync_every,
+                           std::vector<std::uint64_t>* sync_offsets = nullptr) {
+  auto sink = std::make_unique<BufferSink>();
+  BufferSink* buffer = sink.get();
+  Writer writer(std::move(sink), WriterOptions{});
+  for (int rank = 0; rank < count; ++rank) {
+    EXPECT_TRUE(writer.add(make_log(rank)));
+    if (sync_every > 0 && (rank + 1) % sync_every == 0) {
+      EXPECT_TRUE(writer.sync_for_checkpoint());
+      if (sync_offsets != nullptr) {
+        sync_offsets->push_back(writer.bytes_written());
+      }
+    }
+  }
+  Error error;
+  EXPECT_TRUE(writer.finish(&error)) << error.to_string();
+  return buffer->bytes();
+}
+
+/// A plan that injects exactly one class at rate 1.0 inside [min_op,
+/// max_op) and nothing outside it.
+fault::IoFaultPlan window_plan(fault::IoFault cls, std::uint64_t min_op,
+                               std::uint64_t max_op) {
+  fault::IoFaultPlanParams params;
+  params.op_fault_rate = 1.0;
+  params.min_op = min_op;
+  params.max_op = max_op;
+  params.no_space_weight = cls == fault::IoFault::kNoSpace ? 1.0 : 0.0;
+  params.short_write_weight = cls == fault::IoFault::kShortWrite ? 1.0 : 0.0;
+  params.fsync_loss_weight = cls == fault::IoFault::kFsyncLost ? 1.0 : 0.0;
+  params.bit_flip_weight = cls == fault::IoFault::kBitFlip ? 1.0 : 0.0;
+  return fault::IoFaultPlan(params);
+}
+
+// ---- FaultingSink injection semantics ------------------------------------
+
+TEST(FaultingSinkTest, NoSpaceConsumesNothingAndReportsTheError) {
+  auto inner = std::make_unique<BufferSink>();
+  BufferSink* buffer = inner.get();
+  FaultingSink sink(std::move(inner),
+                    window_plan(fault::IoFault::kNoSpace, 1, 2));
+
+  ASSERT_TRUE(sink.write("header").ok());
+  const IoStatus faulted = sink.write("payload");
+  EXPECT_EQ(faulted.fault, fault::IoFault::kNoSpace);
+  EXPECT_EQ(buffer->bytes(), "header");
+  EXPECT_EQ(sink.injected(fault::IoFault::kNoSpace), 1);
+
+  ASSERT_TRUE(sink.write("payload").ok());
+  EXPECT_EQ(buffer->bytes(), "headerpayload");
+}
+
+TEST(FaultingSinkTest, ShortWriteLandsAStrictPrefix) {
+  auto inner = std::make_unique<BufferSink>();
+  BufferSink* buffer = inner.get();
+  FaultingSink sink(std::move(inner),
+                    window_plan(fault::IoFault::kShortWrite, 1, 2));
+
+  ASSERT_TRUE(sink.write("header").ok());
+  const std::string payload = "0123456789abcdef";
+  const IoStatus faulted = sink.write(payload);
+  EXPECT_EQ(faulted.fault, fault::IoFault::kShortWrite);
+  EXPECT_GT(buffer->bytes().size(), 6u);  // some of the payload landed...
+  EXPECT_LT(buffer->bytes().size(), 6u + payload.size());  // ...not all
+  EXPECT_EQ(buffer->bytes().substr(0, 6), "header");
+  EXPECT_EQ(payload.substr(0, buffer->bytes().size() - 6),
+            buffer->bytes().substr(6));
+}
+
+TEST(FaultingSinkTest, BitFlipReportsSuccessButCorruptsTheMedium) {
+  auto inner = std::make_unique<BufferSink>();
+  BufferSink* buffer = inner.get();
+  FaultingSink sink(std::move(inner),
+                    window_plan(fault::IoFault::kBitFlip, 1, 2));
+
+  ASSERT_TRUE(sink.write("header").ok());
+  const std::string payload(64, '\0');
+  EXPECT_TRUE(sink.write(payload).ok());  // the lie that makes it silent
+  ASSERT_EQ(buffer->bytes().size(), 6u + payload.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    unsigned char byte =
+        static_cast<unsigned char>(buffer->bytes()[6 + i]);
+    while (byte != 0) {
+      flipped_bits += byte & 1;
+      byte >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(sink.injected(fault::IoFault::kBitFlip), 1);
+}
+
+TEST(FaultingSinkTest, FsyncLossDropsASuffixOfTheUnsyncedTail) {
+  auto inner = std::make_unique<BufferSink>();
+  BufferSink* buffer = inner.get();
+  FaultingSink sink(std::move(inner),
+                    window_plan(fault::IoFault::kFsyncLost, 2, 3));
+
+  ASSERT_TRUE(sink.write("header").ok());  // op 0
+  ASSERT_TRUE(sink.write("0123456789").ok());  // op 1
+  const IoStatus lost = sink.sync();  // op 2: tears the unsynced tail
+  EXPECT_EQ(lost.fault, fault::IoFault::kFsyncLost);
+  EXPECT_GE(buffer->bytes().size(), 6u);  // synced bytes never torn...
+  EXPECT_LT(buffer->bytes().size(), 16u);  // ...some of the tail gone
+  EXPECT_EQ(sink.injected(fault::IoFault::kFsyncLost), 1);
+}
+
+TEST(FaultingSinkTest, WriteClassDrawsOnSyncOpsAreIgnored) {
+  auto inner = std::make_unique<BufferSink>();
+  FaultingSink sink(std::move(inner),
+                    window_plan(fault::IoFault::kNoSpace, 0, 100));
+  EXPECT_TRUE(sink.sync().ok());  // kNoSpace drawn on a sync op: ignored
+  EXPECT_EQ(sink.injected(fault::IoFault::kNoSpace), 0);
+  FaultingSink sync_sink(std::make_unique<BufferSink>(),
+                         window_plan(fault::IoFault::kFsyncLost, 0, 100));
+  EXPECT_TRUE(sync_sink.write("bytes").ok());  // fsync draw on a write op
+  EXPECT_EQ(sync_sink.injected(fault::IoFault::kFsyncLost), 0);
+}
+
+TEST(FaultingSinkTest, InjectionScheduleIsDeterministic) {
+  fault::IoFaultPlanParams params;
+  params.op_fault_rate = 0.5;
+  auto run = [&params]() {
+    auto inner = std::make_unique<BufferSink>();
+    BufferSink* buffer = inner.get();
+    FaultingSink sink(std::move(inner), fault::IoFaultPlan(params));
+    std::string transcript;
+    for (int op = 0; op < 200; ++op) {
+      const IoStatus status = sink.write("0123456789abcdef");
+      transcript += status.ok() ? '.' : 'X';
+      if (op % 13 == 0) {
+        transcript += sink.sync().ok() ? 's' : 'L';
+      }
+    }
+    return std::make_pair(transcript, buffer->bytes());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+// ---- the self-healing writer ---------------------------------------------
+
+TEST(WriterChaosTest, TransientFaultsHealToAByteIdenticalArchive) {
+  const int kSites = 40;
+  const std::string reference = reference_pack(kSites, 8);
+
+  fault::IoFaultPlanParams params;
+  params.op_fault_rate = 0.25;
+  obs::MetricsRegistry metrics;
+  auto inner = std::make_unique<BufferSink>();
+  BufferSink* buffer = inner.get();
+  auto faulting = std::make_unique<FaultingSink>(
+      std::move(inner), fault::IoFaultPlan(params), &metrics);
+  FaultingSink* injector = faulting.get();
+
+  WriterOptions options;
+  options.io.scrub_writes = true;
+  options.io.buffer_unsynced = true;
+  options.metrics = &metrics;
+  Writer writer(std::move(faulting), options);
+  for (int rank = 0; rank < kSites; ++rank) {
+    ASSERT_TRUE(writer.add(make_log(rank))) << "rank " << rank;
+    if ((rank + 1) % 8 == 0) {
+      ASSERT_TRUE(writer.sync_for_checkpoint()) << "rank " << rank;
+    }
+  }
+  Error error;
+  ASSERT_TRUE(writer.finish(&error)) << error.to_string();
+
+  EXPECT_EQ(buffer->bytes(), reference);
+  EXPECT_GT(writer.io_backoff_ms(), 0);
+
+  // Error-budget ledger: every injected fault is accounted by the healer.
+  const auto counters = metrics.to_json().dump();
+  EXPECT_GT(injector->ops(), 0u);
+  for (const auto cls :
+       {fault::IoFault::kNoSpace, fault::IoFault::kShortWrite,
+        fault::IoFault::kFsyncLost}) {
+    EXPECT_EQ(injector->injected(cls),
+              metrics.counter(std::string("io.faults.") +
+                            std::string(fault::io_fault_name(cls))))
+        << fault::io_fault_name(cls) << " in " << counters;
+  }
+  // Bit flips report success, so they never reach io.faults.* as themselves:
+  // the scrub detects them and the retry re-lands the block.
+  EXPECT_EQ(injector->injected(fault::IoFault::kBitFlip),
+            metrics.counter("io.scrub_detected"));
+}
+
+TEST(WriterChaosTest, ExhaustedRetryBudgetRestoresTheFileAndQuarantines) {
+  // The window is wider than the retry budget (1 + 8 retries = 9 attempts),
+  // so the first block append fails permanently; the next one is clean.
+  auto inner = std::make_unique<BufferSink>();
+  BufferSink* buffer = inner.get();
+  auto faulting = std::make_unique<FaultingSink>(
+      std::move(inner), window_plan(fault::IoFault::kNoSpace, 1, 11));
+
+  obs::MetricsRegistry metrics;
+  WriterOptions options;
+  options.metrics = &metrics;
+  Writer writer(std::move(faulting), options);
+  const std::uint64_t header_bytes = writer.bytes_written();
+
+  EXPECT_FALSE(writer.append_site_block(0, encode_site_block(make_log(0))));
+  EXPECT_EQ(writer.last_io_error().code, fault::ArchiveFault::kIoError);
+  EXPECT_EQ(writer.bytes_written(), header_bytes);
+  EXPECT_EQ(writer.sites_written(), 0);
+
+  // The writer is not dead: the caller quarantines the site and continues.
+  EXPECT_TRUE(writer.append_site_block(1, encode_site_block(make_log(1))));
+  Error error;
+  ASSERT_TRUE(writer.finish(&error)) << error.to_string();
+
+  auto reader = Reader::from_buffer(buffer->bytes(), &error);
+  ASSERT_TRUE(reader.has_value()) << error.to_string();
+  EXPECT_EQ(reader->site_count(), 1);
+  EXPECT_TRUE(reader->verify(&error).has_value()) << error.to_string();
+}
+
+TEST(WriterChaosTest, SyncLossIsHealedWhenBufferingUnsynced) {
+  const std::string reference = reference_pack(3, 3);
+
+  // Ops: 0 header, 1-3 site blocks, 4 the sync that loses the tail.
+  auto inner = std::make_unique<BufferSink>();
+  BufferSink* buffer = inner.get();
+  auto faulting = std::make_unique<FaultingSink>(
+      std::move(inner), window_plan(fault::IoFault::kFsyncLost, 4, 5));
+
+  obs::MetricsRegistry metrics;
+  WriterOptions options;
+  options.io.buffer_unsynced = true;
+  options.metrics = &metrics;
+  Writer writer(std::move(faulting), options);
+  for (int rank = 0; rank < 3; ++rank) {
+    ASSERT_TRUE(writer.add(make_log(rank)));
+  }
+  EXPECT_TRUE(writer.sync_for_checkpoint());
+  EXPECT_GE(metrics.counter("io.sync_heals"), 1);
+  Error error;
+  ASSERT_TRUE(writer.finish(&error)) << error.to_string();
+  EXPECT_EQ(buffer->bytes(), reference);
+}
+
+TEST(WriterChaosTest, ScrubCatchesSilentBitFlips) {
+  const std::string reference = reference_pack(1, 0);
+
+  auto inner = std::make_unique<BufferSink>();
+  BufferSink* buffer = inner.get();
+  auto faulting = std::make_unique<FaultingSink>(
+      std::move(inner), window_plan(fault::IoFault::kBitFlip, 1, 2));
+
+  obs::MetricsRegistry metrics;
+  WriterOptions options;
+  options.io.scrub_writes = true;
+  options.metrics = &metrics;
+  Writer writer(std::move(faulting), options);
+  ASSERT_TRUE(writer.add(make_log(0)));
+  Error error;
+  ASSERT_TRUE(writer.finish(&error)) << error.to_string();
+
+  EXPECT_EQ(metrics.counter("io.scrub_detected"), 1);
+  EXPECT_EQ(buffer->bytes(), reference);
+}
+
+TEST(WriterChaosTest, WithoutScrubABitFlipIsSilentUntilRead) {
+  auto inner = std::make_unique<BufferSink>();
+  BufferSink* buffer = inner.get();
+  auto faulting = std::make_unique<FaultingSink>(
+      std::move(inner), window_plan(fault::IoFault::kBitFlip, 1, 2));
+
+  Writer writer(std::move(faulting), WriterOptions{});
+  EXPECT_TRUE(writer.add(make_log(0)));  // the write lied; nobody noticed
+  Error error;
+  ASSERT_TRUE(writer.finish(&error)) << error.to_string();
+
+  // The reader's CRC walk is the backstop that catches it.
+  auto reader = Reader::from_buffer(buffer->bytes(), &error);
+  if (reader.has_value()) {
+    EXPECT_FALSE(reader->verify(&error).has_value());
+    EXPECT_EQ(error.code, fault::ArchiveFault::kChecksumMismatch);
+  } else {
+    EXPECT_NE(error.code, fault::ArchiveFault::kNone);
+  }
+}
+
+// ---- crash resume over every tail corruption class -----------------------
+
+TEST(ResumeChaosTest, ResumeHealsEveryTailCorruptionClass) {
+  const int kSites = 12;
+  const int kCheckpointSites = 7;
+  std::vector<std::uint64_t> sync_offsets;
+  const std::string reference =
+      reference_pack(kSites, kCheckpointSites, &sync_offsets);
+  ASSERT_FALSE(sync_offsets.empty());
+  const std::uint64_t prefix_bytes = sync_offsets[0];
+  const std::string prefix =
+      reference.substr(0, static_cast<std::size_t>(prefix_bytes));
+
+  // The eighth block's bytes, for building torn/flipped tails.
+  const std::string next_block =
+      encode_site_block(make_log(kCheckpointSites));
+
+  struct Variant {
+    const char* name;
+    std::string tail;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"clean_cut", ""});
+  variants.push_back(
+      {"torn_block", next_block.substr(0, next_block.size() / 2)});
+  std::string flipped = next_block;
+  flipped[flipped.size() / 3] ^= 0x10;
+  variants.push_back({"bit_flipped_block", flipped});
+  variants.push_back({"garbage", std::string(37, '\xEE')});
+
+  for (const auto& variant : variants) {
+    const auto path = temp_path("cg_chaos_resume.cgar");
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << prefix << variant.tail;
+      ASSERT_TRUE(out.good()) << variant.name;
+    }
+
+    Error error;
+    auto writer = Writer::resume(path.string(), WriterOptions{},
+                                 kCheckpointSites, &error);
+    ASSERT_NE(writer, nullptr) << variant.name << ": " << error.to_string();
+    EXPECT_EQ(writer->sites_written(), kCheckpointSites);
+    EXPECT_EQ(writer->bytes_written(), prefix_bytes);
+    for (int rank = kCheckpointSites; rank < kSites; ++rank) {
+      ASSERT_TRUE(writer->add(make_log(rank))) << variant.name;
+    }
+    ASSERT_TRUE(writer->finish(&error))
+        << variant.name << ": " << error.to_string();
+    writer.reset();
+
+    std::ifstream in(path, std::ios::binary);
+    const std::string resumed((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    EXPECT_EQ(resumed, reference) << variant.name;
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(ResumeChaosTest, DamageInsideThePrefixIsNotRepairable) {
+  const std::string reference = reference_pack(6, 3);
+  const auto path = temp_path("cg_chaos_prefix_damage.cgar");
+  std::string damaged = reference;
+  damaged[kHeaderSize + 10] ^= 0x04;  // inside the first site block
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << damaged;
+    ASSERT_TRUE(out.good());
+  }
+
+  Error error;
+  auto writer = Writer::resume(path.string(), WriterOptions{}, 3, &error);
+  EXPECT_EQ(writer, nullptr);
+  EXPECT_TRUE(error.code == fault::ArchiveFault::kChecksumMismatch ||
+              error.code == fault::ArchiveFault::kCorruptBlock)
+      << error.to_string();
+  std::filesystem::remove(path);
+}
+
+TEST(ResumeChaosTest, PrefixShorterThanTheCheckpointIsTruncatedClass) {
+  const std::string reference = reference_pack(4, 0);
+  const auto path = temp_path("cg_chaos_short_prefix.cgar");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << reference.substr(0, kHeaderSize + 4);
+    ASSERT_TRUE(out.good());
+  }
+
+  Error error;
+  auto prefix = Writer::walk_prefix(path.string(), 4, &error);
+  EXPECT_FALSE(prefix.has_value());
+  EXPECT_EQ(error.code, fault::ArchiveFault::kTruncated);
+  std::filesystem::remove(path);
+}
+
+// ---- atomic output files -------------------------------------------------
+
+TEST(AtomicFileTest, WritesReplacesAndLeavesNoTemporary) {
+  const auto path = temp_path("cg_chaos_atomic.json");
+  const std::string tmp = path.string() + std::string(kAtomicTmpSuffix);
+  std::filesystem::remove(path);
+  std::filesystem::remove(tmp);
+
+  Error error;
+  ASSERT_TRUE(write_file_atomic(path.string(), "{\"v\":1}", &error))
+      << error.to_string();
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  ASSERT_TRUE(write_file_atomic(path.string(), "{\"v\":2}", &error))
+      << error.to_string();
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+
+  std::ifstream in(path, std::ios::binary);
+  const std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "{\"v\":2}");
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFileTest, UnwritableDestinationFailsWithoutTouchingTheTarget) {
+  const std::string path = "/nonexistent-dir/cg_chaos_atomic.json";
+  Error error;
+  EXPECT_FALSE(write_file_atomic(path, "contents", &error));
+  EXPECT_EQ(error.code, fault::ArchiveFault::kIoError);
+}
+
+// ---- crawler quarantine --------------------------------------------------
+
+TEST(CrawlerQuarantineTest, PermanentArchiveFailureQuarantinesNotAborts) {
+  corpus::CorpusParams corpus_params;
+  corpus_params.site_count = 5;
+  const corpus::Corpus corpus(corpus_params);
+  crawler::Crawler crawler(corpus);
+
+  // Every write after the header fails permanently: every site's block
+  // append exhausts the retry budget and the site is quarantined.
+  auto faulting = std::make_unique<FaultingSink>(
+      std::make_unique<BufferSink>(),
+      window_plan(fault::IoFault::kNoSpace, 1, ~std::uint64_t{0}));
+
+  obs::MetricsRegistry metrics;
+  WriterOptions writer_options;
+  writer_options.metrics = &metrics;
+  Writer writer(std::move(faulting), writer_options);
+
+  crawler::CrawlOptions options;
+  options.fault_plan.reset();  // isolate storage failure from visit faults
+  options.archive = &writer;
+  options.metrics = &metrics;
+  int sink_calls = 0;
+  const auto health = crawler.crawl(
+      corpus.size(), options,
+      [&sink_calls](instrument::VisitLog&&) { ++sink_calls; });
+
+  EXPECT_EQ(sink_calls, corpus.size());  // the crawl never aborted
+  EXPECT_EQ(health.sites_retained, 0);
+  EXPECT_EQ(health.sites_excluded, corpus.size());
+  EXPECT_EQ(health.exclusions[static_cast<std::size_t>(
+                fault::FailureClass::kStorageFailure)],
+            corpus.size());
+  EXPECT_EQ(metrics.counter("crawl.sites_quarantined"), corpus.size());
+  EXPECT_TRUE(health.retained_ranks.empty());
+}
+
+}  // namespace
+}  // namespace cg::store

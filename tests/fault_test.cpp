@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
 
 #include "fault/fault.h"
 #include "net/dns.h"
@@ -218,6 +219,128 @@ TEST(VisitFaultsTest, DnsFaultInjectsIntoResolver) {
   EXPECT_FALSE(dns.resolve("www.site1.com").ok());
   dns.clear_failures();
   EXPECT_TRUE(dns.resolve("www.site1.com").ok());
+}
+
+// ---- IoFaultPlan (write-side storage faults) -----------------------------
+
+TEST(IoFaultPlanTest, DefaultConstructedPlanIsDisabled) {
+  IoFaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (std::uint64_t op = 0; op < 500; ++op) {
+    EXPECT_FALSE(plan.decide(op).active());
+  }
+  EXPECT_FALSE(plan.decide_crash(7).active());
+}
+
+TEST(IoFaultPlanTest, DecisionsAreDeterministicAndSeedSensitive) {
+  IoFaultPlan a((IoFaultPlanParams()));
+  IoFaultPlan b((IoFaultPlanParams()));
+  IoFaultPlanParams other_params;
+  other_params.seed = 0xD1FFULL;
+  IoFaultPlan other(other_params);
+
+  bool any_differs = false;
+  for (std::uint64_t op = 0; op < 2000; ++op) {
+    const auto da = a.decide(op);
+    const auto db = b.decide(op);
+    EXPECT_EQ(da.cls, db.cls);
+    EXPECT_EQ(da.cut, db.cut);
+    EXPECT_EQ(da.flip, db.flip);
+    const auto dc = other.decide(op);
+    if (dc.cls != da.cls || dc.cut != da.cut || dc.flip != da.flip) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(IoFaultPlanTest, FaultRateBoundaries) {
+  IoFaultPlanParams never;
+  never.op_fault_rate = 0.0;
+  IoFaultPlan never_plan(never);
+
+  IoFaultPlanParams always;
+  always.op_fault_rate = 1.0;
+  IoFaultPlan always_plan(always);
+
+  for (std::uint64_t op = 1; op < 1000; ++op) {
+    EXPECT_FALSE(never_plan.decide(op).active());
+    EXPECT_TRUE(always_plan.decide(op).active());
+  }
+}
+
+TEST(IoFaultPlanTest, OpWindowGatesInjection) {
+  IoFaultPlanParams params;
+  params.op_fault_rate = 1.0;
+  params.min_op = 10;
+  params.max_op = 20;
+  IoFaultPlan plan(params);
+
+  for (std::uint64_t op = 0; op < 40; ++op) {
+    EXPECT_EQ(plan.decide(op).active(), op >= 10 && op < 20)
+        << "op " << op;
+  }
+}
+
+TEST(IoFaultPlanTest, SingleClassWeightDrawsOnlyThatClass) {
+  IoFaultPlanParams params;
+  params.op_fault_rate = 1.0;
+  params.no_space_weight = 1.0;
+  params.short_write_weight = 0.0;
+  params.fsync_loss_weight = 0.0;
+  params.bit_flip_weight = 0.0;
+  IoFaultPlan plan(params);
+
+  for (std::uint64_t op = 1; op < 500; ++op) {
+    EXPECT_EQ(plan.decide(op).cls, IoFault::kNoSpace);
+  }
+}
+
+TEST(IoFaultPlanTest, AllZeroWeightsFallBackToBitFlip) {
+  IoFaultPlanParams params;
+  params.op_fault_rate = 1.0;
+  params.no_space_weight = 0.0;
+  params.short_write_weight = 0.0;
+  params.fsync_loss_weight = 0.0;
+  params.bit_flip_weight = 0.0;
+  IoFaultPlan plan(params);
+
+  for (std::uint64_t op = 1; op < 500; ++op) {
+    const auto decision = plan.decide(op);
+    EXPECT_TRUE(decision.active());
+    EXPECT_EQ(decision.cls, IoFault::kBitFlip);
+  }
+}
+
+TEST(IoFaultPlanTest, CrashDecisionsAreTornTails) {
+  IoFaultPlan plan((IoFaultPlanParams()));
+  const auto first = plan.decide_crash(3);
+  EXPECT_EQ(first.cls, IoFault::kTornTail);
+  EXPECT_GE(first.cut, 0.0);
+  EXPECT_LT(first.cut, 1.0);
+
+  const auto again = plan.decide_crash(3);
+  EXPECT_EQ(again.cut, first.cut);
+  EXPECT_EQ(again.flip, first.flip);
+
+  bool any_differs = false;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const auto decision = plan.decide_crash(key);
+    EXPECT_EQ(decision.cls, IoFault::kTornTail);
+    if (decision.cut != first.cut || decision.flip != first.flip) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(IoFaultTaxonomyTest, Names) {
+  EXPECT_EQ(io_fault_name(IoFault::kNone), "none");
+  EXPECT_EQ(io_fault_name(IoFault::kNoSpace), "no_space");
+  EXPECT_EQ(io_fault_name(IoFault::kShortWrite), "short_write");
+  EXPECT_EQ(io_fault_name(IoFault::kFsyncLost), "fsync_lost");
+  EXPECT_EQ(io_fault_name(IoFault::kTornTail), "torn_tail");
+  EXPECT_EQ(io_fault_name(IoFault::kBitFlip), "bit_flip");
 }
 
 }  // namespace

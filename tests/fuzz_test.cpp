@@ -9,6 +9,7 @@
 #include <string>
 
 #include "cookies/cookie_jar.h"
+#include "crawler/crawler.h"
 #include "net/http_date.h"
 #include "net/query.h"
 #include "net/set_cookie.h"
@@ -236,7 +237,10 @@ TEST(FuzzTest, JsonParserToleratesMalformedStringEscapes) {
 /// every record channel populated.
 std::string seed_archive(script::Rng& rng) {
   std::ostringstream out;
-  store::Writer writer(&out, {0xC0FFEEu, 0xFA17u});
+  store::WriterOptions writer_options;
+  writer_options.corpus_seed = 0xC0FFEEu;
+  writer_options.fault_seed = 0xFA17u;
+  store::Writer writer(&out, writer_options);
   for (int rank = 0; rank < 8; ++rank) {
     instrument::VisitLog log;
     log.site_host = "www.site" + std::to_string(rank) + ".com";
@@ -395,6 +399,52 @@ TEST(FuzzTest, CgarPayloadDecoderNeverCrashesOnMutatedPayloads) {
     if (!decoded.has_value()) {
       EXPECT_EQ(error.code, fault::ArchiveFault::kCorruptBlock);
     }
+  }
+}
+
+TEST(FuzzTest, CheckpointJsonSurvivesTornTailsAndGarbage) {
+  // A checkpoint file interrupted mid-write (torn tail) or trailed by
+  // garbage must parse to nullopt or to a structurally sound checkpoint —
+  // never crash, never yield negative counts the resume path would trip on.
+  crawler::CrawlCheckpoint checkpoint;
+  checkpoint.next_index = 137;
+  checkpoint.target_count = 500;
+  checkpoint.corpus_seed = 0xC0FFEE;
+  checkpoint.fault_seed = 0xFA177;
+  checkpoint.health.sites_attempted = 137;
+  checkpoint.health.sites_retained = 101;
+  checkpoint.health.sites_excluded = 36;
+  checkpoint.health.retained_ranks = {1, 2, 3, 5, 8, 13};
+  checkpoint.threads = 4;
+  checkpoint.shard_completed = {3, 1, 0, 2};
+  checkpoint.archive_sites = 137;
+  checkpoint.archive_bytes = 123456;
+  const std::string full = checkpoint.to_json_string();
+
+  const auto round_trip = crawler::CrawlCheckpoint::from_json_string(full);
+  ASSERT_TRUE(round_trip.has_value());
+  EXPECT_EQ(round_trip->next_index, checkpoint.next_index);
+  EXPECT_EQ(round_trip->archive_sites, checkpoint.archive_sites);
+  EXPECT_EQ(round_trip->archive_bytes, checkpoint.archive_bytes);
+
+  script::Rng rng(0x70A2);
+  auto check = [](const std::string& text) {
+    const auto parsed = crawler::CrawlCheckpoint::from_json_string(text);
+    if (!parsed.has_value()) return;
+    EXPECT_GE(parsed->next_index, 0);
+    EXPECT_GE(parsed->target_count, 0);
+    EXPECT_GE(parsed->health.sites_attempted, 0);
+    EXPECT_GE(parsed->archive_sites, -1);
+  };
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    check(full.substr(0, cut));  // every torn tail
+  }
+  for (int i = 0; i < 500; ++i) {
+    check(full + random_bytes(rng, 40));  // garbage appended
+    std::string mutated = full;
+    mutated[rng.below(mutated.size())] =
+        static_cast<char>(rng.below(256));  // one corrupted byte
+    check(mutated);
   }
 }
 

@@ -33,6 +33,7 @@ deps report: analysis jsoncore
 open tests
 allow D1 under bench/
 restrict D3 analysis report jsoncore store obs instrument
+restrict W1 store crawler examples
 )cfg";
 
 const Config& fixture_config() {
@@ -332,6 +333,71 @@ TEST(RuleD4Test, LambdaInitializedConstStaticIsClean) {
       "  return p;\n"
       "}\n");
   EXPECT_TRUE(report.violations.empty());
+}
+
+// ---- W1: unchecked ofstream ----------------------------------------------
+
+TEST(RuleW1Test, FlagsUncheckedOfstreamInDurableOutputModules) {
+  const auto report = run("src/store/dump.cpp",
+                          "void dump(const std::string& path) {\n"
+                          "  std::ofstream out(path);\n"
+                          "  out << \"data\";\n"
+                          "}\n");
+  EXPECT_TRUE(has_violation(report, "W1", 2));
+}
+
+TEST(RuleW1Test, HealthCheckAnywhereInTheFileClears) {
+  const auto bang = run("src/store/dump.cpp",
+                        "bool dump(const std::string& path) {\n"
+                        "  std::ofstream out(path);\n"
+                        "  out << \"data\";\n"
+                        "  return !out ? false : true;\n"
+                        "}\n");
+  EXPECT_TRUE(bang.violations.empty());
+
+  const auto good = run("examples/tool.cpp",
+                        "bool dump(const std::string& path) {\n"
+                        "  std::ofstream out(path);\n"
+                        "  out << \"data\";\n"
+                        "  out.flush();\n"
+                        "  return out.good();\n"
+                        "}\n");
+  EXPECT_TRUE(good.violations.empty());
+}
+
+TEST(RuleW1Test, OnlyAppliesToRestrictedModules) {
+  const auto report = run("src/obs/dump.cpp",
+                          "void dump(const std::string& path) {\n"
+                          "  std::ofstream out(path);\n"
+                          "  out << \"data\";\n"
+                          "}\n");
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(RuleW1Test, ReferenceParametersAreNotOwners) {
+  const auto report = run("src/store/dump.cpp",
+                          "void emit(std::ofstream& out) { out << 1; }\n"
+                          "void emit2(std::ofstream* out) { *out << 2; }\n");
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(RuleW1Test, NearMissesInStringsAndComments) {
+  const auto report = run(
+      "src/store/dump.cpp",
+      "// std::ofstream out(path) would be flagged here\n"
+      "const char* s = \"std::ofstream out\";\n");
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(RuleW1Test, SuppressibleWithReason) {
+  const auto report = run(
+      "src/store/dump.cpp",
+      "struct Sink {\n"
+      "  // cglint: allow(W1) — every op on out_ is checked in the .cpp\n"
+      "  std::ofstream out_;\n"
+      "};\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppression_census.at("W1"), 1);
 }
 
 // ---- L1: layering --------------------------------------------------------

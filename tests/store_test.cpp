@@ -298,7 +298,10 @@ TEST(StoreRoundTripTest, CrawlArchiveReplaysEveryLogExactly) {
 
   std::vector<std::string> live_payloads;
   std::ostringstream out;
-  Writer writer(&out, {corpus.params().seed, 7});
+  WriterOptions writer_options;
+  writer_options.corpus_seed = corpus.params().seed;
+  writer_options.fault_seed = 7;
+  Writer writer(&out, writer_options);
   options.archive = &writer;
   crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
     live_payloads.push_back(encode_site_payload(log));
