@@ -2,125 +2,16 @@
 // identifier matching, exfiltration confirmation, manipulation
 // classification, and dataset-level aggregation.
 //
-// The analyzer is streaming: the crawler feeds it one VisitLog at a time and
-// it keeps only aggregates, so the full 20k-site crawl fits in memory.
+// The analyzer is a thin stateful wrapper over the fold/merge algebra in
+// analysis/fold.h: ingest() folds one visit into a SiteSummary and merges
+// it into the running state, so the full 20k-site crawl fits in memory and
+// the exact same code path serves batch analysis (analyze_archive) and the
+// online query tier (src/serve/).
 #pragma once
 
-#include <map>
-#include <set>
-#include <string>
-#include <vector>
-
-#include "cookies/cookie.h"
-#include "entities/entity_map.h"
-#include "instrument/records.h"
+#include "analysis/fold.h"
 
 namespace cg::analysis {
-
-/// Identity of a cookie in the paper's sense: (name, domain of the script
-/// that set it) — footnote 2.
-struct CookiePair {
-  std::string name;
-  std::string owner_domain;
-  auto operator<=>(const CookiePair&) const = default;
-};
-
-/// Per-pair aggregates. Entity maps count the number of *sites* on which
-/// that entity performed the action (used for top-3 rankings).
-struct PairStats {
-  cookies::CookieSource created_via = cookies::CookieSource::kDocumentCookie;
-  int sites_set = 0;
-  std::map<std::string, int> exfiltrator_entities;
-  std::map<std::string, int> destination_entities;
-  std::map<std::string, int> overwriter_entities;
-  std::map<std::string, int> deleter_entities;
-  bool exfiltrated() const { return !exfiltrator_entities.empty(); }
-  bool overwritten() const { return !overwriter_entities.empty(); }
-  bool deleted() const { return !deleter_entities.empty(); }
-};
-
-/// Per-script-domain aggregates (Figures 2 and 6).
-struct DomainStats {
-  std::set<CookiePair> exfiltrated_pairs;
-  std::set<CookiePair> overwritten_pairs;
-  std::set<CookiePair> deleted_pairs;
-};
-
-/// Everything the benches print.
-struct Totals {
-  int sites_crawled = 0;
-  int sites_complete = 0;
-
-  // ---- §5.1 prevalence -----------------------------------------------
-  int sites_with_third_party = 0;
-  long long third_party_script_count = 0;  // distinct per site, summed
-  long long third_party_ad_tracking_count = 0;
-  long long tp_cookies_set = 0;  // per-site cookie set counts
-  long long fp_cookies_set = 0;
-  long long direct_inclusions = 0;
-  long long indirect_inclusions = 0;
-  long long indirect_ad_tracking = 0;
-
-  // ---- §5.2 API usage ---------------------------------------------------
-  int sites_using_document_cookie = 0;
-  int sites_using_cookie_store = 0;
-  std::set<std::string> store_cookie_names;
-  long long store_setting_scripts = 0;
-  std::set<std::string> store_script_domains;
-
-  // ---- Table 1 site counters ---------------------------------------------
-  int sites_doc_exfil = 0;
-  int sites_doc_overwrite = 0;
-  int sites_doc_delete = 0;
-  int sites_store_exfil = 0;
-  int sites_store_overwrite = 0;
-  int sites_store_delete = 0;
-
-  // ---- §5.5 overwrite attribute diffs ------------------------------------
-  long long cross_overwrites = 0;
-  long long overwrite_value_changed = 0;
-  long long overwrite_expires_changed = 0;
-  long long overwrite_domain_changed = 0;
-  long long overwrite_path_changed = 0;
-
-  // ---- §5.5 tracking-lifespan extension ----------------------------------
-  // "overwriting is primarily used to manipulate the content and lifespan of
-  // cookies ... to extend tracking durations beyond the original intent".
-  long long overwrite_expiry_extended = 0;   // new expiry later than old
-  long long overwrite_expiry_shortened = 0;  // new expiry earlier
-  /// Total days of lifetime added by cross-domain expiry extensions.
-  double expiry_days_added = 0;
-
-  // ---- §8 DOM pilot -------------------------------------------------------
-  int sites_with_cross_dom_modification = 0;
-
-  // ---- attribution accuracy (simulator-only ground truth) ---------------
-  long long attributed_sets = 0;
-  long long attribution_correct = 0;
-  long long attribution_unknown = 0;
-
-  // ---- Table 4 timings ----------------------------------------------------
-  std::vector<TimeMillis> dom_content_loaded;
-  std::vector<TimeMillis> dom_interactive;
-  std::vector<TimeMillis> load_event;
-
-  long long script_set_events = 0;
-  long long unique_setter_scripts = 0;
-
-  /// Folds a later shard's totals into this one: counters add, name/domain
-  /// sets union, timing vectors concatenate in shard order. Exception:
-  /// `unique_setter_scripts` is summed here (script URLs can repeat across
-  /// shards, so the sum is an upper bound) — Analyzer::merge recomputes it
-  /// exactly from the merged URL set.
-  void merge(Totals&& other);
-};
-
-struct AnalyzerOptions {
-  /// Match Base64/MD5/SHA1-encoded identifier forms in addition to raw
-  /// (paper §4.3). Disable for the D5 ablation: raw-only detection misses
-  /// every encoded exfiltration flow.
-  bool match_encoded_identifiers = true;
-};
 
 class Analyzer {
  public:
@@ -128,60 +19,79 @@ class Analyzer {
                     AnalyzerOptions options = {})
       : entities_(entities), options_(options) {}
 
-  /// Processes one visit's logs into the aggregates. Incomplete visits only
-  /// contribute crawl counters and timings (the paper drops them too).
-  void ingest(const instrument::VisitLog& log);
+  /// Processes one visit's logs into the aggregates: fold_visit + merge.
+  /// Incomplete visits only contribute crawl counters and timings (the
+  /// paper drops them too).
+  void ingest(const instrument::VisitLog& log) {
+    state_.merge(fold_visit(entities_, options_, log));
+  }
 
   /// Folds `other` into this analyzer. Precondition: `other` ingested a
   /// *later*, disjoint site-index shard of the same corpus, with the same
-  /// entity map and options. Cookie ownership is resolved per visit, so
-  /// shard-merged aggregates equal a sequential ingest of the same visits
-  /// in site order: counters add, pair/domain maps union (with counts
-  /// added), and creation metadata keeps the earlier shard's value — the
-  /// same first-setter-wins rule the sequential path applies.
-  void merge(Analyzer&& other);
+  /// entity map and options (see SiteSummary::merge).
+  void merge(Analyzer&& other) { state_.merge(std::move(other.state_)); }
 
-  const Totals& totals() const { return totals_; }
-  const std::map<CookiePair, PairStats>& pairs() const { return pairs_; }
+  /// Adopts a precomputed summary (the serving tier's load path): the
+  /// summary must cover a later, disjoint site-rank range, same contract
+  /// as merge().
+  void apply(SiteSummary&& summary) { state_.merge(std::move(summary)); }
+
+  /// The complete aggregate state — everything below is a view into it.
+  const SiteSummary& summary() const { return state_; }
+
+  const Totals& totals() const { return state_.totals; }
+  const std::map<CookiePair, PairStats>& pairs() const {
+    return state_.pairs;
+  }
   const std::map<std::string, DomainStats>& domains() const {
-    return domains_;
+    return state_.domains;
   }
 
   /// Unique pair counts by creating API.
-  int pair_count(cookies::CookieSource via) const;
-  int exfiltrated_pair_count(cookies::CookieSource via) const;
-  int overwritten_pair_count(cookies::CookieSource via) const;
-  int deleted_pair_count(cookies::CookieSource via) const;
+  int pair_count(cookies::CookieSource via) const {
+    return state_.pair_count(via);
+  }
+  int exfiltrated_pair_count(cookies::CookieSource via) const {
+    return state_.exfiltrated_pair_count(via);
+  }
+  int overwritten_pair_count(cookies::CookieSource via) const {
+    return state_.overwritten_pair_count(via);
+  }
+  int deleted_pair_count(cookies::CookieSource via) const {
+    return state_.deleted_pair_count(via);
+  }
 
   /// Rows for Table 2 (top exfiltrated) / Table 5 (top manipulated),
   /// sorted by destination-entity (resp. manipulator-entity) count.
-  struct RankedPair {
-    CookiePair pair;
-    const PairStats* stats;
-  };
-  std::vector<RankedPair> top_exfiltrated(std::size_t n) const;
-  std::vector<RankedPair> top_overwritten(std::size_t n) const;
-  std::vector<RankedPair> top_deleted(std::size_t n) const;
+  using RankedPair = SiteSummary::RankedPair;
+  std::vector<RankedPair> top_exfiltrated(std::size_t n) const {
+    return state_.top_exfiltrated(n);
+  }
+  std::vector<RankedPair> top_overwritten(std::size_t n) const {
+    return state_.top_overwritten(n);
+  }
+  std::vector<RankedPair> top_deleted(std::size_t n) const {
+    return state_.top_deleted(n);
+  }
 
   /// Rows for Figures 2 / 6: (domain, unique-cookie count).
   std::vector<std::pair<std::string, int>> top_exfiltrator_domains(
-      std::size_t n) const;
+      std::size_t n) const {
+    return state_.top_exfiltrator_domains(n);
+  }
   std::vector<std::pair<std::string, int>> top_overwriter_domains(
-      std::size_t n) const;
+      std::size_t n) const {
+    return state_.top_overwriter_domains(n);
+  }
   std::vector<std::pair<std::string, int>> top_deleter_domains(
-      std::size_t n) const;
+      std::size_t n) const {
+    return state_.top_deleter_domains(n);
+  }
 
  private:
   const entities::EntityMap& entities_;
   AnalyzerOptions options_;
-  Totals totals_;
-  std::map<CookiePair, PairStats> pairs_;
-  std::map<std::string, DomainStats> domains_;
-  std::set<std::string> setter_script_urls_;
+  SiteSummary state_;
 };
-
-/// Returns the top-`n` keys of a frequency map, highest count first.
-std::vector<std::pair<std::string, int>> top_counts(
-    const std::map<std::string, int>& counts, std::size_t n);
 
 }  // namespace cg::analysis

@@ -1,4 +1,4 @@
-#include "analysis/analyzer.h"
+#include "analysis/fold.h"
 
 #include <algorithm>
 #include <functional>
@@ -91,15 +91,15 @@ void Totals::merge(Totals&& other) {
   unique_setter_scripts += other.unique_setter_scripts;  // upper bound; see .h
 }
 
-void Analyzer::merge(Analyzer&& other) {
-  totals_.merge(std::move(other.totals_));
+void SiteSummary::merge(SiteSummary&& other) {
+  totals.merge(std::move(other.totals));
 
-  for (auto& [pair, stats] : other.pairs_) {
-    auto [it, inserted] = pairs_.try_emplace(pair, std::move(stats));
+  for (auto& [pair, stats] : other.pairs) {
+    auto [it, inserted] = pairs.try_emplace(pair, std::move(stats));
     if (inserted) continue;
     PairStats& mine = it->second;
-    // created_via stays ours: the earlier shard recorded the pair first,
-    // exactly as a sequential ingest would have.
+    // created_via stays ours: the earlier range recorded the pair first,
+    // exactly as a sequential fold would have.
     mine.sites_set += stats.sites_set;
     for (const auto& [entity, n] : stats.exfiltrator_entities) {
       mine.exfiltrator_entities[entity] += n;
@@ -115,26 +115,30 @@ void Analyzer::merge(Analyzer&& other) {
     }
   }
 
-  for (auto& [domain, stats] : other.domains_) {
-    auto [it, inserted] = domains_.try_emplace(domain, std::move(stats));
+  for (auto& [domain, stats] : other.domains) {
+    auto [it, inserted] = domains.try_emplace(domain, std::move(stats));
     if (inserted) continue;
     it->second.exfiltrated_pairs.merge(stats.exfiltrated_pairs);
     it->second.overwritten_pairs.merge(stats.overwritten_pairs);
     it->second.deleted_pairs.merge(stats.deleted_pairs);
   }
 
-  setter_script_urls_.merge(other.setter_script_urls_);
-  totals_.unique_setter_scripts =
-      static_cast<long long>(setter_script_urls_.size());
+  setter_script_urls.merge(other.setter_script_urls);
+  totals.unique_setter_scripts =
+      static_cast<long long>(setter_script_urls.size());
 }
 
-void Analyzer::ingest(const instrument::VisitLog& log) {
-  ++totals_.sites_crawled;
+SiteSummary fold_visit(const entities::EntityMap& entities,
+                       const AnalyzerOptions& options,
+                       const instrument::VisitLog& log) {
+  SiteSummary out;
+  Totals& totals = out.totals;
+  ++totals.sites_crawled;
 
   // Timings are collected for every crawled site (Table 4 uses all visits).
-  totals_.dom_content_loaded.push_back(log.landing_timings.dom_content_loaded);
-  totals_.dom_interactive.push_back(log.landing_timings.dom_interactive);
-  totals_.load_event.push_back(log.landing_timings.load_event);
+  totals.dom_content_loaded.push_back(log.landing_timings.dom_content_loaded);
+  totals.dom_interactive.push_back(log.landing_timings.dom_interactive);
+  totals.load_event.push_back(log.landing_timings.load_event);
 
   // ---- §5.1 third-party prevalence ------------------------------------
   // The paper reports these over all 20,000 sites, not just the 14,917 with
@@ -150,22 +154,22 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
       tp_ad_tracking_urls.insert(inc.url);
     }
     if (inc.inclusion == script::Inclusion::kDirect) {
-      ++totals_.direct_inclusions;
+      ++totals.direct_inclusions;
     } else {
-      ++totals_.indirect_inclusions;
+      ++totals.indirect_inclusions;
       if (script::is_ad_or_tracking(inc.category)) {
-        ++totals_.indirect_ad_tracking;
+        ++totals.indirect_ad_tracking;
       }
     }
   }
-  if (!tp_script_urls.empty()) ++totals_.sites_with_third_party;
-  totals_.third_party_script_count +=
+  if (!tp_script_urls.empty()) ++totals.sites_with_third_party;
+  totals.third_party_script_count +=
       static_cast<long long>(tp_script_urls.size());
-  totals_.third_party_ad_tracking_count +=
+  totals.third_party_ad_tracking_count +=
       static_cast<long long>(tp_ad_tracking_urls.size());
 
-  if (!log.complete()) return;
-  ++totals_.sites_complete;
+  if (!log.complete()) return out;
+  ++totals.sites_complete;
 
   // ---- §5.2 API usage -----------------------------------------------------
   bool uses_document_cookie = false;
@@ -178,8 +182,8 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
     if (set.api == CookieSource::kDocumentCookie) uses_document_cookie = true;
     if (set.api == CookieSource::kCookieStore) uses_cookie_store = true;
   }
-  if (uses_document_cookie) ++totals_.sites_using_document_cookie;
-  if (uses_cookie_store) ++totals_.sites_using_cookie_store;
+  if (uses_document_cookie) ++totals.sites_using_document_cookie;
+  if (uses_cookie_store) ++totals.sites_using_cookie_store;
 
   // ---- ownership timeline (§4.3 steps 1-2) ------------------------------
   // Merge script and HTTP set events by time. The FIRST setter of a name
@@ -218,7 +222,7 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
   auto add_candidates = [&](const CookiePair& pair, const std::string& value) {
     for (const auto& segment : script::extract_identifier_segments(value)) {
       add_candidate(segment, pair);
-      if (options_.match_encoded_identifiers) {
+      if (options.match_encoded_identifiers) {
         add_candidate(crypto::base64_encode(segment), pair);
         add_candidate(crypto::Md5::hex(segment), pair);
         add_candidate(crypto::Sha1::hex(segment), pair);
@@ -227,7 +231,7 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
   };
 
   auto record_pair = [&](const CookiePair& pair, CookieSource via) {
-    auto [it, inserted] = pairs_.try_emplace(pair);
+    auto [it, inserted] = out.pairs.try_emplace(pair);
     if (inserted) it->second.created_via = via;
     if (pairs_this_visit.insert(pair).second) ++it->second.sites_set;
   };
@@ -259,15 +263,15 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
     }
 
     const auto& s = *event.script;
-    ++totals_.script_set_events;
-    if (!s.setter_url.empty()) setter_script_urls_.insert(s.setter_url);
+    ++totals.script_set_events;
+    if (!s.setter_url.empty()) out.setter_script_urls.insert(s.setter_url);
 
     // Attribution accuracy bookkeeping (ground truth vs stack-derived).
-    ++totals_.attributed_sets;
+    ++totals.attributed_sets;
     if (s.setter_domain.empty()) {
-      ++totals_.attribution_unknown;
+      ++totals.attribution_unknown;
     } else if (s.setter_domain == s.true_domain) {
-      ++totals_.attribution_correct;
+      ++totals.attribution_correct;
     }
 
     // Fold inline/unknown setters into the first party.
@@ -284,9 +288,9 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
         record_pair(pair, s.api);
         add_candidates(pair, s.value);
         if (actor_is_tp) {
-          ++totals_.tp_cookies_set;
+          ++totals.tp_cookies_set;
         } else {
-          ++totals_.fp_cookies_set;
+          ++totals.fp_cookies_set;
         }
       }
       continue;
@@ -306,31 +310,31 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
 
     // Cross-domain action (§4.3 step 3).
     if (s.change_type == Type::kOverwritten) {
-      auto& stats = pairs_[pair];
-      ++stats.overwriter_entities[entities_.entity_for(actor)];
-      domains_[actor].overwritten_pairs.insert(pair);
+      auto& stats = out.pairs[pair];
+      ++stats.overwriter_entities[entities.entity_for(actor)];
+      out.domains[actor].overwritten_pairs.insert(pair);
       cross_over_apis.insert(api_tag);
-      ++totals_.cross_overwrites;
-      totals_.overwrite_value_changed += s.value_changed ? 1 : 0;
-      totals_.overwrite_expires_changed += s.expires_changed ? 1 : 0;
-      totals_.overwrite_domain_changed += s.domain_changed ? 1 : 0;
-      totals_.overwrite_path_changed += s.path_changed ? 1 : 0;
+      ++totals.cross_overwrites;
+      totals.overwrite_value_changed += s.value_changed ? 1 : 0;
+      totals.overwrite_expires_changed += s.expires_changed ? 1 : 0;
+      totals.overwrite_domain_changed += s.domain_changed ? 1 : 0;
+      totals.overwrite_path_changed += s.path_changed ? 1 : 0;
       if (s.expires_changed && s.prev_expires > 0 && s.new_expires > 0) {
         if (s.new_expires > s.prev_expires) {
-          ++totals_.overwrite_expiry_extended;
-          totals_.expiry_days_added +=
+          ++totals.overwrite_expiry_extended;
+          totals.expiry_days_added +=
               static_cast<double>(s.new_expires - s.prev_expires) / 86400000.0;
         } else {
-          ++totals_.overwrite_expiry_shortened;
+          ++totals.overwrite_expiry_shortened;
         }
       }
       // Ownership stays with the original creator; new value becomes a
       // candidate for the overwriter's later requests too.
       add_candidates(pair, s.value);
     } else if (s.change_type == Type::kDeleted) {
-      auto& stats = pairs_[pair];
-      ++stats.deleter_entities[entities_.entity_for(actor)];
-      domains_[actor].deleted_pairs.insert(pair);
+      auto& stats = out.pairs[pair];
+      ++stats.deleter_entities[entities.entity_for(actor)];
+      out.domains[actor].deleted_pairs.insert(pair);
       cross_del_apis.insert(api_tag);
       owner.erase(it);
     } else if (s.change_type == Type::kCreated) {
@@ -342,18 +346,18 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
     }
   }
 
-  if (cross_over_apis.count("doc") != 0) ++totals_.sites_doc_overwrite;
-  if (cross_over_apis.count("store") != 0) ++totals_.sites_store_overwrite;
-  if (cross_del_apis.count("doc") != 0) ++totals_.sites_doc_delete;
-  if (cross_del_apis.count("store") != 0) ++totals_.sites_store_delete;
+  if (cross_over_apis.count("doc") != 0) ++totals.sites_doc_overwrite;
+  if (cross_over_apis.count("store") != 0) ++totals.sites_store_overwrite;
+  if (cross_del_apis.count("doc") != 0) ++totals.sites_doc_delete;
+  if (cross_del_apis.count("store") != 0) ++totals.sites_store_delete;
 
   // ---- cookieStore usage details ----------------------------------------
   for (const auto& s : log.script_sets) {
     if (s.api != CookieSource::kCookieStore) continue;
-    totals_.store_cookie_names.insert(s.cookie_name);
-    ++totals_.store_setting_scripts;
+    totals.store_cookie_names.insert(s.cookie_name);
+    ++totals.store_setting_scripts;
     if (!s.setter_domain.empty()) {
-      totals_.store_script_domains.insert(s.setter_domain);
+      totals.store_script_domains.insert(s.setter_domain);
     }
   }
 
@@ -375,11 +379,11 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
         const CookiePair& pair = hit->second;
         if (pair.name.empty()) continue;  // ambiguous segment
         if (pair.owner_domain == initiator) continue;  // authorized
-        auto& stats = pairs_[pair];
-        ++stats.exfiltrator_entities[entities_.entity_for(initiator)];
-        ++stats.destination_entities[entities_.entity_for(
+        auto& stats = out.pairs[pair];
+        ++stats.exfiltrator_entities[entities.entity_for(initiator)];
+        ++stats.destination_entities[entities.entity_for(
             request.dest_domain)];
-        domains_[initiator].exfiltrated_pairs.insert(pair);
+        out.domains[initiator].exfiltrated_pairs.insert(pair);
         if (stats.created_via == CookieSource::kCookieStore) {
           site_store_exfil = true;
         } else {
@@ -388,33 +392,34 @@ void Analyzer::ingest(const instrument::VisitLog& log) {
       }
     }
   }
-  if (site_doc_exfil) ++totals_.sites_doc_exfil;
-  if (site_store_exfil) ++totals_.sites_store_exfil;
+  if (site_doc_exfil) ++totals.sites_doc_exfil;
+  if (site_store_exfil) ++totals.sites_store_exfil;
 
   // ---- §8 DOM pilot --------------------------------------------------------
   for (const auto& mod : log.dom_mods) {
     if (mod.modifier_domain != log.site) {
-      ++totals_.sites_with_cross_dom_modification;
+      ++totals.sites_with_cross_dom_modification;
       break;
     }
   }
 
-  totals_.unique_setter_scripts =
-      static_cast<long long>(setter_script_urls_.size());
+  totals.unique_setter_scripts =
+      static_cast<long long>(out.setter_script_urls.size());
+  return out;
 }
 
-int Analyzer::pair_count(CookieSource via) const {
+int SiteSummary::pair_count(CookieSource via) const {
   int n = 0;
-  for (const auto& [pair, stats] : pairs_) {
+  for (const auto& [pair, stats] : pairs) {
     const bool is_store = stats.created_via == CookieSource::kCookieStore;
     if ((via == CookieSource::kCookieStore) == is_store) ++n;
   }
   return n;
 }
 
-int Analyzer::exfiltrated_pair_count(CookieSource via) const {
+int SiteSummary::exfiltrated_pair_count(CookieSource via) const {
   int n = 0;
-  for (const auto& [pair, stats] : pairs_) {
+  for (const auto& [pair, stats] : pairs) {
     const bool is_store = stats.created_via == CookieSource::kCookieStore;
     if ((via == CookieSource::kCookieStore) == is_store && stats.exfiltrated()) {
       ++n;
@@ -423,9 +428,9 @@ int Analyzer::exfiltrated_pair_count(CookieSource via) const {
   return n;
 }
 
-int Analyzer::overwritten_pair_count(CookieSource via) const {
+int SiteSummary::overwritten_pair_count(CookieSource via) const {
   int n = 0;
-  for (const auto& [pair, stats] : pairs_) {
+  for (const auto& [pair, stats] : pairs) {
     const bool is_store = stats.created_via == CookieSource::kCookieStore;
     if ((via == CookieSource::kCookieStore) == is_store && stats.overwritten()) {
       ++n;
@@ -434,9 +439,9 @@ int Analyzer::overwritten_pair_count(CookieSource via) const {
   return n;
 }
 
-int Analyzer::deleted_pair_count(CookieSource via) const {
+int SiteSummary::deleted_pair_count(CookieSource via) const {
   int n = 0;
-  for (const auto& [pair, stats] : pairs_) {
+  for (const auto& [pair, stats] : pairs) {
     const bool is_store = stats.created_via == CookieSource::kCookieStore;
     if ((via == CookieSource::kCookieStore) == is_store && stats.deleted()) {
       ++n;
@@ -447,15 +452,16 @@ int Analyzer::deleted_pair_count(CookieSource via) const {
 
 namespace {
 
-std::vector<Analyzer::RankedPair> rank_pairs(
+std::vector<SiteSummary::RankedPair> rank_pairs(
     const std::map<CookiePair, PairStats>& pairs, std::size_t n,
     const std::function<int(const PairStats&)>& key) {
-  std::vector<Analyzer::RankedPair> out;
+  std::vector<SiteSummary::RankedPair> out;
   for (const auto& [pair, stats] : pairs) {
     if (key(stats) > 0) out.push_back({pair, &stats});
   }
   std::sort(out.begin(), out.end(),
-            [&](const Analyzer::RankedPair& a, const Analyzer::RankedPair& b) {
+            [&](const SiteSummary::RankedPair& a,
+                const SiteSummary::RankedPair& b) {
               const int ka = key(*a.stats);
               const int kb = key(*b.stats);
               if (ka != kb) return ka > kb;
@@ -483,43 +489,44 @@ std::vector<std::pair<std::string, int>> rank_domains(
 
 }  // namespace
 
-std::vector<Analyzer::RankedPair> Analyzer::top_exfiltrated(
+std::vector<SiteSummary::RankedPair> SiteSummary::top_exfiltrated(
     std::size_t n) const {
-  return rank_pairs(pairs_, n, [](const PairStats& s) {
+  return rank_pairs(pairs, n, [](const PairStats& s) {
     return static_cast<int>(s.destination_entities.size());
   });
 }
 
-std::vector<Analyzer::RankedPair> Analyzer::top_overwritten(
+std::vector<SiteSummary::RankedPair> SiteSummary::top_overwritten(
     std::size_t n) const {
-  return rank_pairs(pairs_, n, [](const PairStats& s) {
+  return rank_pairs(pairs, n, [](const PairStats& s) {
     return static_cast<int>(s.overwriter_entities.size());
   });
 }
 
-std::vector<Analyzer::RankedPair> Analyzer::top_deleted(std::size_t n) const {
-  return rank_pairs(pairs_, n, [](const PairStats& s) {
+std::vector<SiteSummary::RankedPair> SiteSummary::top_deleted(
+    std::size_t n) const {
+  return rank_pairs(pairs, n, [](const PairStats& s) {
     return static_cast<int>(s.deleter_entities.size());
   });
 }
 
-std::vector<std::pair<std::string, int>> Analyzer::top_exfiltrator_domains(
+std::vector<std::pair<std::string, int>> SiteSummary::top_exfiltrator_domains(
     std::size_t n) const {
-  return rank_domains(domains_, n, [](const DomainStats& s) {
+  return rank_domains(domains, n, [](const DomainStats& s) {
     return static_cast<int>(s.exfiltrated_pairs.size());
   });
 }
 
-std::vector<std::pair<std::string, int>> Analyzer::top_overwriter_domains(
+std::vector<std::pair<std::string, int>> SiteSummary::top_overwriter_domains(
     std::size_t n) const {
-  return rank_domains(domains_, n, [](const DomainStats& s) {
+  return rank_domains(domains, n, [](const DomainStats& s) {
     return static_cast<int>(s.overwritten_pairs.size());
   });
 }
 
-std::vector<std::pair<std::string, int>> Analyzer::top_deleter_domains(
+std::vector<std::pair<std::string, int>> SiteSummary::top_deleter_domains(
     std::size_t n) const {
-  return rank_domains(domains_, n, [](const DomainStats& s) {
+  return rank_domains(domains, n, [](const DomainStats& s) {
     return static_cast<int>(s.deleted_pairs.size());
   });
 }

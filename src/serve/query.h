@@ -1,0 +1,47 @@
+// The serving tier's query taxonomy.
+//
+// Two cost classes, one enum: per-site lookups (kSite) touch exactly one
+// archive block through the hot cache, and aggregate queries (everything
+// else) are answered from summaries precomputed at load time — no query
+// ever walks the archive. parse_query/to_text round-trip the line protocol
+// the cgserve REPL speaks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cg::serve {
+
+enum class QueryKind {
+  kSite,            // one site by rank: decode + per-site fold
+  kTable1,          // cross-domain action prevalence (paper Table 1)
+  kTotals,          // crawl/prevalence counters (paper §5.1–5.2)
+  kTopExfiltrated,  // top-n exfiltrated pairs (paper Table 2)
+  kTopDomains,      // top-n exfiltrator domains (paper Figure 2)
+  kEntity,          // one entity's cross-site footprint
+  kStats,           // server introspection: cache + query counters
+};
+
+/// Number of QueryKind values (for per-kind counter arrays).
+inline constexpr int kQueryKindCount = 7;
+
+std::string_view query_kind_name(QueryKind kind);
+
+struct Query {
+  QueryKind kind = QueryKind::kTotals;
+  int rank = 0;        // kSite
+  int top_n = 10;      // kTopExfiltrated / kTopDomains
+  std::string entity;  // kEntity
+};
+
+/// Parses one line of the cgserve protocol:
+///   site <rank> | table1 | totals | top-exfiltrated [n] |
+///   top-domains [n] | entity <name> | stats
+/// Empty optional on anything else (including trailing garbage).
+std::optional<Query> parse_query(std::string_view line);
+
+/// The line that parses back to `query` — the REPL's echo format.
+std::string to_text(const Query& query);
+
+}  // namespace cg::serve

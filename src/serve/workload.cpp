@@ -1,0 +1,97 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cg::serve {
+
+ZipfSampler::ZipfSampler(int n, double s) : s_(s) {
+  if (n < 1) n = 1;
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0;
+  for (int k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s_);
+    cdf_[static_cast<std::size_t>(k)] = total;
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+double ZipfSampler::probability(int rank) const {
+  if (rank < 0 || rank >= n()) return 0;
+  const std::size_t i = static_cast<std::size_t>(rank);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+int ZipfSampler::sample(script::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const std::size_t i =
+      it == cdf_.end() ? cdf_.size() - 1
+                       : static_cast<std::size_t>(it - cdf_.begin());
+  return static_cast<int>(i);
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec)
+    : spec_(std::move(spec)),
+      sampler_(spec_.site_count, spec_.zipf_exponent),
+      rng_(spec_.seed) {
+  total_weight_ = spec_.weight_site + spec_.weight_table1 +
+                  spec_.weight_totals + spec_.weight_top_exfiltrated +
+                  spec_.weight_top_domains +
+                  (spec_.entities.empty() ? 0 : spec_.weight_entity);
+  if (total_weight_ <= 0) total_weight_ = 1;
+}
+
+Query WorkloadGenerator::next() {
+  // One draw for the type, then type-specific draws — a fixed consumption
+  // pattern per query keeps the stream stable when weights change upstream.
+  const int pick =
+      static_cast<int>(rng_.below(static_cast<std::uint64_t>(total_weight_)));
+  Query query;
+  int edge = spec_.weight_site;
+  if (pick < edge) {
+    query.kind = QueryKind::kSite;
+    // Site ranks are 1-based (corpus rank = index + 1); rank 1 is the most
+    // popular site, matching the zipfian head.
+    query.rank = sampler_.sample(rng_) + 1;
+    return query;
+  }
+  edge += spec_.weight_table1;
+  if (pick < edge) {
+    query.kind = QueryKind::kTable1;
+    return query;
+  }
+  edge += spec_.weight_totals;
+  if (pick < edge) {
+    query.kind = QueryKind::kTotals;
+    return query;
+  }
+  edge += spec_.weight_top_exfiltrated;
+  if (pick < edge) {
+    query.kind = QueryKind::kTopExfiltrated;
+    query.top_n = 10;
+    return query;
+  }
+  edge += spec_.weight_top_domains;
+  if (pick < edge) {
+    query.kind = QueryKind::kTopDomains;
+    query.top_n = 10;
+    return query;
+  }
+  query.kind = QueryKind::kEntity;
+  query.entity = spec_.entities[static_cast<std::size_t>(
+      rng_.below(spec_.entities.size()))];
+  return query;
+}
+
+std::vector<Query> WorkloadGenerator::generate(std::size_t n) {
+  // Restart from the seed so generate() is a pure function of the spec.
+  rng_ = script::Rng(spec_.seed);
+  std::vector<Query> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace cg::serve

@@ -446,3 +446,96 @@ TEST(LifespanTest, SessionCookiesExcluded) {
 
 }  // namespace
 }  // namespace cg::analysis
+
+// Appended: the fold/merge algebra behind batch analysis and the serving
+// tier (analysis/fold.h).
+namespace cg::analysis {
+namespace {
+
+TEST(FoldTest, FoldVisitIsPure) {
+  auto log = base_log();
+  log.script_sets.push_back(set_record("_ga", "GA1.2.1234567890",
+                                       "google-analytics.com", 1));
+  const auto& entities = entities::EntityMap::builtin();
+  const SiteSummary a = fold_visit(entities, {}, log);
+  const SiteSummary b = fold_visit(entities, {}, log);
+  EXPECT_EQ(a.totals.script_set_events, b.totals.script_set_events);
+  EXPECT_EQ(a.pairs.size(), b.pairs.size());
+  EXPECT_EQ(a.setter_script_urls, b.setter_script_urls);
+}
+
+TEST(FoldTest, MergeKeepsFirstSettersCreationApi) {
+  const auto& entities = entities::EntityMap::builtin();
+  // Site 1 creates the pair via document.cookie; site 2 re-creates the same
+  // (name, owner) pair via cookieStore. First-setter-wins: the merged pair
+  // stays a document.cookie creation, with both sites counted.
+  auto first = base_log();
+  first.script_sets.push_back(set_record("k", "aaaaaaaaaaaa", "owner.com", 1));
+  auto second = base_log();
+  second.site = "other.com";
+  second.site_host = "www.other.com";
+  second.script_sets.push_back(
+      set_record("k", "bbbbbbbbbbbb", "owner.com", 1,
+                 cookies::CookieChange::Type::kCreated,
+                 CookieSource::kCookieStore));
+
+  SiteSummary merged = fold_visit(entities, {}, first);
+  merged.merge(fold_visit(entities, {}, second));
+
+  const CookiePair pair{"k", "owner.com"};
+  ASSERT_TRUE(merged.pairs.count(pair));
+  EXPECT_EQ(merged.pairs.at(pair).created_via,
+            CookieSource::kDocumentCookie);
+  EXPECT_EQ(merged.pairs.at(pair).sites_set, 2);
+  // And merging in the opposite order keeps the *other* first setter.
+  SiteSummary reversed = fold_visit(entities, {}, second);
+  reversed.merge(fold_visit(entities, {}, first));
+  EXPECT_EQ(reversed.pairs.at(pair).created_via,
+            CookieSource::kCookieStore);
+}
+
+TEST(FoldTest, MergeRecomputesUniqueSetterScriptsExactly) {
+  const auto& entities = entities::EntityMap::builtin();
+  // The same setter URL appears on both sites: the summed upper bound would
+  // say 2; the merged set must say 1.
+  auto first = base_log();
+  first.script_sets.push_back(set_record("a", "aaaaaaaaaaaa", "cdn.com", 1));
+  auto second = base_log();
+  second.site = "other.com";
+  second.site_host = "www.other.com";
+  second.script_sets.push_back(set_record("b", "bbbbbbbbbbbb", "cdn.com", 1));
+
+  SiteSummary merged = fold_visit(entities, {}, first);
+  merged.merge(fold_visit(entities, {}, second));
+  EXPECT_EQ(merged.setter_script_urls.size(), 1u);
+  EXPECT_EQ(merged.totals.unique_setter_scripts, 1);
+}
+
+TEST(FoldTest, AnalyzerIngestEqualsFoldMerge) {
+  const auto& entities = entities::EntityMap::builtin();
+  auto first = base_log();
+  first.script_sets.push_back(set_record("x", "aaaaaaaaaaaa", "a.com", 1));
+  auto second = base_log();
+  second.site = "other.com";
+  second.site_host = "www.other.com";
+  second.script_sets.push_back(set_record("y", "bbbbbbbbbbbb", "b.com", 1));
+
+  Analyzer sequential(entities);
+  sequential.ingest(first);
+  sequential.ingest(second);
+
+  Analyzer applied(entities);
+  SiteSummary folded = fold_visit(entities, {}, first);
+  folded.merge(fold_visit(entities, {}, second));
+  applied.apply(std::move(folded));
+
+  EXPECT_EQ(sequential.totals().sites_crawled,
+            applied.totals().sites_crawled);
+  EXPECT_EQ(sequential.totals().script_set_events,
+            applied.totals().script_set_events);
+  EXPECT_EQ(sequential.pairs().size(), applied.pairs().size());
+  EXPECT_EQ(sequential.domains().size(), applied.domains().size());
+}
+
+}  // namespace
+}  // namespace cg::analysis
