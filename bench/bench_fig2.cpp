@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
 
   analysis::Analyzer analyzer(corpus.entities());
   bench::run_measurement_crawl(corpus, analyzer, nullptr,
-                               /*with_faults=*/true, threads);
+                               /*with_faults=*/true, threads, nullptr,
+                               bench::policy_from_args(argc, argv));
 
   const double total_pairs =
       analyzer.pair_count(cookies::CookieSource::kDocumentCookie) +

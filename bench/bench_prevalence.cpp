@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   analysis::Analyzer analyzer(corpus.entities());
   const auto trace = bench::trace_recorder_from_args(argc, argv);
   bench::run_measurement_crawl(corpus, analyzer, nullptr,
-                               /*with_faults=*/true, threads, trace.get());
+                               /*with_faults=*/true, threads, trace.get(),
+                               bench::policy_from_args(argc, argv));
 
   const auto& t = analyzer.totals();
   const double crawled = t.sites_crawled;

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
 
   analysis::Analyzer analyzer(corpus.entities());
   bench::run_measurement_crawl(corpus, analyzer, nullptr,
-                               /*with_faults=*/true, threads);
+                               /*with_faults=*/true, threads, nullptr,
+                               bench::policy_from_args(argc, argv));
 
   std::printf("\n  %-22s %-22s %6s %6s  %-34s %s\n", "cookie", "owner domain",
               "#exfil", "#dest", "top exfiltrator entities",

@@ -13,11 +13,15 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cg;
   using breakage::GuardMode;
   corpus::Corpus corpus(bench::default_params());
   bench::print_header("Table 3 — website breakage under CookieGuard", corpus);
+  // --policy/CG_POLICY pairs each deployment with a partitioning engine;
+  // cookieguard's engine is jar-identical to none, so Table 3 reproduces
+  // exactly under it (the bake-off matrix exercises fpi/chips).
+  const auto policy = bench::policy_from_args(argc, argv);
 
   breakage::BreakageEvaluator evaluator(corpus);
   const auto sample = evaluator.sample_sites(
@@ -30,7 +34,7 @@ int main() {
   for (const auto mode :
        {GuardMode::kOff, GuardMode::kStrict, GuardMode::kEntityGrouping,
         GuardMode::kGroupingPlusPolicies}) {
-    const auto summary = evaluator.summarize(sample, mode);
+    const auto summary = evaluator.summarize(sample, mode, policy);
     std::printf("\n-- %s --\n", breakage::to_string(mode));
     std::printf("  %-14s %8s %8s\n", "aspect", "minor", "major");
     for (int aspect = 0; aspect < 4; ++aspect) {

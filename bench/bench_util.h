@@ -29,6 +29,7 @@
 #include "corpus/corpus.h"
 #include "crawler/crawler.h"
 #include "obs/trace.h"
+#include "policy/partition_policy.h"
 #include "runtime/thread_pool.h"
 #include "store/reader.h"
 
@@ -79,6 +80,29 @@ inline int threads_from_args(int argc = 0, char** argv = nullptr) {
     return n > 0 ? n : runtime::ThreadPool::hardware_threads();
   }
   return runtime::ThreadPool::hardware_threads();
+}
+
+/// Partitioning engine for the defense bake-off: `--policy NAME` wins, then
+/// CG_POLICY=<name>, else none. Accepts the cgsim grammar
+/// (none/cookieguard/fpi/chips); anything else aborts — a bench that
+/// silently fell back to the wrong defense has produced hours of wrong
+/// numbers before anyone notices.
+inline policy::PolicyKind policy_from_args(int argc = 0,
+                                           char** argv = nullptr) {
+  const char* name = std::getenv("CG_POLICY");
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--policy") == 0) name = argv[i + 1];
+  }
+  if (name == nullptr) return policy::PolicyKind::kNone;
+  const auto kind = policy::parse_policy(name);
+  if (!kind) {
+    std::fprintf(stderr,
+                 "error: --policy/CG_POLICY must be none, cookieguard, fpi, "
+                 "or chips, got \"%s\"\n",
+                 name);
+    std::exit(2);
+  }
+  return *kind;
 }
 
 /// A streaming TraceRecorder for `--trace FILE` (or CG_TRACE=FILE), or null
@@ -190,12 +214,15 @@ inline bool analyzer_from_archive_env(const corpus::Corpus& corpus,
 /// faults on, no trace) replays the archive instead of crawling; other
 /// configurations — guarded or fault-free comparison crawls the archive
 /// does not represent — always run live.
-inline void run_measurement_crawl(const corpus::Corpus& corpus,
-                                  analysis::Analyzer& analyzer,
-                                  browser::Extension* extra = nullptr,
-                                  bool with_faults = true, int threads = 1,
-                                  obs::TraceRecorder* trace = nullptr) {
+inline void run_measurement_crawl(
+    const corpus::Corpus& corpus, analysis::Analyzer& analyzer,
+    browser::Extension* extra = nullptr, bool with_faults = true,
+    int threads = 1, obs::TraceRecorder* trace = nullptr,
+    policy::PolicyKind policy = policy::PolicyKind::kNone) {
+  // Archives record the default single-jar crawl; a policy run must crawl
+  // live (the archive cannot substitute for a partitioned jar).
   if (extra == nullptr && with_faults && trace == nullptr &&
+      policy == policy::PolicyKind::kNone &&
       analyzer_from_archive_env(corpus, analyzer)) {
     return;
   }
@@ -204,6 +231,7 @@ inline void run_measurement_crawl(const corpus::Corpus& corpus,
   if (!with_faults) options.fault_plan.reset();
   options.threads = threads;
   options.trace = trace;
+  options.policy = policy;
   if (extra != nullptr) options.extra_extensions.push_back(extra);
   crawler.crawl(corpus.size(), options, [&](instrument::VisitLog&& log) {
     analyzer.ingest(log);

@@ -1,6 +1,7 @@
 // cgsim: command-line driver for the CookieGuard simulator.
 //
 //   cgsim crawl    [--sites N] [--threads T] [--guard] [--no-faults]
+//                  [--policy none|cookieguard|fpi|chips]
 //                  [--json FILE] [--pairs-csv FILE] [--domains-csv FILE]
 //                  [--health FILE] [--checkpoint FILE] [--checkpoint-every N]
 //                  [--resume FILE]
@@ -12,8 +13,15 @@
 //   cgsim perf     [--sites N] [--threads T]
 //   cgsim trace-check FILE
 //   cgsim pack     [--sites N] [--threads T] [--no-faults] --out FILE
+//                  [--policy none|cookieguard|fpi|chips]
 //                  [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //                  [--scrub] [--metrics FILE]
+//
+// --policy selects the cookie-partitioning engine for the defense bake-off
+// (src/policy/): none is the status-quo jar and byte-identical to omitting
+// the flag; cookieguard = none's jar plus the CookieGuard extension (same
+// browsers as --guard); fpi is Firefox First-Party Isolation; chips is
+// RFC6265bis partitioned cookies.
 //   cgsim query    --archive FILE [--site RANK] [--json FILE]
 //                  [--pairs-csv FILE] [--domains-csv FILE]
 //   cgsim verify-archive FILE
@@ -58,6 +66,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/perf.h"
+#include "policy/partition_policy.h"
 #include "report/report.h"
 #include "runtime/thread_pool.h"
 #include "store/atomic_file.h"
@@ -206,6 +215,13 @@ int cmd_crawl(const Args& args) {
   crawler::CrawlOptions options;
   options.threads = args.get_int("threads", 1);
   if (args.has("no-faults")) options.fault_plan.reset();
+  const auto policy_kind = policy::parse_policy(args.get("policy", "none"));
+  if (!policy_kind) {
+    std::fprintf(stderr,
+                 "cgsim: --policy must be none, cookieguard, fpi, or chips\n");
+    return 2;
+  }
+  options.policy = *policy_kind;
 
   // Observability: stream the trace straight to disk (a 20k-site trace need
   // not fit in memory); metrics registries fold site-by-site and are
@@ -240,8 +256,13 @@ int cmd_crawl(const Args& args) {
 
   // One CookieGuard per crawl worker — extensions are stateful, so each
   // thread needs its own instance (behaviour is per-visit deterministic).
+  // --policy cookieguard is the jar-identical engine plus the extension, so
+  // it installs the exact same per-worker guards as --guard.
+  const bool want_guard =
+      args.has("guard") ||
+      options.policy == policy::PolicyKind::kCookieGuard;
   std::vector<std::unique_ptr<cookieguard::CookieGuard>> guards;
-  if (args.has("guard")) {
+  if (want_guard) {
     const int workers = options.threads <= 0
                             ? runtime::ThreadPool::hardware_threads()
                             : options.threads;
@@ -276,8 +297,14 @@ int cmd_crawl(const Args& args) {
                 checkpoint->target_count);
     health = crawler.resume(*checkpoint, options, sink);
   } else {
-    std::printf("crawling %d sites%s...\n", corpus.size(),
-                args.has("guard") ? " with CookieGuard" : "");
+    std::string note;
+    if (want_guard) note += " with CookieGuard";
+    if (options.policy != policy::PolicyKind::kNone &&
+        options.policy != policy::PolicyKind::kCookieGuard) {
+      note += " under policy ";
+      note += policy::to_string(options.policy);
+    }
+    std::printf("crawling %d sites%s...\n", corpus.size(), note.c_str());
     health = crawler.crawl(corpus.size(), options, sink);
   }
 
@@ -333,6 +360,22 @@ int cmd_pack(const Args& args) {
   crawler::CrawlOptions options;
   options.threads = args.get_int("threads", 1);
   if (args.has("no-faults")) options.fault_plan.reset();
+  const auto policy_kind = policy::parse_policy(args.get("policy", "none"));
+  if (!policy_kind) {
+    std::fprintf(stderr,
+                 "cgsim: --policy must be none, cookieguard, fpi, or chips\n");
+    return 2;
+  }
+  options.policy = *policy_kind;
+  if (options.policy != policy::PolicyKind::kNone) {
+    // CGAR footer provenance pins corpus and fault seeds only; a replayed
+    // archive cannot re-apply the policy, so flag the gap rather than
+    // silently producing an archive that looks like a default crawl.
+    std::fprintf(stderr,
+                 "cgsim: warning: archive provenance does not record "
+                 "--policy %s; label the output file accordingly\n",
+                 std::string(policy::to_string(options.policy)).c_str());
+  }
 
   const std::string out_path = args.get("out", "crawl.cgar");
   store::WriterOptions writer_options;
@@ -676,7 +719,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: cgsim <crawl|audit|breakage|perf|trace-check|pack|"
                "query|verify-archive>\n"
-               "             [--sites N] [--threads T] [--guard] [--site I] "
+               "             [--sites N] [--threads T] [--guard] "
+               "[--policy none|cookieguard|fpi|chips] [--site I] "
                "[--sample K]\n"
                "             [--json FILE] [--pairs-csv FILE] "
                "[--domains-csv FILE]\n"

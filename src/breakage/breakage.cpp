@@ -81,13 +81,14 @@ const char* to_string(GuardMode mode) {
   return "?";
 }
 
-SiteBreakage BreakageEvaluator::evaluate_site(int index,
-                                              GuardMode mode) const {
+SiteBreakage BreakageEvaluator::evaluate_site(
+    int index, GuardMode mode, policy::PolicyKind policy) const {
   const auto& bp = corpus_.site(index);
   const auto& params = corpus_.params();
 
   browser::Browser browser(
       {}, params.seed ^ (0xB12EACULL + static_cast<std::uint64_t>(bp.rank)));
+  browser.set_policy(&policy::engine_for(policy));
   corpus_.attach(browser, bp);
 
   std::optional<cookieguard::CookieGuard> guard;
@@ -181,16 +182,21 @@ SiteBreakage BreakageEvaluator::evaluate_site(int index,
 }
 
 Summary BreakageEvaluator::summarize(const std::vector<int>& site_indices,
-                                     GuardMode mode) const {
+                                     GuardMode mode,
+                                     policy::PolicyKind policy) const {
   Summary summary;
   summary.sites = static_cast<int>(site_indices.size());
+  const bool is_baseline =
+      mode == GuardMode::kOff && policy == policy::PolicyKind::kNone;
   for (const int index : site_indices) {
-    const SiteBreakage result = evaluate_site(index, mode);
+    const SiteBreakage result = evaluate_site(index, mode, policy);
     // Paired assessment: only regressions relative to the plain browser
-    // count as breakage caused by the deployment under test.
-    const SiteBreakage baseline = mode == GuardMode::kOff
-                                      ? SiteBreakage{}
-                                      : evaluate_site(index, GuardMode::kOff);
+    // (no extension, single jar) count as breakage caused by the
+    // deployment under test.
+    const SiteBreakage baseline =
+        is_baseline ? SiteBreakage{}
+                    : evaluate_site(index, GuardMode::kOff,
+                                    policy::PolicyKind::kNone);
     bool any_minor = false;
     bool any_major = false;
     for (int aspect = 0; aspect < 4; ++aspect) {

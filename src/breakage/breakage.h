@@ -16,6 +16,7 @@
 
 #include "cookieguard/cookieguard.h"
 #include "corpus/corpus.h"
+#include "policy/partition_policy.h"
 
 namespace cg::breakage {
 
@@ -63,16 +64,22 @@ class BreakageEvaluator {
   explicit BreakageEvaluator(const corpus::Corpus& corpus)
       : corpus_(corpus) {}
 
-  /// Probes one site under the given deployment mode.
-  SiteBreakage evaluate_site(int index, GuardMode mode) const;
+  /// Probes one site under the given deployment mode and partitioning
+  /// policy (the bake-off's second axis: the same functionality probes run
+  /// under FPI or CHIPS jars instead of / alongside the extension).
+  SiteBreakage evaluate_site(
+      int index, GuardMode mode,
+      policy::PolicyKind policy = policy::PolicyKind::kNone) const;
 
   /// Probes a sample of sites and aggregates Table-3-style counts.
-  /// Breakage is measured *relative to the no-extension baseline*, as the
-  /// paper's evaluators compared each site with and without the extension:
-  /// a feature that is already broken without CookieGuard (e.g. a consent
-  /// manager deleted the widget's cookie) does not count against it.
-  Summary summarize(const std::vector<int>& site_indices,
-                    GuardMode mode) const;
+  /// Breakage is measured *relative to the no-defense baseline* (plain
+  /// browser, single jar), as the paper's evaluators compared each site
+  /// with and without the extension: a feature that is already broken
+  /// without any defense (e.g. a consent manager deleted the widget's
+  /// cookie) does not count against the deployment under test.
+  Summary summarize(
+      const std::vector<int>& site_indices, GuardMode mode,
+      policy::PolicyKind policy = policy::PolicyKind::kNone) const;
 
   /// Random sample of `n` site indices from the top `top_k` (paper: 100
   /// sites from the Tranco top 10k).

@@ -15,10 +15,12 @@
 #include "browser/extension.h"
 #include "browser/network.h"
 #include "cookies/cookie_jar.h"
+#include "cookies/partitioned_store.h"
 #include "fault/fault.h"
 #include "net/clock.h"
 #include "net/dns.h"
 #include "net/url.h"
+#include "policy/partition_policy.h"
 #include "script/rng.h"
 
 namespace cg::browser {
@@ -78,6 +80,15 @@ struct BrowserConfig {
   TimeMillis subresource_jitter_ms = 7200;
 };
 
+/// Per-visit accounting of partitioning-policy effects, aggregated into the
+/// defense bake-off matrix (obs `policy.*` counters carry the same tallies
+/// through sharded crawls).
+struct PolicyStats {
+  std::uint64_t writes_blocked = 0;    // stores the policy refused
+  std::uint64_t reads_blocked = 0;     // retrievals the policy refused
+  std::uint64_t partitioned_stores = 0;  // stores into a non-default partition
+};
+
 class Browser {
  public:
   using DocumentProvider = std::function<DocumentSpec(const net::Url&)>;
@@ -90,11 +101,29 @@ class Browser {
 
   const BrowserConfig& config() const { return config_; }
   SimClock& clock() { return clock_; }
-  cookies::CookieJar& jar() { return jar_; }
+  /// The default partition — the classic single first-party jar. Everything
+  /// written against the one-jar model (tests, examples, CookieGuard's
+  /// metadata bootstrap) keeps reading the same jar it always did.
+  cookies::CookieJar& jar() { return jar_store_.default_jar(); }
+  cookies::PartitionedJarStore& jar_store() { return jar_store_; }
+  const cookies::PartitionedJarStore& jar_store() const { return jar_store_; }
   NetworkLayer& network() { return network_; }
   script::Rng& rng() { return rng_; }
   net::DnsResolver& dns() { return dns_; }
   const net::DnsResolver& dns() const { return dns_; }
+
+  /// Active partitioning policy (never null; NoDefense by default — the
+  /// status-quo single jar, byte-identical to the pre-policy simulator).
+  /// Engines are stateless and shared; null resets to NoDefense.
+  void set_policy(const policy::PartitionPolicy* policy) {
+    policy_ = policy != nullptr
+                  ? policy
+                  : &policy::engine_for(policy::PolicyKind::kNone);
+  }
+  const policy::PartitionPolicy& policy() const { return *policy_; }
+
+  PolicyStats& policy_stats() { return policy_stats_; }
+  const PolicyStats& policy_stats() const { return policy_stats_; }
 
   /// Catalog and document provider are owned by the corpus (outlives the
   /// browser).
@@ -125,12 +154,15 @@ class Browser {
   BrowserConfig config_;
   SimClock clock_;
   script::Rng rng_;
-  cookies::CookieJar jar_;
+  cookies::PartitionedJarStore jar_store_;
   NetworkLayer network_;
   net::DnsResolver dns_;
   const ScriptCatalog* catalog_ = nullptr;
   DocumentProvider document_provider_;
   std::vector<Extension*> extensions_;
+  const policy::PartitionPolicy* policy_ =
+      &policy::engine_for(policy::PolicyKind::kNone);
+  PolicyStats policy_stats_;
   bool visit_started_ = false;
 };
 

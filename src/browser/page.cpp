@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "net/psl.h"
+#include "obs/trace.h"
 #include "script/interpreter.h"
 
 namespace cg::browser {
@@ -46,6 +47,7 @@ class Page::FrameGuard {
 Page::Page(Browser& browser, net::Url url)
     : browser_(browser),
       url_(url),
+      top_level_site_(net::etld_plus_one(url_.host())),
       main_frame_(std::move(url), nullptr),
       loop_(&browser.clock()) {}
 
@@ -208,34 +210,53 @@ void Page::run_as(const script::ExecContext& ctx,
 // ---- subframes (SOP boundary) -------------------------------------------
 
 /// PageServices for a cross-origin subframe: cookie operations hit a
-/// partitioned jar scoped to the frame's origin, DOM access goes to the
-/// frame's own document, and script inclusion/injection stays inside the
-/// frame. Nothing here can reach the main frame's first-party jar — SOP at
-/// work (paper §3).
+/// partitioned jar, DOM access goes to the frame's own document, and script
+/// inclusion/injection stays inside the frame. Nothing here can reach the
+/// main frame's first-party jar — SOP at work (paper §3).
+///
+/// Which partitioned jar depends on the active policy's frame_jar_scope():
+/// kPage passes the legacy per-page ephemeral jar keyed by frame origin
+/// (`legacy_jar` non-null, byte-identical to the pre-policy simulator);
+/// kBrowser leaves it null and routes through Page::policy_read /
+/// policy_store, so FPI/CHIPS frame cookies land in browser-level
+/// partitions keyed by the top-level site.
 class Page::FrameServices final : public script::PageServices {
  public:
-  FrameServices(Page& page, webplat::Frame& frame, cookies::CookieJar& jar)
-      : page_(page), frame_(frame), jar_(jar) {}
+  FrameServices(Page& page, webplat::Frame& frame,
+                cookies::CookieJar* legacy_jar)
+      : page_(page), frame_(frame), legacy_jar_(legacy_jar) {}
 
   std::string document_cookie_read(const script::ExecContext&) override {
     page_.charge_api_call();
-    return jar_.document_cookie_string(frame_.url(),
-                                       page_.browser().clock().now());
+    if (legacy_jar_ != nullptr) {
+      return legacy_jar_->document_cookie_string(
+          frame_.url(), page_.browser().clock().now());
+    }
+    std::string out;
+    for (const auto& c : read_cookies()) {
+      if (!out.empty()) out += "; ";
+      out += c.pair();
+    }
+    return out;
   }
   void document_cookie_write(const script::ExecContext&,
                              std::string_view cookie_line) override {
     page_.charge_api_call();
-    jar_.set_from_string(frame_.url(), cookie_line,
-                         page_.browser().clock().now());
+    if (legacy_jar_ != nullptr) {
+      legacy_jar_->set_from_string(frame_.url(), cookie_line,
+                                   page_.browser().clock().now());
+      return;
+    }
+    if (const auto parsed = net::parse_set_cookie(cookie_line)) {
+      store(*parsed, std::nullopt);
+    }
   }
   void cookie_store_get_all(
       const script::ExecContext& ctx,
       std::function<void(std::vector<script::StoreCookie>)> callback)
       override {
     std::vector<script::StoreCookie> cookies;
-    for (const auto& c : jar_.cookies_for_url(
-             frame_.url(), page_.browser().clock().now(),
-             cookies::JarApi::kScript)) {
+    for (const auto& c : read_cookies()) {
       cookies.push_back({c.name, c.value});
     }
     (void)ctx;
@@ -245,9 +266,7 @@ class Page::FrameServices final : public script::PageServices {
       const script::ExecContext&, std::string_view name,
       std::function<void(std::optional<script::StoreCookie>)> callback)
       override {
-    for (const auto& c : jar_.cookies_for_url(
-             frame_.url(), page_.browser().clock().now(),
-             cookies::JarApi::kScript)) {
+    for (const auto& c : read_cookies()) {
       if (c.name == name) {
         callback(script::StoreCookie{c.name, c.value});
         return;
@@ -261,8 +280,7 @@ class Page::FrameServices final : public script::PageServices {
     parsed.name = std::string(name);
     parsed.value = std::string(value);
     parsed.path = "/";
-    jar_.set(frame_.url(), parsed, page_.browser().clock().now(),
-             cookies::JarApi::kScript, cookies::CookieSource::kCookieStore);
+    store(parsed, cookies::CookieSource::kCookieStore);
   }
   void cookie_store_delete(const script::ExecContext&,
                            std::string_view name) override {
@@ -270,8 +288,7 @@ class Page::FrameServices final : public script::PageServices {
     parsed.name = std::string(name);
     parsed.path = "/";
     parsed.max_age_ms = -1000;
-    jar_.set(frame_.url(), parsed, page_.browser().clock().now(),
-             cookies::JarApi::kScript);
+    store(parsed, std::nullopt);
   }
   void send_request(const script::ExecContext& ctx,
                     const net::Url& url) override {
@@ -294,9 +311,36 @@ class Page::FrameServices final : public script::PageServices {
   script::Rng& rng() override { return page_.browser().rng(); }
 
  private:
+  /// RFC 6265 retrieval for the frame under the active scope; legacy mode
+  /// keeps the mutating cookies_for_url (last_access semantics unchanged).
+  std::vector<cookies::Cookie> read_cookies() {
+    const TimeMillis now = page_.browser().clock().now();
+    if (legacy_jar_ != nullptr) {
+      return legacy_jar_->cookies_for_url(frame_.url(), now,
+                                          cookies::JarApi::kScript);
+    }
+    return page_.policy_read(
+        page_.cookie_ctx(frame_.url(), cookies::JarApi::kScript), now);
+  }
+  void store(const net::ParsedSetCookie& parsed,
+             std::optional<cookies::CookieSource> source) {
+    const TimeMillis now = page_.browser().clock().now();
+    if (legacy_jar_ != nullptr) {
+      legacy_jar_->set(frame_.url(), parsed, now, cookies::JarApi::kScript,
+                       source);
+      return;
+    }
+    page_.policy_store(frame_.url(), parsed,
+                       page_.cookie_ctx(frame_.url(),
+                                        cookies::JarApi::kScript),
+                       now, source);
+  }
+
   Page& page_;
   webplat::Frame& frame_;
-  cookies::CookieJar& jar_;
+  /// Legacy per-page partition (FrameJarScope::kPage); null routes through
+  /// the browser-level policy partitions (FrameJarScope::kBrowser).
+  cookies::CookieJar* legacy_jar_;
 };
 
 webplat::Frame& Page::create_subframe(const net::Url& url) {
@@ -313,17 +357,83 @@ void Page::run_in_frame(
     body(*this);
     return;
   }
-  cookies::CookieJar& partition = partitioned_jars_[frame.url().origin()];
-  FrameServices services(*this, frame, partition);
+  // Under NoDefense/CookieGuard the cross-origin frame gets the legacy
+  // per-page ephemeral jar keyed by its origin; FPI/CHIPS route frame
+  // cookies into the browser-level partitions instead.
+  cookies::CookieJar* legacy_jar =
+      browser_.policy().frame_jar_scope() == policy::FrameJarScope::kPage
+          ? &partitioned_jars_[frame.url().origin()]
+          : nullptr;
+  FrameServices services(*this, frame, legacy_jar);
   body(services);
 }
 
 // ---- cookie APIs -----------------------------------------------------
 
+policy::CookieAccessContext Page::cookie_ctx(const net::Url& subject,
+                                             cookies::JarApi api) const {
+  policy::CookieAccessContext access;
+  access.top_level_site = top_level_site_;
+  access.subject_url = subject;
+  access.cross_site = !net::same_site(subject, url_);
+  access.script_origin = policy::script_origin_from_stack(stack_);
+  access.api = api;
+  return access;
+}
+
+std::vector<cookies::Cookie> Page::policy_read(
+    const policy::CookieAccessContext& ctx, TimeMillis now) {
+  const auto& engine = browser_.policy();
+  const auto decision = engine.key_for_read(ctx);
+  std::vector<cookies::Cookie> out;
+  if (!decision.allowed) {
+    if (decision.defense_block) {
+      ++browser_.policy_stats().reads_blocked;
+      obs::metric_add("policy.reads_blocked");
+    }
+    return out;
+  }
+  for (const auto& key : decision.keys) {
+    // find(), not jar(): reads must not materialise empty partitions.
+    auto* jar = browser_.jar_store().find(key);
+    if (jar == nullptr) continue;
+    for (auto& cookie : jar->cookies_for_url(ctx.subject_url, now, ctx.api)) {
+      if (!engine.visible(cookie, ctx)) continue;
+      out.push_back(std::move(cookie));
+    }
+  }
+  return out;
+}
+
+std::optional<cookies::CookieChange> Page::policy_store(
+    const net::Url& source_url, const net::ParsedSetCookie& parsed,
+    policy::CookieAccessContext ctx, TimeMillis now,
+    std::optional<cookies::CookieSource> source) {
+  ctx.partitioned_attribute = parsed.partitioned;
+  const auto decision = browser_.policy().key_for_store(ctx);
+  if (!decision.allowed) {
+    if (decision.defense_block) {
+      ++browser_.policy_stats().writes_blocked;
+      obs::metric_add("policy.writes_blocked");
+    }
+    return std::nullopt;
+  }
+  if (!decision.key.empty()) {
+    ++browser_.policy_stats().partitioned_stores;
+    obs::metric_add("policy.partitioned_stores");
+  }
+  return browser_.jar_store().jar(decision.key).set(source_url, parsed, now,
+                                                    ctx.api, source);
+}
+
 std::string Page::document_cookie_read(const script::ExecContext& ctx) {
   charge_api_call();
-  std::string value =
-      browser_.jar().document_cookie_string(url_, browser_.clock().now());
+  std::string value;
+  for (const auto& c : policy_read(cookie_ctx(url_, cookies::JarApi::kScript),
+                                   browser_.clock().now())) {
+    if (!value.empty()) value += "; ";
+    value += c.pair();
+  }
   for (auto* extension : browser_.extensions()) {
     value = extension->filter_document_cookie_read(*this, ctx, stack_,
                                                    std::move(value));
@@ -346,10 +456,30 @@ void Page::document_cookie_write(const script::ExecContext& ctx,
       return;
     }
   }
-  const auto change = browser_.jar().set_from_string(
-      url_, cookie_line, browser_.clock().now());
+  const TimeMillis now = browser_.clock().now();
+  const auto parsed = net::parse_set_cookie(cookie_line);
+  if (!parsed) {
+    // Keep the legacy set_from_string rejection shape: parse failures are
+    // jar-level rejections, not policy blocks.
+    cookies::CookieChange change;
+    change.reject_reason = "unparseable cookie string";
+    for (auto* extension : browser_.extensions()) {
+      extension->on_script_cookie_change(
+          *this, ctx, stack_, change, cookies::CookieSource::kDocumentCookie);
+    }
+    return;
+  }
+  const auto change =
+      policy_store(url_, *parsed, cookie_ctx(url_, cookies::JarApi::kScript),
+                   now);
+  if (!change) {
+    for (auto* observer : browser_.extensions()) {
+      observer->on_write_blocked(*this, ctx, stack_, cookie_line);
+    }
+    return;
+  }
   for (auto* extension : browser_.extensions()) {
-    extension->on_script_cookie_change(*this, ctx, stack_, change,
+    extension->on_script_cookie_change(*this, ctx, stack_, *change,
                                        cookies::CookieSource::kDocumentCookie);
   }
 }
@@ -363,8 +493,9 @@ void Page::cookie_store_get_all(
       [this, ctx, callback = std::move(callback), captured]() {
         const webplat::StackTrace saved = std::exchange(stack_, captured);
         std::vector<script::StoreCookie> cookies;
-        for (const auto& c : browser_.jar().cookies_for_url(
-                 url_, browser_.clock().now(), cookies::JarApi::kScript)) {
+        for (const auto& c :
+             policy_read(cookie_ctx(url_, cookies::JarApi::kScript),
+                         browser_.clock().now())) {
           cookies.push_back({c.name, c.value});
         }
         for (auto* extension : browser_.extensions()) {
@@ -389,8 +520,9 @@ void Page::cookie_store_get(
       [this, ctx, wanted, callback = std::move(callback), captured]() {
         const webplat::StackTrace saved = std::exchange(stack_, captured);
         std::vector<script::StoreCookie> cookies;
-        for (const auto& c : browser_.jar().cookies_for_url(
-                 url_, browser_.clock().now(), cookies::JarApi::kScript)) {
+        for (const auto& c :
+             policy_read(cookie_ctx(url_, cookies::JarApi::kScript),
+                         browser_.clock().now())) {
           if (c.name == wanted) cookies.push_back({c.name, c.value});
         }
         // The same per-origin filter applies to single-cookie lookups.
@@ -431,12 +563,20 @@ void Page::cookie_store_set(const script::ExecContext& ctx,
           parsed.name = cookie_name;
           parsed.value = cookie_value;
           parsed.path = "/";
-          const auto change = browser_.jar().set(
-              url_, parsed, browser_.clock().now(), cookies::JarApi::kScript,
-              cookies::CookieSource::kCookieStore);
-          for (auto* extension : browser_.extensions()) {
-            extension->on_script_cookie_change(
-                *this, ctx, stack_, change, cookies::CookieSource::kCookieStore);
+          const auto change = policy_store(
+              url_, parsed, cookie_ctx(url_, cookies::JarApi::kScript),
+              browser_.clock().now(), cookies::CookieSource::kCookieStore);
+          if (change) {
+            for (auto* extension : browser_.extensions()) {
+              extension->on_script_cookie_change(
+                  *this, ctx, stack_, *change,
+                  cookies::CookieSource::kCookieStore);
+            }
+          } else {
+            for (auto* extension : browser_.extensions()) {
+              extension->on_write_blocked(*this, ctx, stack_,
+                                          cookie_name + "=" + cookie_value);
+            }
           }
         } else {
           for (auto* extension : browser_.extensions()) {
@@ -470,12 +610,20 @@ void Page::cookie_store_delete(const script::ExecContext& ctx,
           parsed.name = cookie_name;
           parsed.path = "/";
           parsed.max_age_ms = -1000;
-          const auto change = browser_.jar().set(
-              url_, parsed, browser_.clock().now(), cookies::JarApi::kScript,
-              cookies::CookieSource::kCookieStore);
-          for (auto* extension : browser_.extensions()) {
-            extension->on_script_cookie_change(
-                *this, ctx, stack_, change, cookies::CookieSource::kCookieStore);
+          const auto change = policy_store(
+              url_, parsed, cookie_ctx(url_, cookies::JarApi::kScript),
+              browser_.clock().now(), cookies::CookieSource::kCookieStore);
+          if (change) {
+            for (auto* extension : browser_.extensions()) {
+              extension->on_script_cookie_change(
+                  *this, ctx, stack_, *change,
+                  cookies::CookieSource::kCookieStore);
+            }
+          } else {
+            for (auto* extension : browser_.extensions()) {
+              extension->on_write_blocked(*this, ctx, stack_,
+                                          cookie_name + "=");
+            }
           }
         } else {
           for (auto* extension : browser_.extensions()) {
@@ -540,12 +688,14 @@ net::HttpResponse Page::fetch(net::HttpRequest request,
     }
   }
 
-  // Attach the first-party cookie jar to same-site requests only (the
-  // simulator models a post-third-party-cookie browser).
-  if (net::same_site(request.url, url_)) {
+  // Cookie attachment goes through the partitioning policy. Under NoDefense
+  // this is exactly the legacy rule — attach the first-party jar to
+  // same-site requests only (a post-third-party-cookie browser); FPI/CHIPS
+  // additionally consult the request's partitions.
+  const auto http_ctx = cookie_ctx(request.url, cookies::JarApi::kHttp);
+  {
     std::string cookie_header;
-    for (const auto& c : browser_.jar().cookies_for_url(
-             request.url, now, cookies::JarApi::kHttp)) {
+    for (const auto& c : policy_read(http_ctx, now)) {
       if (!cookie_header.empty()) cookie_header += "; ";
       cookie_header += c.pair();
     }
@@ -558,14 +708,16 @@ net::HttpResponse Page::fetch(net::HttpRequest request,
 
   net::HttpResponse response = browser_.network().dispatch(request);
 
-  // Set-Cookie: honoured only for same-site responses; cross-site response
-  // cookies would be third-party cookies, which are phased out (§1).
+  // Set-Cookie goes through the policy too. Under NoDefense cross-site
+  // response cookies are refused — they would be third-party cookies, which
+  // are phased out (§1) — exactly the legacy same-site gate; CHIPS lets
+  // `Partitioned` ones through into the request's partition. Refused
+  // headers produce no CookieChange, as before.
   std::vector<cookies::CookieChange> changes;
-  if (net::same_site(request.url, url_)) {
-    for (const auto& header : response.set_cookie_headers()) {
-      if (const auto parsed = net::parse_set_cookie(header)) {
-        changes.push_back(browser_.jar().set(request.url, *parsed, now,
-                                             cookies::JarApi::kHttp));
+  for (const auto& header : response.set_cookie_headers()) {
+    if (const auto parsed = net::parse_set_cookie(header)) {
+      if (auto change = policy_store(request.url, *parsed, http_ctx, now)) {
+        changes.push_back(std::move(*change));
       }
     }
   }

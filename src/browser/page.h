@@ -114,14 +114,38 @@ class Page final : public script::PageServices {
   void charge_api_call();
 
   /// Sends a request through the network layer with cookie attachment,
-  /// request/headers notifications, and same-site Set-Cookie processing.
+  /// request/headers notifications, and policy-gated Set-Cookie processing.
   net::HttpResponse fetch(net::HttpRequest request,
                           const script::ExecContext* initiator);
+
+  /// Policy context for an access scoped to `subject` on this page: the
+  /// top-level site, cross-site bit, and stack-attributed script origin.
+  policy::CookieAccessContext cookie_ctx(const net::Url& subject,
+                                         cookies::JarApi api) const;
+
+  /// Retrieval through the active policy: consults every partition
+  /// key_for_read names, applies the per-cookie visibility filter, and
+  /// preserves the single-jar path byte-for-byte under NoDefense. `now` is
+  /// passed explicitly so fetch() can pin the request-entry timestamp.
+  std::vector<cookies::Cookie> policy_read(
+      const policy::CookieAccessContext& ctx, TimeMillis now);
+
+  /// Storage through the active policy; returns the jar's CookieChange, or
+  /// nullopt when the policy refused the store (defense-caused refusals are
+  /// tallied in Browser::policy_stats and `policy.*` metrics; callers fire
+  /// on_write_blocked like an extension veto).
+  std::optional<cookies::CookieChange> policy_store(
+      const net::Url& source_url, const net::ParsedSetCookie& parsed,
+      policy::CookieAccessContext ctx, TimeMillis now,
+      std::optional<cookies::CookieSource> source = std::nullopt);
 
   class FrameServices;
 
   Browser& browser_;
   net::Url url_;
+  /// eTLD+1 of the page URL — Firefox's firstPartyDomain, CHIPS's
+  /// partition key.
+  std::string top_level_site_;
   webplat::Frame main_frame_;
   webplat::EventLoop loop_;
   webplat::StackTrace stack_;

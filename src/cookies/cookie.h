@@ -32,6 +32,10 @@ struct Cookie {
   bool host_only = true;
   bool secure = false;
   bool http_only = false;
+  /// CHIPS `Partitioned` attribute as received. Which jar partition the
+  /// cookie actually landed in is the policy layer's decision; this flag
+  /// records the site's intent for measurement and visibility filtering.
+  bool partitioned = false;
   net::SameSite same_site = net::SameSite::kUnspecified;
   /// Absolute expiry; nullopt = session cookie.
   std::optional<TimeMillis> expires;

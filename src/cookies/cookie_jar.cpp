@@ -47,6 +47,7 @@ CookieChange CookieJar::set(const net::Url& source_url,
   cookie.value = parsed.value;
   cookie.secure = parsed.secure;
   cookie.http_only = parsed.http_only;
+  cookie.partitioned = parsed.partitioned;
   cookie.same_site = parsed.same_site;
   cookie.creation_time = now;
   cookie.last_access = now;
@@ -69,6 +70,12 @@ CookieChange CookieJar::set(const net::Url& source_url,
   // Secure-attribute cookies may only be set from secure URLs (6265bis §5.5).
   if (parsed.secure && !source_url.is_secure()) {
     change.reject_reason = "Secure cookie from non-secure context";
+    return change;
+  }
+
+  // CHIPS: a Partitioned cookie must also carry Secure.
+  if (parsed.partitioned && !parsed.secure) {
+    change.reject_reason = "Partitioned cookie without Secure";
     return change;
   }
 
@@ -172,22 +179,24 @@ CookieChange CookieJar::set_from_string(const net::Url& document_url,
   return set(document_url, *parsed, now, JarApi::kScript);
 }
 
-std::vector<Cookie> CookieJar::cookies_for_url(const net::Url& url,
-                                               TimeMillis now, JarApi api) {
-  std::vector<Cookie> out;
-  for (auto& c : cookies_) {
-    if (c.expired(now)) continue;
-    if (c.http_only && api == JarApi::kScript) continue;
-    if (c.secure && !url.is_secure()) continue;
-    if (c.host_only) {
-      if (url.host() != c.domain) continue;
-    } else if (!net::domain_matches(url.host(), c.domain)) {
-      continue;
-    }
-    if (!path_matches(url.path(), c.path)) continue;
-    c.last_access = now;
-    out.push_back(c);
+namespace {
+
+// RFC 6265 §5.4 steps 1-2: does `c` match a request to `url` over `api`?
+bool retrieval_match(const Cookie& c, const net::Url& url, TimeMillis now,
+                     JarApi api) {
+  if (c.expired(now)) return false;
+  if (c.http_only && api == JarApi::kScript) return false;
+  if (c.secure && !url.is_secure()) return false;
+  if (c.host_only) {
+    if (url.host() != c.domain) return false;
+  } else if (!net::domain_matches(url.host(), c.domain)) {
+    return false;
   }
+  return path_matches(url.path(), c.path);
+}
+
+// §5.4 sort: longer paths first, then earlier creation.
+void sort_for_retrieval(std::vector<Cookie>& out) {
   std::sort(out.begin(), out.end(), [](const Cookie& a, const Cookie& b) {
     if (a.path.size() != b.path.size()) return a.path.size() > b.path.size();
     if (a.creation_time != b.creation_time) {
@@ -195,6 +204,29 @@ std::vector<Cookie> CookieJar::cookies_for_url(const net::Url& url,
     }
     return a.creation_index < b.creation_index;
   });
+}
+
+}  // namespace
+
+std::vector<Cookie> CookieJar::cookies_for_url(const net::Url& url,
+                                               TimeMillis now, JarApi api) {
+  std::vector<Cookie> out;
+  for (auto& c : cookies_) {
+    if (!retrieval_match(c, url, now, api)) continue;
+    c.last_access = now;
+    out.push_back(c);
+  }
+  sort_for_retrieval(out);
+  return out;
+}
+
+std::vector<Cookie> CookieJar::peek_for_url(const net::Url& url,
+                                            TimeMillis now, JarApi api) const {
+  std::vector<Cookie> out;
+  for (const auto& c : cookies_) {
+    if (retrieval_match(c, url, now, api)) out.push_back(c);
+  }
+  sort_for_retrieval(out);
   return out;
 }
 

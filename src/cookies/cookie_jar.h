@@ -69,6 +69,13 @@ class CookieJar {
   std::vector<Cookie> cookies_for_url(const net::Url& url, TimeMillis now,
                                       JarApi api);
 
+  /// Read-only variant of cookies_for_url: identical matching and sort
+  /// order, but does NOT update last_access. Measurement code must use this
+  /// — an observer read that refreshed last_access would perturb the
+  /// LRU eviction order it is trying to observe.
+  std::vector<Cookie> peek_for_url(const net::Url& url, TimeMillis now,
+                                   JarApi api) const;
+
   /// The exact string document.cookie returns: "a=1; b=2".
   std::string document_cookie_string(const net::Url& url, TimeMillis now);
 

@@ -231,6 +231,7 @@ instrument::VisitLog Crawler::attempt_visit(
   }
 
   browser::Browser browser(browser_config, visit_seed);
+  browser.set_policy(&policy::engine_for(options.policy));
   corpus_.attach(browser, bp);
 
   instrument::VisitLog log;

@@ -38,6 +38,7 @@
 #include "fault/fault.h"
 #include "instrument/records.h"
 #include "obs/trace.h"
+#include "policy/partition_policy.h"
 #include "report/json.h"
 
 namespace cg::store {
@@ -54,6 +55,14 @@ struct CrawlOptions {
   std::vector<browser::Extension*> extra_extensions;
   browser::BrowserConfig browser_config;
   ext::AttributionMode attribution = ext::AttributionMode::kLastExternal;
+
+  /// Cookie-partitioning policy installed on every browser the crawl
+  /// creates (the defense bake-off's independent variable). kNone is the
+  /// status-quo single jar, byte-identical to the pre-policy crawler;
+  /// kCookieGuard keeps the jar identical too — pair it with per-worker
+  /// CookieGuard extensions via extension_factory. Engines are stateless,
+  /// so one shared instance serves every shard worker.
+  policy::PolicyKind policy = policy::PolicyKind::kNone;
 
   /// Fault plan for the crawl. The default plan reproduces the paper's
   /// incomplete-log sites; the corpus seed is folded into the plan seed so

@@ -102,6 +102,8 @@ std::optional<ParsedSetCookie> parse_set_cookie(std::string_view header) {
       out.secure = true;
     } else if (lower == "httponly") {
       out.http_only = true;
+    } else if (lower == "partitioned") {
+      out.partitioned = true;
     } else if (lower == "samesite") {
       const std::string v = ascii_lower(attr_value);
       if (v == "none") {
@@ -112,6 +114,36 @@ std::optional<ParsedSetCookie> parse_set_cookie(std::string_view header) {
         out.same_site = SameSite::kStrict;
       }
     }
+  }
+  return out;
+}
+
+std::string serialize_set_cookie(const ParsedSetCookie& cookie) {
+  std::string out = cookie.name;
+  if (!cookie.name.empty() || !cookie.value.empty()) out += "=";
+  out += cookie.value;
+  if (!cookie.domain.empty()) {
+    out += "; Domain=";
+    out += cookie.domain;
+  }
+  if (!cookie.path.empty()) {
+    out += "; Path=";
+    out += cookie.path;
+  }
+  if (cookie.expires) {
+    out += "; Expires=";
+    out += format_http_date(*cookie.expires);
+  }
+  if (cookie.max_age_ms) {
+    out += "; Max-Age=";
+    out += std::to_string(*cookie.max_age_ms / 1000);
+  }
+  if (cookie.secure) out += "; Secure";
+  if (cookie.http_only) out += "; HttpOnly";
+  if (cookie.partitioned) out += "; Partitioned";
+  if (cookie.same_site != SameSite::kUnspecified) {
+    out += "; SameSite=";
+    out += to_string(cookie.same_site);
   }
   return out;
 }

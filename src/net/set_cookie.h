@@ -28,11 +28,25 @@ struct ParsedSetCookie {
   bool secure = false;
   bool http_only = false;
   SameSite same_site = SameSite::kUnspecified;
+  /// RFC6265bis / CHIPS `Partitioned` attribute: the cookie is keyed by the
+  /// top-level site it was set under, not just its own domain. Only the
+  /// partitioning policy layer (src/policy/) gives it meaning; the parser
+  /// records it faithfully either way. CHIPS requires `Secure` alongside —
+  /// enforced at storage time (cookies::CookieJar), not here, so the
+  /// measurement pipeline still sees the malformed header as sent.
+  bool partitioned = false;
 };
 
 /// Parses one Set-Cookie header value. Returns nullopt for unparseable
 /// headers (no '=' in the name-value pair and empty name).
 std::optional<ParsedSetCookie> parse_set_cookie(std::string_view header);
+
+/// Serialises `cookie` back into a Set-Cookie header value such that
+/// parse_set_cookie(serialize_set_cookie(c)) reproduces `c` exactly —
+/// the round-trip contract the parser tests pin down (Expires re-emits via
+/// format_http_date at millisecond-truncated-to-second precision, matching
+/// what any cookie date can express).
+std::string serialize_set_cookie(const ParsedSetCookie& cookie);
 
 std::string_view to_string(SameSite s);
 

@@ -20,55 +20,86 @@ TimingSummary summarize(std::vector<TimeMillis> samples) {
   return out;
 }
 
+namespace {
+
+struct Collected {
+  std::vector<TimeMillis> dcl, interactive, load;
+};
+
+/// One fault-free timing crawl under a policy engine, optionally with
+/// per-worker CookieGuard instances (extensions are stateful, so each
+/// crawl thread needs its own; guard behaviour is per-visit deterministic,
+/// so the timings are identical at any thread count).
+Collected run_timing_crawl(const crawler::Crawler& crawl, int site_count,
+                           int threads, policy::PolicyKind policy,
+                           bool with_guard,
+                           const cookieguard::CookieGuardConfig& config) {
+  const int workers =
+      threads <= 0 ? runtime::ThreadPool::hardware_threads() : threads;
+  Collected collected;
+  std::vector<std::unique_ptr<cookieguard::CookieGuard>> guards;
+  crawler::CrawlOptions options;
+  options.fault_plan.reset();
+  options.threads = threads;
+  options.policy = policy;
+  if (with_guard) {
+    for (int w = 0; w < workers; ++w) {
+      guards.push_back(std::make_unique<cookieguard::CookieGuard>(config));
+    }
+    options.extension_factory =
+        [&guards](int worker) -> std::vector<browser::Extension*> {
+      return {guards[static_cast<size_t>(worker)].get()};
+    };
+  }
+  crawl.crawl(site_count, options,
+              [&](instrument::VisitLog&& log) {
+                collected.dcl.push_back(log.landing_timings.dom_content_loaded);
+                collected.interactive.push_back(
+                    log.landing_timings.dom_interactive);
+                collected.load.push_back(log.landing_timings.load_event);
+              });
+  return collected;
+}
+
+Comparison compare_collected(const Collected& normal,
+                             const Collected& defended) {
+  Comparison out;
+  out.normal = {summarize(normal.dcl), summarize(normal.interactive),
+                summarize(normal.load)};
+  out.guarded = {summarize(defended.dcl), summarize(defended.interactive),
+                 summarize(defended.load)};
+  out.mean_overhead_ms =
+      out.guarded.load_event.mean_ms - out.normal.load_event.mean_ms;
+  return out;
+}
+
+}  // namespace
+
 Comparison compare_page_load(const corpus::Corpus& corpus, int site_count,
                              const cookieguard::CookieGuardConfig& config,
                              int threads) {
   crawler::Crawler crawl(corpus);
-  const int workers =
-      threads <= 0 ? runtime::ThreadPool::hardware_threads() : threads;
+  const Collected normal =
+      run_timing_crawl(crawl, site_count, threads, policy::PolicyKind::kNone,
+                       /*with_guard=*/false, config);
+  const Collected guarded =
+      run_timing_crawl(crawl, site_count, threads, policy::PolicyKind::kNone,
+                       /*with_guard=*/true, config);
+  return compare_collected(normal, guarded);
+}
 
-  struct Collected {
-    std::vector<TimeMillis> dcl, interactive, load;
-  };
-  auto run = [&](bool with_guard) {
-    Collected collected;
-    // One guard per worker: extensions are stateful, so each crawl thread
-    // needs its own instance. Guard behaviour is per-visit deterministic,
-    // so the timings are identical at any thread count.
-    std::vector<std::unique_ptr<cookieguard::CookieGuard>> guards;
-    crawler::CrawlOptions options;
-    options.fault_plan.reset();
-    options.threads = threads;
-    if (with_guard) {
-      for (int w = 0; w < workers; ++w) {
-        guards.push_back(std::make_unique<cookieguard::CookieGuard>(config));
-      }
-      options.extension_factory =
-          [&guards](int worker) -> std::vector<browser::Extension*> {
-        return {guards[static_cast<size_t>(worker)].get()};
-      };
-    }
-    crawl.crawl(site_count, options,
-                [&](instrument::VisitLog&& log) {
-                  collected.dcl.push_back(log.landing_timings.dom_content_loaded);
-                  collected.interactive.push_back(
-                      log.landing_timings.dom_interactive);
-                  collected.load.push_back(log.landing_timings.load_event);
-                });
-    return collected;
-  };
-
-  const Collected normal = run(false);
-  const Collected guarded = run(true);
-
-  Comparison out;
-  out.normal = {summarize(normal.dcl), summarize(normal.interactive),
-                summarize(normal.load)};
-  out.guarded = {summarize(guarded.dcl), summarize(guarded.interactive),
-                 summarize(guarded.load)};
-  out.mean_overhead_ms =
-      out.guarded.load_event.mean_ms - out.normal.load_event.mean_ms;
-  return out;
+Comparison compare_page_load_policy(const corpus::Corpus& corpus,
+                                    int site_count,
+                                    policy::PolicyKind policy, int threads) {
+  crawler::Crawler crawl(corpus);
+  const cookieguard::CookieGuardConfig config;
+  const Collected normal =
+      run_timing_crawl(crawl, site_count, threads, policy::PolicyKind::kNone,
+                       /*with_guard=*/false, config);
+  const Collected defended = run_timing_crawl(
+      crawl, site_count, threads, policy,
+      /*with_guard=*/policy == policy::PolicyKind::kCookieGuard, config);
+  return compare_collected(normal, defended);
 }
 
 }  // namespace cg::perf

@@ -12,6 +12,7 @@
 #include "cookieguard/cookieguard.h"
 #include "corpus/corpus.h"
 #include "net/clock.h"
+#include "policy/partition_policy.h"
 
 namespace cg::perf {
 
@@ -41,5 +42,15 @@ struct Comparison {
 Comparison compare_page_load(const corpus::Corpus& corpus, int site_count,
                              const cookieguard::CookieGuardConfig& config,
                              int threads = 1);
+
+/// Table-4 pairing for one bake-off deployment: plain browser (single jar,
+/// no extension) vs the partitioning policy — which for kCookieGuard means
+/// the jar-identical engine plus the CookieGuard extension, and for
+/// FPI/CHIPS the partitioned jar alone. kNone compares the plain browser
+/// against itself (zero overhead by construction; a determinism probe).
+Comparison compare_page_load_policy(const corpus::Corpus& corpus,
+                                    int site_count,
+                                    policy::PolicyKind policy,
+                                    int threads = 1);
 
 }  // namespace cg::perf

@@ -200,6 +200,51 @@ TEST_F(CookieJarTest, UpdatesLastAccessOnRead) {
   EXPECT_EQ(jar_.all().at(0).last_access, kNow + 1000);
 }
 
+TEST_F(CookieJarTest, PeekDoesNotUpdateLastAccess) {
+  // Measurement code observes the jar through peek_for_url; a read that
+  // refreshed last_access would perturb the LRU eviction order it is
+  // trying to observe.
+  jar_.set_from_string(site_, "a=1; Path=/", kNow);
+  jar_.set_from_string(site_, "b=2; Path=/shop", kNow + 1);
+
+  const auto peeked = jar_.peek_for_url(site_, kNow + 1000, JarApi::kScript);
+  for (const auto& c : jar_.all()) {
+    EXPECT_LT(c.last_access, kNow + 1000);  // untouched
+  }
+  // Same matching and §5.4 sort as the mutating read.
+  const auto read = jar_.cookies_for_url(site_, kNow + 1000, JarApi::kScript);
+  ASSERT_EQ(peeked.size(), read.size());
+  for (std::size_t i = 0; i < read.size(); ++i) {
+    EXPECT_EQ(peeked[i].pair(), read[i].pair());
+  }
+  EXPECT_EQ(jar_.all().at(0).last_access, kNow + 1000);  // read did touch
+}
+
+TEST_F(CookieJarTest, PeekFiltersHttpOnlyForScripts) {
+  net::ParsedSetCookie parsed;
+  parsed.name = "sid";
+  parsed.value = "abc";
+  parsed.path = "/";
+  parsed.http_only = true;
+  jar_.set(site_, parsed, kNow, JarApi::kHttp);
+  EXPECT_TRUE(jar_.peek_for_url(site_, kNow, JarApi::kScript).empty());
+  EXPECT_EQ(jar_.peek_for_url(site_, kNow, JarApi::kHttp).size(), 1u);
+}
+
+TEST_F(CookieJarTest, PartitionedRequiresSecure) {
+  // CHIPS: `Partitioned` without `Secure` is rejected at storage time.
+  const auto rejected =
+      jar_.set_from_string(site_, "pid=x1; Path=/; Partitioned", kNow);
+  EXPECT_EQ(rejected.type, CookieChange::Type::kRejected);
+  EXPECT_EQ(rejected.reject_reason, "Partitioned cookie without Secure");
+  EXPECT_EQ(jar_.size(), 0u);
+
+  const auto stored = jar_.set_from_string(
+      site_, "pid=x1; Path=/; Secure; Partitioned", kNow);
+  EXPECT_EQ(stored.type, CookieChange::Type::kCreated);
+  EXPECT_TRUE(jar_.all().at(0).partitioned);
+}
+
 // Parameterized sweep: path-matching truth table (RFC 6265 §5.1.4).
 struct PathCase {
   const char* request_path;

@@ -80,6 +80,44 @@ TEST(FuzzTest, SetCookieParserToleratesGarbage) {
   }
 }
 
+TEST(FuzzTest, SetCookieSerializeRoundTripsParsedHeaders) {
+  // Any header the parser accepts must survive serialize → re-parse with
+  // every field intact (the attribute vocabulary includes Partitioned, the
+  // CHIPS attribute the policy layer keys on).
+  static constexpr const char* kAttrs[] = {
+      "Secure",          "HttpOnly",        "Partitioned",
+      "partitioned",     "Path=/a/b",       "Domain=fuzz-site.com",
+      "Max-Age=3600",    "Max-Age=-1",      "SameSite=Lax",
+      "SameSite=None",   "SameSite=Strict", "Expires=Wed, 09 Jun 2021 10:18:14 GMT",
+      "Expires=garbage", "Path=relative",   "",
+  };
+  script::Rng rng(0xF0CD);
+  for (int i = 0; i < 4000; ++i) {
+    std::string input = random_structured(rng, 30);
+    const std::size_t attrs = rng.below(5);
+    for (std::size_t a = 0; a < attrs; ++a) {
+      input += "; ";
+      input += kAttrs[rng.below(sizeof(kAttrs) / sizeof(kAttrs[0]))];
+    }
+    const auto parsed = net::parse_set_cookie(input);
+    if (!parsed) continue;
+    const auto again = net::parse_set_cookie(net::serialize_set_cookie(*parsed));
+    ASSERT_TRUE(again.has_value()) << input;
+    EXPECT_EQ(again->name, parsed->name) << input;
+    EXPECT_EQ(again->value, parsed->value) << input;
+    EXPECT_EQ(again->domain, parsed->domain) << input;
+    EXPECT_EQ(again->path, parsed->path) << input;
+    EXPECT_EQ(again->expires, parsed->expires) << input;
+    EXPECT_EQ(again->max_age_ms, parsed->max_age_ms) << input;
+    EXPECT_EQ(again->secure, parsed->secure) << input;
+    EXPECT_EQ(again->http_only, parsed->http_only) << input;
+    EXPECT_EQ(again->same_site == net::SameSite::kUnspecified,
+              parsed->same_site == net::SameSite::kUnspecified)
+        << input;
+    EXPECT_EQ(again->partitioned, parsed->partitioned) << input;
+  }
+}
+
 TEST(FuzzTest, CookieJarSurvivesArbitraryWrites) {
   script::Rng rng(0x7A66);
   cookies::CookieJar jar;

@@ -389,6 +389,65 @@ TEST(SetCookieTest, WhitespaceTrimmed) {
   EXPECT_EQ(c->path, "/x");
 }
 
+TEST(SetCookieTest, PartitionedAttribute) {
+  const auto c = parse_set_cookie("__Host-id=a1b2; Secure; Path=/; Partitioned");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->partitioned);
+  EXPECT_TRUE(c->secure);
+
+  // Case-insensitive, like every other attribute name.
+  const auto lower = parse_set_cookie("k=v; partitioned");
+  ASSERT_TRUE(lower.has_value());
+  EXPECT_TRUE(lower->partitioned);
+  // The parser records the attribute even without Secure — CHIPS's
+  // Secure requirement is a storage-model rule (cookies::CookieJar), and
+  // the measurement pipeline must see the malformed header as sent.
+  EXPECT_FALSE(lower->secure);
+
+  const auto absent = parse_set_cookie("k=v; Secure");
+  ASSERT_TRUE(absent.has_value());
+  EXPECT_FALSE(absent->partitioned);
+}
+
+TEST(SetCookieTest, SerializeRoundTripsEveryAttribute) {
+  ParsedSetCookie c;
+  c.name = "sid";
+  c.value = "a=b=c";
+  c.domain = "example.com";
+  c.path = "/app";
+  c.expires = 1746748800000;  // second-aligned, expressible as an HTTP date
+  c.max_age_ms = 3600'000;
+  c.secure = true;
+  c.http_only = true;
+  c.same_site = SameSite::kLax;
+  c.partitioned = true;
+
+  const auto again = parse_set_cookie(serialize_set_cookie(c));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->name, c.name);
+  EXPECT_EQ(again->value, c.value);
+  EXPECT_EQ(again->domain, c.domain);
+  EXPECT_EQ(again->path, c.path);
+  EXPECT_EQ(again->expires, c.expires);
+  EXPECT_EQ(again->max_age_ms, c.max_age_ms);
+  EXPECT_EQ(again->secure, c.secure);
+  EXPECT_EQ(again->http_only, c.http_only);
+  EXPECT_EQ(again->same_site, c.same_site);
+  EXPECT_EQ(again->partitioned, c.partitioned);
+}
+
+TEST(SetCookieTest, SerializeRoundTripsBarePair) {
+  ParsedSetCookie c;
+  c.name = "_ga";
+  c.value = "GA1.1.444332364.1746838827";
+  const std::string header = serialize_set_cookie(c);
+  EXPECT_EQ(header, "_ga=GA1.1.444332364.1746838827");
+  const auto again = parse_set_cookie(header);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_FALSE(again->partitioned);
+  EXPECT_EQ(again->same_site, SameSite::kUnspecified);
+}
+
 }  // namespace
 }  // namespace cg::net
 
