@@ -173,6 +173,29 @@ inline bool analyzer_from_archive_env(const corpus::Corpus& corpus,
                  error.to_string().c_str());
     std::exit(2);
   }
+  if (reader->kind() != store::ArchiveKind::kFull) {
+    std::fprintf(stderr,
+                 "error: CG_ARCHIVE %s is a %s archive — benches replay "
+                 "full archives only (materialize the wave through cgsim "
+                 "query --archive <chain> instead)\n",
+                 path,
+                 std::string(store::archive_kind_name(reader->kind()))
+                     .c_str());
+    std::exit(2);
+  }
+  // The recorded policy is hard provenance, same as the seeds: the archive
+  // substitutes for the *plain* measurement crawl, so an archive packed
+  // under any partitioning policy is the wrong dataset.
+  if (reader->policy() != store::ArchivePolicy::kNone) {
+    std::fprintf(stderr,
+                 "error: CG_ARCHIVE %s was packed under --policy %s; the "
+                 "measurement crawl it substitutes for runs with no "
+                 "partitioning policy — repack without --policy\n",
+                 path,
+                 std::string(store::archive_policy_name(reader->policy()))
+                     .c_str());
+    std::exit(2);
+  }
   if (reader->corpus_seed() != corpus.params().seed ||
       reader->site_count() != corpus.size()) {
     std::fprintf(stderr,

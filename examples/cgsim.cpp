@@ -2,6 +2,7 @@
 //
 //   cgsim crawl    [--sites N] [--threads T] [--guard] [--no-faults]
 //                  [--policy none|cookieguard|fpi|chips]
+//                  [--stream] [--wave W] [--evo-seed S] [--totals-only]
 //                  [--json FILE] [--pairs-csv FILE] [--domains-csv FILE]
 //                  [--health FILE] [--checkpoint FILE] [--checkpoint-every N]
 //                  [--resume FILE]
@@ -14,6 +15,8 @@
 //   cgsim trace-check FILE
 //   cgsim pack     [--sites N] [--threads T] [--no-faults] --out FILE
 //                  [--policy none|cookieguard|fpi|chips]
+//                  [--wave W] [--evo-seed S]
+//                  [--base FILE[,FILE...]]
 //                  [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //                  [--scrub] [--metrics FILE]
 //
@@ -21,9 +24,10 @@
 // (src/policy/): none is the status-quo jar and byte-identical to omitting
 // the flag; cookieguard = none's jar plus the CookieGuard extension (same
 // browsers as --guard); fpi is Firefox First-Party Isolation; chips is
-// RFC6265bis partitioned cookies.
-//   cgsim query    --archive FILE [--site RANK] [--json FILE]
-//                  [--pairs-csv FILE] [--domains-csv FILE]
+// RFC6265bis partitioned cookies. The active policy is recorded in the
+// CGAR footer, hard provenance like the corpus and fault seeds.
+//   cgsim query    --archive FILE[,FILE...] [--wave W] [--site RANK]
+//                  [--json FILE] [--pairs-csv FILE] [--domains-csv FILE]
 //   cgsim verify-archive FILE
 //
 // pack runs the measurement crawl once and streams it into a CGAR archive
@@ -33,6 +37,29 @@
 // count emits a byte-identical archive, and pack --checkpoint / --resume
 // reuses the partial archive segment: the resumed file equals an
 // uninterrupted pack byte-for-byte.
+//
+// Longitudinal waves (src/evolve/ + store delta archives):
+//   --stream         crawl from a streaming corpus provider — blueprints
+//                    are generated on demand, so memory stays O(shards)
+//                    instead of O(sites) (the 1M-site configuration).
+//                    Output is byte-identical to the materialized corpus.
+//   --wave W         crawl/pack wave W of the evolving corpus (seeded
+//                    schedule; wave 0 is byte-identical to the base
+//                    corpus). Implies --stream.
+//   --evo-seed S     evolution schedule seed (decimal or 0x hex).
+//   --totals-only    keep only the Totals counters during analysis —
+//                    aggregate state stays O(1) in site count (pairs /
+//                    domains / ranked views read empty).
+//   pack --base A[,B,...]  pack the next wave as a *delta archive* against
+//                    the base+delta chain A,B,...: unchanged sites become
+//                    zero-byte inherited footer entries, changed sites
+//                    compact diff blocks. The chain tail pins the corpus
+//                    (seeds, site count, policy, wave); checkpoint/resume
+//                    is not supported for delta packs.
+//   query --archive A,B,... [--wave W]  analyzes wave W (default: newest)
+//                    by materializing sites through the base+delta chain —
+//                    answers are byte-identical to querying an
+//                    independently packed full archive of that wave.
 //
 // --threads 0 (the default for crawl/perf here is 1) uses every hardware
 // thread; any thread count produces byte-identical output — including the
@@ -62,7 +89,10 @@
 #include "breakage/breakage.h"
 #include "cookieguard/cookieguard.h"
 #include "corpus/corpus.h"
+#include "corpus/streaming_corpus.h"
 #include "crawler/crawler.h"
+#include "entities/entity_map.h"
+#include "evolve/wave_corpus.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/perf.h"
@@ -70,8 +100,13 @@
 #include "report/report.h"
 #include "runtime/thread_pool.h"
 #include "store/atomic_file.h"
+#include "store/chain.h"
 #include "store/reader.h"
 #include "store/writer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace {
 
@@ -115,6 +150,96 @@ corpus::Corpus make_corpus(const Args& args) {
   corpus::CorpusParams params;
   params.site_count = args.get_int("sites", 2000);
   return corpus::Corpus(params);
+}
+
+std::uint64_t parse_u64(const std::string& text, std::uint64_t fallback) {
+  if (text.empty()) return fallback;
+  return std::strtoull(text.c_str(), nullptr, 0);  // decimal or 0x hex
+}
+
+/// Comma-separated path list (for --base / --archive chains).
+std::vector<std::string> split_paths(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// The footer-provenance mirror of the crawl's policy flag.
+store::ArchivePolicy to_archive_policy(policy::PolicyKind kind) {
+  switch (kind) {
+    case policy::PolicyKind::kNone:
+      return store::ArchivePolicy::kNone;
+    case policy::PolicyKind::kCookieGuard:
+      return store::ArchivePolicy::kCookieGuard;
+    case policy::PolicyKind::kFirstPartyIsolation:
+      return store::ArchivePolicy::kFirstPartyIsolation;
+    case policy::PolicyKind::kChips:
+      return store::ArchivePolicy::kChips;
+  }
+  return store::ArchivePolicy::kNone;
+}
+
+/// Peak resident set size in KiB (0 where unsupported). Reported on stderr
+/// only — stdout stays byte-deterministic.
+long peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
+#endif
+  return 0;
+}
+
+/// The corpus provider a crawl/pack run uses: materialized by default,
+/// streaming under --stream, wave-evolved under --wave/--evo-seed. All
+/// three produce byte-identical blueprints for the same (seed, wave).
+std::unique_ptr<corpus::CorpusView> make_corpus_view(const Args& args) {
+  corpus::CorpusParams params;
+  params.site_count = args.get_int("sites", 2000);
+  if (args.has("wave") || args.has("evo-seed")) {
+    evolve::EvolutionParams evolution;
+    evolution.seed = parse_u64(args.get("evo-seed", ""), evolution.seed);
+    return std::make_unique<evolve::WaveCorpus>(params, evolution,
+                                                args.get_int("wave", 0));
+  }
+  if (args.has("stream")) {
+    return std::make_unique<corpus::StreamingCorpus>(params);
+  }
+  return std::make_unique<corpus::Corpus>(params);
+}
+
+/// Opens a comma-separated archive list and links it into a wave chain.
+/// `readers` owns the archives for the chain's lifetime.
+std::optional<store::WaveChain> open_chain(
+    const std::vector<std::string>& paths,
+    std::vector<store::Reader>* readers) {
+  readers->reserve(paths.size());
+  for (const std::string& path : paths) {
+    store::Error error;
+    auto reader = store::Reader::open(path, &error);
+    if (!reader) {
+      std::fprintf(stderr, "cgsim: cannot open archive %s (%s)\n",
+                   path.c_str(), error.to_string().c_str());
+      return std::nullopt;
+    }
+    readers->push_back(std::move(*reader));
+  }
+  std::vector<const store::Reader*> links;
+  links.reserve(readers->size());
+  for (const store::Reader& reader : *readers) links.push_back(&reader);
+  store::Error error;
+  auto chain = store::WaveChain::link(std::move(links), &error);
+  if (!chain) {
+    std::fprintf(stderr, "cgsim: archive chain rejected (%s)\n",
+                 error.to_string().c_str());
+  }
+  return chain;
 }
 
 /// Renders `contents` into `path` via tmp+flush+rename. False (with the
@@ -208,9 +333,12 @@ std::function<void(const crawler::CrawlCheckpoint&)> checkpoint_writer(
 }
 
 int cmd_crawl(const Args& args) {
-  corpus::Corpus corpus(make_corpus(args));
+  const std::unique_ptr<corpus::CorpusView> corpus_view(make_corpus_view(args));
+  const corpus::CorpusView& corpus = *corpus_view;
   crawler::Crawler crawler(corpus);
-  analysis::Analyzer analyzer(corpus.entities());
+  analysis::AnalyzerOptions analyzer_options;
+  analyzer_options.totals_only = args.has("totals-only");
+  analysis::Analyzer analyzer(corpus.entities(), analyzer_options);
 
   crawler::CrawlOptions options;
   options.threads = args.get_int("threads", 1);
@@ -304,6 +432,12 @@ int cmd_crawl(const Args& args) {
       note += " under policy ";
       note += policy::to_string(options.policy);
     }
+    if (args.has("wave") || args.has("evo-seed")) {
+      note += " at wave ";
+      note += std::to_string(args.get_int("wave", 0));
+    } else if (args.has("stream")) {
+      note += " (streaming)";
+    }
     std::printf("crawling %d sites%s...\n", corpus.size(), note.c_str());
     health = crawler.crawl(corpus.size(), options, sink);
   }
@@ -348,40 +482,133 @@ int cmd_crawl(const Args& args) {
     if (!write_output(args.get("health", "health.json"), out.str())) return 1;
   }
 
+  // The streaming-crawl RSS gate reads this line; stderr because peak RSS
+  // is an OS measurement, not part of the deterministic output.
+  std::fprintf(stderr, "cgsim: peak rss: %ld KiB\n", peak_rss_kib());
   return print_analysis(args, analyzer) ? 0 : 1;
 }
 
 // Crawl once, analyze many times: pack streams the measurement crawl into a
 // CGAR archive. No analyzer runs here — the archive *is* the product.
 int cmd_pack(const Args& args) {
-  corpus::Corpus corpus(make_corpus(args));
-  crawler::Crawler crawler(corpus);
-
-  crawler::CrawlOptions options;
-  options.threads = args.get_int("threads", 1);
-  if (args.has("no-faults")) options.fault_plan.reset();
   const auto policy_kind = policy::parse_policy(args.get("policy", "none"));
   if (!policy_kind) {
     std::fprintf(stderr,
                  "cgsim: --policy must be none, cookieguard, fpi, or chips\n");
     return 2;
   }
-  options.policy = *policy_kind;
-  if (options.policy != policy::PolicyKind::kNone) {
-    // CGAR footer provenance pins corpus and fault seeds only; a replayed
-    // archive cannot re-apply the policy, so flag the gap rather than
-    // silently producing an archive that looks like a default crawl.
-    std::fprintf(stderr,
-                 "cgsim: warning: archive provenance does not record "
-                 "--policy %s; label the output file accordingly\n",
-                 std::string(policy::to_string(options.policy)).c_str());
+
+  // Delta packs (--base): the base chain pins the corpus — seeds, site
+  // count, policy, wave — so the next wave is crawled from the exact
+  // evolving population the base was, and the new archive records the
+  // chain tail as its BaseProvenance.
+  std::vector<store::Reader> base_readers;
+  std::optional<store::WaveChain> base_chain;
+  std::unique_ptr<corpus::CorpusView> corpus_view;
+  std::uint64_t evolution_seed = 0;
+  std::uint32_t wave = static_cast<std::uint32_t>(args.get_int("wave", 0));
+
+  if (args.has("base")) {
+    if (args.has("resume") || args.has("checkpoint")) {
+      std::fprintf(stderr,
+                   "cgsim: checkpoint/resume is not supported for delta "
+                   "packs (--base)\n");
+      return 2;
+    }
+    base_chain = open_chain(split_paths(args.get("base", "")), &base_readers);
+    if (!base_chain) return 1;
+    const store::Reader& tail = base_chain->archive(base_chain->waves() - 1);
+    if (to_archive_policy(*policy_kind) != tail.policy()) {
+      std::fprintf(
+          stderr,
+          "cgsim: --policy %s does not match the base chain's recorded "
+          "policy %s\n",
+          std::string(policy::to_string(*policy_kind)).c_str(),
+          std::string(store::archive_policy_name(tail.policy())).c_str());
+      return 2;
+    }
+    if (!args.has("wave")) wave = tail.wave() + 1;
+    if (wave <= tail.wave()) {
+      std::fprintf(stderr,
+                   "cgsim: --wave %u is not later than the base chain's "
+                   "wave %u\n",
+                   static_cast<unsigned>(wave),
+                   static_cast<unsigned>(tail.wave()));
+      return 2;
+    }
+    evolve::EvolutionParams evolution;
+    if (tail.evolution_seed() != 0) evolution.seed = tail.evolution_seed();
+    evolution.seed = parse_u64(args.get("evo-seed", ""), evolution.seed);
+    if (tail.evolution_seed() != 0 &&
+        evolution.seed != tail.evolution_seed()) {
+      std::fprintf(stderr,
+                   "cgsim: --evo-seed 0x%llX does not match the base "
+                   "chain's evolution seed 0x%llX\n",
+                   static_cast<unsigned long long>(evolution.seed),
+                   static_cast<unsigned long long>(tail.evolution_seed()));
+      return 2;
+    }
+    evolution_seed = evolution.seed;
+    corpus::CorpusParams params;
+    params.site_count = tail.total_site_count();
+    params.seed = tail.corpus_seed();
+    if (args.has("sites") &&
+        args.get_int("sites", 0) != params.site_count) {
+      std::fprintf(stderr,
+                   "cgsim: --sites ignored for delta packs (the base chain "
+                   "pins %d sites)\n",
+                   params.site_count);
+    }
+    corpus_view = std::make_unique<evolve::WaveCorpus>(
+        params, evolution, static_cast<int>(wave));
+  } else {
+    corpus_view = make_corpus_view(args);
+    if (args.has("wave") || args.has("evo-seed")) {
+      evolve::EvolutionParams defaults;
+      evolution_seed = parse_u64(args.get("evo-seed", ""), defaults.seed);
+    }
   }
+  const corpus::CorpusView& corpus = *corpus_view;
+  crawler::Crawler crawler(corpus);
+
+  crawler::CrawlOptions options;
+  options.threads = args.get_int("threads", 1);
+  if (args.has("no-faults")) options.fault_plan.reset();
+  options.policy = *policy_kind;
+  if (base_chain) options.delta_base = &*base_chain;
 
   const std::string out_path = args.get("out", "crawl.cgar");
   store::WriterOptions writer_options;
   writer_options.corpus_seed = corpus.params().seed;
   const fault::FaultPlan plan = crawler.plan_for(options);
   writer_options.fault_seed = plan.enabled() ? plan.params().seed : 0;
+  writer_options.policy = to_archive_policy(options.policy);
+  writer_options.wave = wave;
+  writer_options.evolution_seed = evolution_seed;
+  if (base_chain) {
+    const store::Reader& tail = base_chain->archive(base_chain->waves() - 1);
+    if (writer_options.fault_seed != tail.fault_seed()) {
+      std::fprintf(stderr,
+                   "cgsim: a delta wave must crawl under the base chain's "
+                   "fault plan (base fault seed 0x%llX, this crawl 0x%llX — "
+                   "%s)\n",
+                   static_cast<unsigned long long>(tail.fault_seed()),
+                   static_cast<unsigned long long>(writer_options.fault_seed),
+                   tail.fault_seed() == 0 ? "pass --no-faults"
+                                          : "drop --no-faults");
+      return 2;
+    }
+    writer_options.kind = store::ArchiveKind::kDelta;
+    store::BaseProvenance base;
+    base.corpus_seed = tail.corpus_seed();
+    base.fault_seed = tail.fault_seed();
+    base.evolution_seed = tail.evolution_seed();
+    base.policy = tail.policy();
+    base.wave = tail.wave();
+    base.site_count = static_cast<std::uint32_t>(tail.total_site_count());
+    base.footer_crc = tail.footer_crc();
+    writer_options.base = base;
+  }
 
   const std::string checkpoint_path = args.get("checkpoint", "");
   if (!checkpoint_path.empty()) {
@@ -442,8 +669,16 @@ int cmd_pack(const Args& args) {
     if (!checkpoint_path.empty()) {
       options.on_checkpoint = checkpoint_writer(checkpoint_path);
     }
-    std::printf("packing %d sites into %s...\n", corpus.size(),
-                out_path.c_str());
+    if (base_chain) {
+      std::printf("packing wave %u of %d sites into %s (delta vs wave %u)...\n",
+                  static_cast<unsigned>(wave), corpus.size(),
+                  out_path.c_str(),
+                  static_cast<unsigned>(
+                      base_chain->archive(base_chain->waves() - 1).wave()));
+    } else {
+      std::printf("packing %d sites into %s...\n", corpus.size(),
+                  out_path.c_str());
+    }
     health = crawler.crawl(corpus.size(), options,
                            [](instrument::VisitLog&&) {});
   }
@@ -471,30 +706,111 @@ int cmd_pack(const Args& args) {
       return 1;
     }
   }
-  std::printf("wrote %s: %d sites, %llu bytes (%.1f bytes/site)\n",
-              out_path.c_str(), writer->sites_written(),
-              static_cast<unsigned long long>(writer->bytes_written()),
-              writer->sites_written() > 0
-                  ? static_cast<double>(writer->bytes_written()) /
-                        writer->sites_written()
-                  : 0.0);
+  if (base_chain) {
+    const int total = writer->sites_written() + writer->inherited_written();
+    std::printf(
+        "wrote %s: wave %u, %d sites (%d delta blocks + %d inherited), "
+        "%llu bytes\n",
+        out_path.c_str(), static_cast<unsigned>(wave), total,
+        writer->sites_written(), writer->inherited_written(),
+        static_cast<unsigned long long>(writer->bytes_written()));
+  } else {
+    std::printf("wrote %s: %d sites, %llu bytes (%.1f bytes/site)\n",
+                out_path.c_str(), writer->sites_written(),
+                static_cast<unsigned long long>(writer->bytes_written()),
+                writer->sites_written() > 0
+                    ? static_cast<double>(writer->bytes_written()) /
+                          writer->sites_written()
+                    : 0.0);
+  }
   return 0;
 }
 
 // Analyze-from-archive: everything `crawl` computes, without crawling.
 int cmd_query(const Args& args) {
-  if (!args.has("archive")) {
-    std::fprintf(stderr, "usage: cgsim query --archive FILE [--site RANK]\n");
+  const std::vector<std::string> paths = split_paths(args.get("archive", ""));
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: cgsim query --archive FILE[,FILE...] [--wave W] "
+                 "[--site RANK]\n");
     return 2;
   }
-  const std::string path = args.get("archive", "");
   store::Error error;
-  const auto reader = store::Reader::open(path, &error);
-  if (!reader) {
-    std::fprintf(stderr, "cgsim: cannot open archive %s (%s)\n", path.c_str(),
-                 error.to_string().c_str());
-    return 1;
+
+  // Trend queries: a multi-archive list (or any delta archive, or an
+  // explicit --wave) is a base+delta chain; sites are materialized through
+  // it, and the answers for a wave are byte-identical to querying an
+  // independently packed full archive of that wave.
+  bool chain_query = paths.size() > 1 || args.has("wave");
+  std::vector<store::Reader> readers;
+  readers.reserve(paths.size());
+  for (const std::string& path : paths) {
+    auto opened = store::Reader::open(path, &error);
+    if (!opened) {
+      std::fprintf(stderr, "cgsim: cannot open archive %s (%s)\n",
+                   path.c_str(), error.to_string().c_str());
+      return 1;
+    }
+    if (opened->kind() == store::ArchiveKind::kDelta) chain_query = true;
+    readers.push_back(std::move(*opened));
   }
+
+  if (chain_query) {
+    std::vector<const store::Reader*> links;
+    links.reserve(readers.size());
+    for (const store::Reader& r : readers) links.push_back(&r);
+    const auto chain = store::WaveChain::link(std::move(links), &error);
+    if (!chain) {
+      std::fprintf(stderr, "cgsim: archive chain rejected (%s)\n",
+                   error.to_string().c_str());
+      return 1;
+    }
+    int wave_index = chain->waves() - 1;
+    if (args.has("wave")) {
+      const auto want = static_cast<std::uint32_t>(args.get_int("wave", 0));
+      wave_index = -1;
+      for (int i = 0; i < chain->waves(); ++i) {
+        if (chain->archive(i).wave() == want) wave_index = i;
+      }
+      if (wave_index < 0) {
+        std::fprintf(stderr, "cgsim: wave %u is not in this chain\n",
+                     static_cast<unsigned>(want));
+        return 1;
+      }
+    }
+    // The entity map is the builtin static table (Corpus::entities()
+    // returns the same), so no corpus reconstruction is needed.
+    analysis::Analyzer analyzer(entities::EntityMap::builtin());
+    if (args.has("site")) {
+      const int rank = args.get_int("site", 0);
+      const auto log = chain->visit(rank, wave_index, &error);
+      if (!log) {
+        std::fprintf(stderr, "cgsim: site %d: %s\n", rank,
+                     error.to_string().c_str());
+        return 1;
+      }
+      analyzer.ingest(*log);
+      std::printf("https://%s/ — %zu script inclusions, %zu cookie writes, "
+                  "%zu requests (attempts: %d, failure: %s)\n",
+                  log->site_host.c_str(), log->includes.size(),
+                  log->script_sets.size(), log->requests.size(),
+                  log->attempts,
+                  std::string(fault::failure_class_name(log->failure))
+                      .c_str());
+      std::printf("%s\n",
+                  report::summary_to_json(analyzer, 10).dump(2).c_str());
+      return 0;
+    }
+    if (!analysis::analyze_wave(*chain, wave_index, analyzer, &error)) {
+      std::fprintf(stderr, "cgsim: archive chain is corrupt (%s)\n",
+                   error.to_string().c_str());
+      return 1;
+    }
+    return print_analysis(args, analyzer) ? 0 : 1;
+  }
+
+  const std::string& path = paths.front();
+  const store::Reader* reader = &readers.front();
 
   // Rebuild the corpus the archive was packed from — the entity map drives
   // the analyzer, and provenance in the footer pins the exact corpus.
@@ -570,6 +886,17 @@ int cmd_verify_archive(const std::string& path) {
       static_cast<unsigned>(store::kFormatVersion),
       static_cast<unsigned>(reader->schema_version()),
       static_cast<unsigned long long>(reader->corpus_seed()));
+  std::printf("provenance: policy %s, %s archive, wave %u",
+              std::string(store::archive_policy_name(reader->policy()))
+                  .c_str(),
+              std::string(store::archive_kind_name(reader->kind())).c_str(),
+              static_cast<unsigned>(reader->wave()));
+  if (reader->kind() == store::ArchiveKind::kDelta) {
+    std::printf(" (base wave %u, %zu inherited ranks)",
+                static_cast<unsigned>(reader->base().wave),
+                reader->inherited_ranks().size());
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -722,10 +1049,12 @@ int main(int argc, char** argv) {
                "             [--sites N] [--threads T] [--guard] "
                "[--policy none|cookieguard|fpi|chips] [--site I] "
                "[--sample K]\n"
+               "             [--stream] [--wave W] [--evo-seed S] "
+               "[--totals-only] [--base FILE,...]\n"
                "             [--json FILE] [--pairs-csv FILE] "
                "[--domains-csv FILE]\n"
                "             [--trace FILE] [--metrics FILE] "
                "[--runtime-metrics FILE]\n"
-               "             [--out FILE] [--archive FILE]\n");
+               "             [--out FILE] [--archive FILE[,FILE...]]\n");
   return 2;
 }

@@ -9,4 +9,12 @@ bool analyze_archive(const store::Reader& reader, Analyzer& analyzer,
       error);
 }
 
+bool analyze_wave(const store::WaveChain& chain, int wave, Analyzer& analyzer,
+                  store::Error* error) {
+  return chain.for_each(
+      wave,
+      [&analyzer](instrument::VisitLog&& log) { analyzer.ingest(log); },
+      error);
+}
+
 }  // namespace cg::analysis

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "analysis/analyzer.h"
+#include "store/chain.h"
 #include "store/reader.h"
 
 namespace cg::analysis {
@@ -16,5 +17,12 @@ namespace cg::analysis {
 /// callers should treat false as "discard the analyzer".
 bool analyze_archive(const store::Reader& reader, Analyzer& analyzer,
                      store::Error* error = nullptr);
+
+/// Same, over one wave of a base + delta chain: every site of `wave` is
+/// materialized through the chain (inherited ranks resolve to earlier
+/// waves) and folded in rank order. The aggregates are byte-identical to
+/// analyzing an independently packed full archive of the same wave.
+bool analyze_wave(const store::WaveChain& chain, int wave, Analyzer& analyzer,
+                  store::Error* error = nullptr);
 
 }  // namespace cg::analysis

@@ -405,6 +405,12 @@ SiteSummary fold_visit(const entities::EntityMap& entities,
 
   totals.unique_setter_scripts =
       static_cast<long long>(out.setter_script_urls.size());
+  if (options.totals_only) {
+    out.pairs.clear();
+    out.domains.clear();
+    out.setter_script_urls.clear();
+    totals.unique_setter_scripts = 0;
+  }
   return out;
 }
 

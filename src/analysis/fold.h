@@ -134,6 +134,13 @@ struct AnalyzerOptions {
   /// (paper §4.3). Disable for the D5 ablation: raw-only detection misses
   /// every encoded exfiltration flow.
   bool match_encoded_identifiers = true;
+  /// Keep only the Totals counters: fold_visit discards the per-pair,
+  /// per-domain, and setter-URL maps after folding each visit, so the
+  /// running aggregate stays O(1) in site count instead of O(sites) — the
+  /// 1M-site streaming-crawl configuration. `unique_setter_scripts` reads 0
+  /// in this mode (it is recomputed from the — now empty — URL set), and
+  /// the ranked views (Tables 2/5, Figures 2/6) are empty.
+  bool totals_only = false;
 };
 
 /// The complete aggregate state of an analysis — over one visit (the result

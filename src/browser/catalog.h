@@ -19,8 +19,17 @@ class ScriptCatalog {
 
   const script::ScriptSpec* find(std::string_view id) const {
     const auto it = specs_.find(std::string(id));
-    return it == specs_.end() ? nullptr : &it->second;
+    if (it != specs_.end()) return &it->second;
+    return parent_ == nullptr ? nullptr : parent_->find(id);
   }
+
+  /// Chains lookups: find() falls through to `parent` for ids not present
+  /// here, so a per-site overlay holds only that site's own specs while the
+  /// shared vendor population lives once in the parent. Non-owning; the
+  /// parent must outlive this catalog. `all()`/`transform()`/`size()` stay
+  /// local to this catalog's own specs.
+  void set_parent(const ScriptCatalog* parent) { parent_ = parent; }
+  const ScriptCatalog* parent() const { return parent_; }
 
   std::size_t size() const { return specs_.size(); }
   const std::map<std::string, script::ScriptSpec>& all() const {
@@ -34,6 +43,7 @@ class ScriptCatalog {
 
  private:
   std::map<std::string, script::ScriptSpec> specs_;
+  const ScriptCatalog* parent_ = nullptr;
 };
 
 }  // namespace cg::browser

@@ -8,54 +8,6 @@
 namespace cg::corpus {
 namespace {
 
-// FNV-1a, for deterministic per-spec async delays.
-std::uint64_t hash_id(const std::string& id) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : id) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-/// Real trackers fire their pixels and cleanup passes after load, not at
-/// parse time. Defer every top-level cross-domain-sensitive op (exfiltrate,
-/// overwrite, delete) into one setTimeout per script, so document order
-/// stops mattering: a consent manager parsed before the Facebook pixel
-/// still deletes _fbp. Ops already inside an explicit kAsync are left alone.
-void defer_cross_actions(script::ScriptSpec& spec) {
-  using script::OpKind;
-  std::vector<script::ScriptOp> sync_ops;
-  std::vector<script::ScriptOp> deferred;
-  for (auto& op : spec.ops) {
-    const bool cross_sensitive = op.kind == OpKind::kExfiltrate ||
-                                 op.kind == OpKind::kOverwriteCookie ||
-                                 op.kind == OpKind::kDeleteCookie;
-    if (cross_sensitive) {
-      deferred.push_back(std::move(op));
-    } else {
-      sync_ops.push_back(std::move(op));
-    }
-  }
-  if (deferred.empty()) {
-    spec.ops = std::move(sync_ops);
-    return;
-  }
-  // Deletions (consent passes) run later than pixels' exfiltration so the
-  // identifiers are observed before they are wiped — matching the paper's
-  // event ordering, where both actions appear in the same visit.
-  bool has_delete = false;
-  for (const auto& op : deferred) {
-    if (op.kind == OpKind::kDeleteCookie) has_delete = true;
-  }
-  const TimeMillis delay =
-      (has_delete ? 1500 : 100) + static_cast<TimeMillis>(
-                                      hash_id(spec.id) % (has_delete ? 400
-                                                                     : 700));
-  sync_ops.push_back(script::run_async(delay, std::move(deferred)));
-  spec.ops = std::move(sync_ops);
-}
-
 std::string find_cookie_in_header(const std::string& header,
                                   const std::string& name) {
   const auto pos = header.find(name + "=");
@@ -80,8 +32,24 @@ Corpus::Corpus(CorpusParams params) : params_(params) {
   catalog_.transform(defer_cross_actions);
 }
 
+SiteVisit Corpus::site_visit(int index) const {
+  // Aliasing shared_ptrs with no ownership: the materialized corpus owns
+  // both objects for its whole lifetime, so the handles are plain pointers
+  // in shared_ptr clothing (no per-visit allocation on this path).
+  return SiteVisit{
+      std::shared_ptr<const SiteBlueprint>(std::shared_ptr<const void>(),
+                                           &sites_.at(index)),
+      std::shared_ptr<const browser::ScriptCatalog>(
+          std::shared_ptr<const void>(), &catalog_)};
+}
+
 void Corpus::attach(browser::Browser& browser, const SiteBlueprint& bp) const {
-  browser.set_catalog(&catalog_);
+  attach_site(browser, bp, &catalog_);
+}
+
+void attach_site(browser::Browser& browser, const SiteBlueprint& bp,
+                 const browser::ScriptCatalog* catalog) {
+  browser.set_catalog(catalog);
 
   browser::DocumentSpec doc = bp.doc;
   browser.set_document_provider(

@@ -6,6 +6,7 @@
 
 #include "browser/browser.h"
 #include "browser/catalog.h"
+#include "corpus/corpus_view.h"
 #include "corpus/ecosystem.h"
 #include "corpus/params.h"
 #include "corpus/site_blueprint.h"
@@ -13,23 +14,27 @@
 
 namespace cg::corpus {
 
-class Corpus {
+class Corpus : public CorpusView {
  public:
   explicit Corpus(CorpusParams params = {});
 
   Corpus(const Corpus&) = delete;
   Corpus& operator=(const Corpus&) = delete;
 
-  int size() const { return static_cast<int>(sites_.size()); }
-  const CorpusParams& params() const { return params_; }
+  int size() const override { return static_cast<int>(sites_.size()); }
+  const CorpusParams& params() const override { return params_; }
   const browser::ScriptCatalog& catalog() const { return catalog_; }
   const Ecosystem& ecosystem() const { return ecosystem_; }
-  const entities::EntityMap& entities() const {
+  const entities::EntityMap& entities() const override {
     return entities::EntityMap::builtin();
   }
 
   /// Blueprint for a 0-based site index (rank = index + 1).
   const SiteBlueprint& site(int index) const { return sites_.at(index); }
+
+  /// CorpusView access: non-owning aliases into the materialized corpus
+  /// (the Corpus must outlive the returned SiteVisit).
+  SiteVisit site_visit(int index) const override;
 
   /// Wires a browser up to visit `bp`'s site: catalog, document provider,
   /// and the site's HTTP server (cookie-setting document handler).

@@ -1,0 +1,54 @@
+// Provider-agnostic view of a site population.
+//
+// The crawler only ever needs four things: how many sites there are, the
+// corpus parameters, the entity map, and — per visit — one blueprint plus
+// the catalog to resolve its script ids against. CorpusView narrows the
+// crawl engine to exactly that, so one code path crawls a fully
+// materialized Corpus (20k sites in memory), a StreamingCorpus (blueprints
+// generated on demand, memory O(shards) not O(sites) — the 1M-site
+// configuration), or an evolve::WaveCorpus (wave N+1 derived from wave N).
+//
+// Determinism contract: site_visit(i) must be a pure function of the
+// provider's construction parameters and i — same bytes at any call order
+// and any thread count. Providers back this with script::Rng::fork_at.
+#pragma once
+
+#include <memory>
+
+#include "browser/browser.h"
+#include "browser/catalog.h"
+#include "corpus/params.h"
+#include "corpus/site_blueprint.h"
+#include "entities/entity_map.h"
+
+namespace cg::corpus {
+
+/// One site, fetched from a provider. `catalog` is what the visiting
+/// browser resolves script ids against; for streaming providers it is a
+/// per-site overlay chained onto the shared vendor catalog, and the
+/// shared_ptr keeps it alive for exactly the visit that uses it.
+struct SiteVisit {
+  std::shared_ptr<const SiteBlueprint> blueprint;
+  std::shared_ptr<const browser::ScriptCatalog> catalog;
+};
+
+class CorpusView {
+ public:
+  virtual ~CorpusView() = default;
+
+  virtual int size() const = 0;
+  virtual const CorpusParams& params() const = 0;
+  virtual const entities::EntityMap& entities() const = 0;
+
+  /// The blueprint + catalog for 0-based site `index` (rank = index + 1).
+  /// Thread-safe; pure in (provider construction params, index).
+  virtual SiteVisit site_visit(int index) const = 0;
+};
+
+/// Wires a browser up to visit `bp`'s site: catalog, document provider, and
+/// the site's HTTP server (cookie-setting document handler). The factored
+/// body of Corpus::attach, shared by every CorpusView provider.
+void attach_site(browser::Browser& browser, const SiteBlueprint& bp,
+                 const browser::ScriptCatalog* catalog);
+
+}  // namespace cg::corpus

@@ -10,6 +10,10 @@ namespace cg::corpus {
 
 struct SiteBlueprint {
   int rank = 0;            // 1-based Tranco-style rank
+  /// Churn generation of the occupant of this rank slot (src/evolve/):
+  /// 0 is the original site; g > 0 is the g-th replacement, hosted at
+  /// "www.site{rank}g{g}.{tld}".
+  int generation = 0;
   std::string host;        // e.g. "www.site123.com"
   std::string site;        // eTLD+1
 

@@ -73,10 +73,12 @@ std::vector<std::string> sample_weighted(const std::vector<VendorInfo>& pool,
   return out;
 }
 
+}  // namespace
+
 // Builds the site's first-party application bundle.
-ScriptSpec make_fp_spec(int rank, script::Rng& rng,
-                        const CorpusParams& params, bool cookieless,
-                        std::vector<std::string>& fp_cookie_names) {
+ScriptSpec make_fp_bundle(int rank, script::Rng& rng,
+                          const CorpusParams& params, bool cookieless,
+                          std::vector<std::string>& fp_cookie_names) {
   ScriptSpec spec;
   spec.id = "fp#" + std::to_string(rank);
   spec.url_template = "https://{site}/assets/app.js";
@@ -131,6 +133,8 @@ ScriptSpec make_fp_spec(int rank, script::Rng& rng,
   return spec;
 }
 
+namespace {
+
 // Swaps in per-deployment variants of global vendors.
 std::string maybe_variant(const std::string& id, script::Rng& rng,
                           const CorpusParams& params) {
@@ -140,15 +144,60 @@ std::string maybe_variant(const std::string& id, script::Rng& rng,
   return id;
 }
 
+// FNV-1a, for deterministic per-spec async delays.
+std::uint64_t hash_id(const std::string& id) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace
+
+void defer_cross_actions(script::ScriptSpec& spec) {
+  using script::OpKind;
+  std::vector<script::ScriptOp> sync_ops;
+  std::vector<script::ScriptOp> deferred;
+  for (auto& op : spec.ops) {
+    const bool cross_sensitive = op.kind == OpKind::kExfiltrate ||
+                                 op.kind == OpKind::kOverwriteCookie ||
+                                 op.kind == OpKind::kDeleteCookie;
+    if (cross_sensitive) {
+      deferred.push_back(std::move(op));
+    } else {
+      sync_ops.push_back(std::move(op));
+    }
+  }
+  if (deferred.empty()) {
+    spec.ops = std::move(sync_ops);
+    return;
+  }
+  // Deletions (consent passes) run later than pixels' exfiltration so the
+  // identifiers are observed before they are wiped — matching the paper's
+  // event ordering, where both actions appear in the same visit.
+  bool has_delete = false;
+  for (const auto& op : deferred) {
+    if (op.kind == OpKind::kDeleteCookie) has_delete = true;
+  }
+  const TimeMillis delay =
+      (has_delete ? 1500 : 100) + static_cast<TimeMillis>(
+                                      hash_id(spec.id) % (has_delete ? 400
+                                                                     : 700));
+  sync_ops.push_back(script::run_async(delay, std::move(deferred)));
+  spec.ops = std::move(sync_ops);
+}
 
 SiteBlueprint generate_site(int rank, script::Rng& rng,
                             const Ecosystem& ecosystem,
                             browser::ScriptCatalog& catalog,
-                            const CorpusParams& params) {
+                            const CorpusParams& params, int generation) {
   SiteBlueprint bp;
   bp.rank = rank;
-  bp.host = "www.site" + std::to_string(rank) + "." +
+  bp.generation = generation;
+  bp.host = "www.site" + std::to_string(rank) +
+            (generation > 0 ? "g" + std::to_string(generation) : "") + "." +
             kTlds[rng.below(std::size(kTlds))];
   bp.site = net::etld_plus_one(bp.host);
 
@@ -160,7 +209,7 @@ SiteBlueprint generate_site(int rank, script::Rng& rng,
     const bool cookieless =
         !has_third_party && rng.chance(params.fp_cookieless_rate);
     ScriptSpec fp =
-        make_fp_spec(rank, rng, params, cookieless, bp.fp_cookie_names);
+        make_fp_bundle(rank, rng, params, cookieless, bp.fp_cookie_names);
     ids.push_back(fp.id);
     catalog.add(std::move(fp));
   }

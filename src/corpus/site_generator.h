@@ -10,9 +10,30 @@
 
 namespace cg::corpus {
 
+/// Generates the blueprint for `rank`, registering the site's own specs
+/// (fp bundle, GTM container, ad stack, ...) into `catalog`. `generation`
+/// marks churn replacements (src/evolve/): generation g > 0 occupies the
+/// same rank slot under a distinct host ("www.site{rank}g{g}.{tld}"), the
+/// way a ranking position is re-filled by a different site between waves.
 SiteBlueprint generate_site(int rank, script::Rng& rng,
                             const Ecosystem& ecosystem,
                             browser::ScriptCatalog& catalog,
-                            const CorpusParams& params);
+                            const CorpusParams& params, int generation = 0);
+
+/// Builds the site's first-party application bundle. Exposed for wave
+/// evolution: fp-rotation re-rolls exactly this spec (a site shipping a new
+/// bundle release with a different cookie footprint).
+script::ScriptSpec make_fp_bundle(int rank, script::Rng& rng,
+                                  const CorpusParams& params, bool cookieless,
+                                  std::vector<std::string>& fp_cookie_names);
+
+/// Real trackers fire their pixels and cleanup passes after load, not at
+/// parse time: defers every top-level cross-domain-sensitive op
+/// (exfiltrate, overwrite, delete) into one setTimeout per script, so
+/// document order stops mattering. Applied once per spec — the materialized
+/// Corpus transforms its whole catalog after generation; streaming
+/// providers transform the shared catalog once and each per-site overlay as
+/// it is generated.
+void defer_cross_actions(script::ScriptSpec& spec);
 
 }  // namespace cg::corpus

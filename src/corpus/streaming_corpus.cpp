@@ -1,0 +1,33 @@
+#include "corpus/streaming_corpus.h"
+
+#include <utility>
+
+#include "corpus/site_generator.h"
+#include "script/rng.h"
+
+namespace cg::corpus {
+
+StreamingCorpus::StreamingCorpus(CorpusParams params) : params_(params) {
+  ecosystem_ = build_ecosystem(params_, raw_);
+  cooked_ = raw_;
+  cooked_.transform(defer_cross_actions);
+}
+
+SiteVisit StreamingCorpus::site_visit(int index) const {
+  const int rank = index + 1;
+  // Corpus forks rank r as the master stream's r-th sequential fork
+  // (k = r-1, key = r); fork_at reproduces it without the master.
+  script::Rng site_rng = script::Rng::fork_at(
+      params_.seed, static_cast<std::uint64_t>(rank - 1),
+      static_cast<std::uint64_t>(rank));
+
+  auto overlay = std::make_shared<browser::ScriptCatalog>();
+  overlay->set_parent(&raw_);  // gpt-core etc. resolve to untransformed ops
+  auto bp = std::make_shared<SiteBlueprint>(
+      generate_site(rank, site_rng, ecosystem_, *overlay, params_));
+  overlay->transform(defer_cross_actions);  // own specs only
+  overlay->set_parent(&cooked_);  // browsers see transformed vendor specs
+  return SiteVisit{std::move(bp), std::move(overlay)};
+}
+
+}  // namespace cg::corpus

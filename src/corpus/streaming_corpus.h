@@ -1,0 +1,67 @@
+// On-demand site generation: the O(shards)-memory corpus provider.
+//
+// A materialized Corpus holds every blueprint and every per-site script
+// spec for its whole lifetime — fine at 20k sites, ~10 GB of blueprints at
+// 1M. StreamingCorpus keeps only the shared state (the vendor ecosystem and
+// its catalog, a few hundred specs) and generates each site's blueprint +
+// per-site spec overlay at site_visit() time, dropping both when the
+// caller's SiteVisit goes out of scope. Crawl memory becomes O(concurrent
+// visits), independent of site_count.
+//
+// Byte-identity with Corpus is a hard contract (tests/corpus_test.cpp
+// crawls both providers and compares visit logs):
+//   * per-site RNG: Corpus forks rank r as the master stream's r-th fork;
+//     Rng::fork_at(seed, r-1, r) reproduces that fork in O(1), so
+//     generation is pure in (seed, rank) at any access order.
+//   * catalogs: Corpus registers per-site specs into one global catalog and
+//     applies defer_cross_actions to everything once, after generation.
+//     StreamingCorpus keeps TWO shared catalogs: `raw_` (exactly as
+//     build_ecosystem left it) for generation — so an ad stack copying
+//     gpt-core's ops copies the *untransformed* ops, as the materialized
+//     path does — and `cooked_` (raw + defer_cross_actions) for browser
+//     resolution. Each visit's overlay is generated against raw_,
+//     transformed once, then re-parented onto cooked_.
+#pragma once
+
+#include <memory>
+
+#include "browser/catalog.h"
+#include "corpus/corpus_view.h"
+#include "corpus/ecosystem.h"
+#include "corpus/params.h"
+
+namespace cg::corpus {
+
+class StreamingCorpus : public CorpusView {
+ public:
+  explicit StreamingCorpus(CorpusParams params = {});
+
+  StreamingCorpus(const StreamingCorpus&) = delete;
+  StreamingCorpus& operator=(const StreamingCorpus&) = delete;
+
+  int size() const override { return params_.site_count; }
+  const CorpusParams& params() const override { return params_; }
+  const entities::EntityMap& entities() const override {
+    return entities::EntityMap::builtin();
+  }
+
+  /// Generates blueprint + per-site overlay for `index` on the spot.
+  /// Thread-safe (the shared catalogs are immutable after construction)
+  /// and pure in (params, index).
+  SiteVisit site_visit(int index) const override;
+
+  const Ecosystem& ecosystem() const { return ecosystem_; }
+  /// The untransformed vendor catalog generation runs against (wave
+  /// evolution generates against the same one).
+  const browser::ScriptCatalog& raw_catalog() const { return raw_; }
+  /// The defer_cross_actions-transformed catalog browsers resolve against.
+  const browser::ScriptCatalog& cooked_catalog() const { return cooked_; }
+
+ private:
+  CorpusParams params_;
+  browser::ScriptCatalog raw_;
+  browser::ScriptCatalog cooked_;
+  Ecosystem ecosystem_;
+};
+
+}  // namespace cg::corpus

@@ -9,6 +9,8 @@
 #include "instrument/recorder.h"
 #include "runtime/sharded_runner.h"
 #include "script/rng.h"
+#include "store/chain.h"
+#include "store/delta_codec.h"
 #include "store/record_codec.h"
 #include "store/writer.h"
 
@@ -209,11 +211,11 @@ fault::FaultPlan Crawler::plan_for(const CrawlOptions& options) const {
 }
 
 instrument::VisitLog Crawler::attempt_visit(
-    int index, const CrawlOptions& options,
+    const corpus::SiteVisit& visit, const CrawlOptions& options,
     const fault::FaultDecision& decision,
     const std::vector<browser::Extension*>& extensions,
     TimeMillis clock_shift_ms, int attempt) const {
-  const auto& bp = corpus_.site(index);
+  const auto& bp = *visit.blueprint;
   const auto& params = corpus_.params();
   const std::uint64_t visit_seed = visit_seed_for(params.seed, bp.rank);
 
@@ -232,7 +234,7 @@ instrument::VisitLog Crawler::attempt_visit(
 
   browser::Browser browser(browser_config, visit_seed);
   browser.set_policy(&policy::engine_for(options.policy));
-  corpus_.attach(browser, bp);
+  corpus::attach_site(browser, bp, visit.catalog.get());
 
   instrument::VisitLog log;
   log.rank = bp.rank;
@@ -367,15 +369,18 @@ instrument::VisitLog Crawler::visit(int index,
                                     const CrawlOptions& options) const {
   // A single clean visit: the measurement content of a site, independent of
   // crawl-pipeline weather. Faults only apply through crawl().
-  return attempt_visit(index, options, fault::FaultDecision{},
-                       options.extra_extensions,
+  return attempt_visit(corpus_.site_visit(index), options,
+                       fault::FaultDecision{}, options.extra_extensions,
                        /*clock_shift_ms=*/0, /*attempt=*/0);
 }
 
 SiteOutcome Crawler::crawl_site(
     int index, const CrawlOptions& options, const fault::FaultPlan& plan,
     const std::vector<browser::Extension*>& extensions) const {
-  const auto& bp = corpus_.site(index);
+  // One fetch per site: streaming providers generate the blueprint here and
+  // free it when `visit` leaves scope at the end of the retry loop.
+  const corpus::SiteVisit visit = corpus_.site_visit(index);
+  const auto& bp = *visit.blueprint;
   const int max_retries = std::max(options.max_retries, 0);
   const std::uint64_t backoff_seed =
       plan.enabled() ? plan.params().seed : corpus_.params().seed;
@@ -404,7 +409,7 @@ SiteOutcome Crawler::crawl_site(
     const fault::FaultDecision decision =
         plan.decide(bp.rank, attempt, options.visit_deadline_ms);
     instrument::VisitLog log =
-        attempt_visit(index, options, decision, extensions, backoff, attempt);
+        attempt_visit(visit, options, decision, extensions, backoff, attempt);
     ++delta.total_attempts;
     if (attempt > 0) ++delta.total_retries;
     if (log.failure != fault::FailureClass::kNone) {
@@ -491,10 +496,33 @@ SiteOutcome Crawler::crawl_site(
 
   // Encode the site's archive block here, on the shard worker — the
   // serialisation cost parallelises with the crawl; the merge thread only
-  // appends bytes. Pure function of the log, so the archive stays
-  // byte-identical at any thread count.
+  // appends bytes. Pure function of the log (and, for delta packs, of the
+  // immutable base chain), so the archive stays byte-identical at any
+  // thread count.
   if (options.archive != nullptr) {
-    outcome.archive_block = store::encode_site_block(outcome.log);
+    if (options.delta_base != nullptr) {
+      const int top_wave = options.delta_base->waves() - 1;
+      store::Error base_error;
+      const auto base_payload =
+          options.delta_base->payload_at(outcome.log.rank, top_wave,
+                                         &base_error);
+      // A base block that cannot be materialized (damaged chain tail)
+      // degrades this site to a self-contained raw delta instead of
+      // poisoning the whole wave.
+      std::optional<std::string_view> base_view;
+      if (base_payload) base_view = *base_payload;
+      store::WaveBlock wave_block =
+          store::make_wave_block(base_view, outcome.log);
+      if (wave_block.kind == store::WaveBlock::Kind::kInherited) {
+        outcome.archive_kind = SiteOutcome::ArchiveKind::kInherited;
+      } else {
+        outcome.archive_kind = SiteOutcome::ArchiveKind::kDelta;
+        outcome.archive_block = std::move(wave_block.block);
+      }
+    } else {
+      outcome.archive_kind = SiteOutcome::ArchiveKind::kSite;
+      outcome.archive_block = store::encode_site_block(outcome.log);
+    }
   }
   return outcome;
 }
@@ -535,9 +563,29 @@ CrawlHealth Crawler::crawl_range(
     // health, metrics, checkpoints, and the archive all agree that the
     // site is excluded (no silent divergence between the in-memory sink
     // and the on-disk block stream).
-    if (options.archive != nullptr && !outcome.archive_block.empty() &&
-        !options.archive->append_site_block(
-            outcome.log.rank, std::move(outcome.archive_block))) {
+    bool archive_failed = false;
+    if (options.archive != nullptr) {
+      switch (outcome.archive_kind) {
+        case SiteOutcome::ArchiveKind::kSite:
+          archive_failed =
+              !outcome.archive_block.empty() &&
+              !options.archive->append_site_block(
+                  outcome.log.rank, std::move(outcome.archive_block));
+          break;
+        case SiteOutcome::ArchiveKind::kDelta:
+          archive_failed = !options.archive->append_delta_block(
+              outcome.log.rank, std::move(outcome.archive_block));
+          break;
+        case SiteOutcome::ArchiveKind::kInherited:
+          // No bytes hit the medium, but a dead writer still cannot
+          // record the rank — same quarantine as a failed append.
+          archive_failed = !options.archive->add_inherited(outcome.log.rank);
+          break;
+        case SiteOutcome::ArchiveKind::kNone:
+          break;
+      }
+    }
+    if (archive_failed) {
       CrawlHealth& delta = outcome.delta;
       const fault::FailureClass prior = outcome.log.failure;
       obs::MetricsRegistry* site_metrics =

@@ -34,6 +34,7 @@
 
 #include "browser/browser.h"
 #include "corpus/corpus.h"
+#include "corpus/corpus_view.h"
 #include "ext/attribution.h"
 #include "fault/fault.h"
 #include "instrument/records.h"
@@ -43,6 +44,7 @@
 
 namespace cg::store {
 class Writer;
+class WaveChain;
 }
 
 namespace cg::crawler {
@@ -138,6 +140,18 @@ struct CrawlOptions {
   /// byte-identical at any thread count. Non-owning; the caller calls
   /// Writer::finish() after the crawl returns.
   store::Writer* archive = nullptr;
+
+  /// Longitudinal delta packing: when set (with `archive`, whose options
+  /// must say kind == kDelta and carry the chain tail's BaseProvenance),
+  /// each site's log is encoded as a wave block against this chain's
+  /// newest wave — byte-identical logs become zero-byte inherited footer
+  /// entries, changed sites become kDelta diff blocks. Base payloads are
+  /// materialized on the shard worker (the chain is immutable and
+  /// thread-safe); a base block that fails to materialize degrades the
+  /// site to a self-contained raw delta rather than poisoning the wave.
+  /// Checkpoint resume is not supported for delta packs (resume counts
+  /// site blocks only). Non-owning.
+  const store::WaveChain* delta_base = nullptr;
 };
 
 /// Aggregate crawl-pipeline accounting. Byte-identical across runs of the
@@ -191,9 +205,13 @@ struct SiteOutcome {
   /// and flushed by the merge thread in site-index order. Null when
   /// observability is off.
   std::unique_ptr<obs::LocalObs> obs;
-  /// The site's encoded CGAR block (store::encode_site_block), produced on
-  /// the shard worker when CrawlOptions::archive is set; empty otherwise.
-  /// Appended to the writer by the merge thread in site-index order.
+  /// What the shard worker encoded for the archive (merge thread appends
+  /// in site-index order): a full site block, a delta-archive block, or an
+  /// inherited rank (byte-identical to the base wave — footer entry only).
+  enum class ArchiveKind { kNone, kSite, kDelta, kInherited };
+  ArchiveKind archive_kind = ArchiveKind::kNone;
+  /// The encoded block for kSite/kDelta (store::encode_site_block /
+  /// store::make_wave_block); empty otherwise.
   std::string archive_block;
 };
 
@@ -231,7 +249,10 @@ struct CrawlCheckpoint {
 
 class Crawler {
  public:
-  explicit Crawler(const corpus::Corpus& corpus) : corpus_(corpus) {}
+  /// Any CorpusView works: a materialized Corpus, a StreamingCorpus
+  /// (1M-site crawls), or an evolve::WaveCorpus. The crawler itself never
+  /// holds more than the sites currently in flight.
+  explicit Crawler(const corpus::CorpusView& corpus) : corpus_(corpus) {}
 
   /// Visits site `index` (0-based) and returns its log. Single clean visit:
   /// the fault layer never applies here — this is the measurement content
@@ -263,7 +284,7 @@ class Crawler {
   /// schedule.
   fault::FaultPlan plan_for(const CrawlOptions& options) const;
 
-  const corpus::Corpus& corpus() const { return corpus_; }
+  const corpus::CorpusView& corpus() const { return corpus_; }
 
  private:
   CrawlHealth crawl_range(int first, int count, CrawlHealth health,
@@ -280,15 +301,18 @@ class Crawler {
       const;
 
   /// One attempt at a site: a fresh browser with the attempt's faults
-  /// armed. `clock_shift_ms` carries the accumulated retry backoff.
-  instrument::VisitLog attempt_visit(int index, const CrawlOptions& options,
+  /// armed. `clock_shift_ms` carries the accumulated retry backoff. The
+  /// caller fetches the SiteVisit once per site and reuses it across the
+  /// retry loop (one generation per site even when streaming).
+  instrument::VisitLog attempt_visit(const corpus::SiteVisit& visit,
+                                     const CrawlOptions& options,
                                      const fault::FaultDecision& decision,
                                      const std::vector<browser::Extension*>&
                                          extensions,
                                      TimeMillis clock_shift_ms,
                                      int attempt) const;
 
-  const corpus::Corpus& corpus_;
+  const corpus::CorpusView& corpus_;
 };
 
 }  // namespace cg::crawler

@@ -1,0 +1,148 @@
+#include "evolve/mutations.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "corpus/site_generator.h"
+
+namespace cg::evolve {
+namespace {
+
+/// "ga-legacy+dims" → "ga-legacy": per-deployment variants evolve as their
+/// base vendor.
+std::string base_id(const std::string& id) {
+  return id.substr(0, id.find('+'));
+}
+
+bool is_consent_manager(const corpus::Ecosystem& ecosystem,
+                        const std::string& id) {
+  const std::string base = base_id(id);
+  for (const auto& [cmp_id, share] : ecosystem.consent_managers) {
+    if (cmp_id == base) return true;
+  }
+  return false;
+}
+
+bool is_vendor(const corpus::Ecosystem& ecosystem, const std::string& id) {
+  const std::string base = base_id(id);
+  for (const auto& vendor : ecosystem.vendors) {
+    if (vendor.id == base) return true;
+  }
+  return false;
+}
+
+/// Share-weighted consent-manager pick, the same scheme the generator uses.
+std::string pick_consent_manager(const corpus::Ecosystem& ecosystem,
+                                 const corpus::CorpusParams& params,
+                                 script::Rng& rng) {
+  double roll = rng.uniform();
+  std::string cmp_id = ecosystem.consent_managers.back().first;
+  for (const auto& [id, share] : ecosystem.consent_managers) {
+    roll -= share;
+    if (roll <= 0) {
+      cmp_id = id;
+      break;
+    }
+  }
+  if (rng.chance(params.consent_decline_rate)) cmp_id += "+decline";
+  return cmp_id;
+}
+
+/// A site swaps one directly-included vendor for a competitor that is not
+/// already on the page.
+void vendor_swap(script::Rng& rng, const corpus::Ecosystem& ecosystem,
+                 corpus::SiteBlueprint& bp) {
+  auto& ids = bp.doc.script_ids;
+  std::vector<std::size_t> swappable;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (is_vendor(ecosystem, ids[i])) swappable.push_back(i);
+  }
+  if (swappable.empty()) return;
+  const std::size_t victim = swappable[rng.below(swappable.size())];
+
+  std::vector<const corpus::VendorInfo*> replacements;
+  for (const auto& vendor : ecosystem.vendors) {
+    const bool on_page =
+        std::any_of(ids.begin(), ids.end(), [&](const std::string& id) {
+          return base_id(id) == vendor.id;
+        });
+    if (!on_page) replacements.push_back(&vendor);
+  }
+  if (replacements.empty()) return;
+  ids[victim] = replacements[rng.below(replacements.size())]->id;
+}
+
+/// The consent state flips: the manager is toggled between accept/decline
+/// sweeps, replaced by a competitor, removed, or (when absent) installed.
+void consent_flip(script::Rng& rng, const corpus::Ecosystem& ecosystem,
+                  const corpus::CorpusParams& params,
+                  corpus::SiteBlueprint& bp) {
+  auto& ids = bp.doc.script_ids;
+  auto it = std::find_if(ids.begin(), ids.end(), [&](const std::string& id) {
+    return is_consent_manager(ecosystem, id);
+  });
+  if (it == ids.end()) {
+    // A manager appears: regulation pressure adds CMPs over time. The fp
+    // bundle keeps slot 0, like the generator's document order.
+    ids.insert(ids.size() > 1 ? ids.begin() + 1 : ids.end(),
+               pick_consent_manager(ecosystem, params, rng));
+    return;
+  }
+  const double roll = rng.uniform();
+  if (roll < 0.5) {
+    // The visitor's decision changes — the most common wave-over-wave flip.
+    const std::string base = base_id(*it);
+    *it = *it == base ? base + "+decline" : base;
+  } else if (roll < 0.8) {
+    const bool declined = it->find("+decline") != std::string::npos;
+    *it = pick_consent_manager(ecosystem, params, rng);
+    if (declined && it->find("+decline") == std::string::npos) {
+      *it += "+decline";
+    }
+  } else {
+    ids.erase(it);
+  }
+}
+
+/// The site's optional persistent server cookies expire and are re-issued;
+/// rates match the generator's originals.
+void cookie_renewal(script::Rng& rng, corpus::SiteBlueprint& bp) {
+  bp.http_cookie_templates.clear();
+  bp.http_cookie_templates.push_back("sid={hex:24}; Path=/; HttpOnly");
+  if (rng.chance(0.5)) {
+    bp.http_cookie_templates.push_back("region=us-east-1; Path=/");
+  }
+  if (rng.chance(0.3)) {
+    bp.http_cookie_templates.push_back(
+        "fp_srv_uid={hex:16}; Path=/; Max-Age=31536000");
+  }
+}
+
+/// The first-party bundle ships a release with a new cookie footprint.
+/// Purely-static bundles (the paper's never-touch-document.cookie sites)
+/// stay static — their share is a calibrated population statistic.
+void fp_rotation(script::Rng& rng, const corpus::CorpusParams& params,
+                 corpus::SiteBlueprint& bp, browser::ScriptCatalog& overlay) {
+  if (bp.fp_cookie_names.empty()) return;
+  bp.fp_cookie_names.clear();
+  overlay.add(corpus::make_fp_bundle(bp.rank, rng, params,
+                                     /*cookieless=*/false,
+                                     bp.fp_cookie_names));
+}
+
+}  // namespace
+
+void apply_mutations(const SiteWaveDecision& decision, script::Rng& rng,
+                     const corpus::Ecosystem& ecosystem,
+                     const corpus::CorpusParams& params,
+                     corpus::SiteBlueprint& bp,
+                     browser::ScriptCatalog& overlay) {
+  if (decision.vendor_swap) vendor_swap(rng, ecosystem, bp);
+  if (decision.consent_flip) consent_flip(rng, ecosystem, params, bp);
+  if (decision.cookie_renewal) cookie_renewal(rng, bp);
+  if (decision.fp_rotation) fp_rotation(rng, params, bp, overlay);
+}
+
+}  // namespace cg::evolve

@@ -1,0 +1,29 @@
+// The concrete per-site mutations a WavePlan decision applies.
+//
+// Each mutation edits a freshly generated (raw, untransformed) blueprint +
+// per-site catalog overlay in place, drawing every random choice from the
+// wave's mutation RNG. Mutations are applied in wave order — a vendor
+// swapped in at wave 1 can be swapped out again at wave 3 — and each
+// consumes a fixed draw pattern so the composition stays deterministic.
+#pragma once
+
+#include "browser/catalog.h"
+#include "corpus/corpus_view.h"
+#include "corpus/ecosystem.h"
+#include "corpus/params.h"
+#include "corpus/site_blueprint.h"
+#include "evolve/wave_plan.h"
+#include "script/rng.h"
+
+namespace cg::evolve {
+
+/// Applies the non-churn mutations of `decision` to `bp`/`overlay` (the
+/// site's raw per-site catalog). Call once per evolving wave, oldest first,
+/// before defer_cross_actions runs on the overlay.
+void apply_mutations(const SiteWaveDecision& decision, script::Rng& rng,
+                     const corpus::Ecosystem& ecosystem,
+                     const corpus::CorpusParams& params,
+                     corpus::SiteBlueprint& bp,
+                     browser::ScriptCatalog& overlay);
+
+}  // namespace cg::evolve

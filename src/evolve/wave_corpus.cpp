@@ -1,0 +1,61 @@
+#include "evolve/wave_corpus.h"
+
+#include <utility>
+
+#include "corpus/site_generator.h"
+#include "evolve/mutations.h"
+#include "script/rng.h"
+
+namespace cg::evolve {
+namespace {
+
+/// Generation-g occupant seed for a rank slot. g = 0 must reduce to the
+/// base corpus seed so wave 0 is byte-identical to the un-evolved corpus.
+std::uint64_t occupant_seed(std::uint64_t corpus_seed, int generation) {
+  return corpus_seed ^
+         (static_cast<std::uint64_t>(generation) * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+corpus::SiteVisit WaveCorpus::site_visit(int index) const {
+  const int rank = index + 1;
+  const auto& params = base_.params();
+
+  // One pass over the slot's history: its current generation and the wave
+  // the current occupant arrived in (mutations before that wave died with
+  // the previous occupant).
+  int generation = 0;
+  int occupant_since = 0;
+  for (int w = 1; w <= wave_; ++w) {
+    if (plan_.decide(rank, w).churned) {
+      ++generation;
+      occupant_since = w;
+    }
+  }
+
+  script::Rng site_rng = script::Rng::fork_at(
+      occupant_seed(params.seed, generation),
+      static_cast<std::uint64_t>(rank - 1), static_cast<std::uint64_t>(rank));
+  auto overlay = std::make_shared<browser::ScriptCatalog>();
+  overlay->set_parent(&base_.raw_catalog());
+  auto bp = std::make_shared<corpus::SiteBlueprint>(
+      corpus::generate_site(rank, site_rng, base_.ecosystem(), *overlay,
+                            params, generation));
+
+  // Replay the occupant's surviving mutations, oldest wave first, against
+  // the raw (untransformed) overlay.
+  for (int w = occupant_since + 1; w <= wave_; ++w) {
+    const SiteWaveDecision decision = plan_.decide(rank, w);
+    if (!decision.mutated()) continue;
+    script::Rng mutation_rng(plan_.mutation_seed(rank, w));
+    apply_mutations(decision, mutation_rng, base_.ecosystem(), params, *bp,
+                    *overlay);
+  }
+
+  overlay->transform(corpus::defer_cross_actions);
+  overlay->set_parent(&base_.cooked_catalog());
+  return corpus::SiteVisit{std::move(bp), std::move(overlay)};
+}
+
+}  // namespace cg::evolve

@@ -1,0 +1,56 @@
+// Wave N of an evolving corpus, served through the CorpusView interface.
+//
+// WaveCorpus composes a StreamingCorpus (the shared vendor ecosystem +
+// on-demand base generation) with a WavePlan (the pure evolution schedule):
+// site_visit(i) regenerates the slot's current occupant — the original site
+// for generation 0, a churn replacement otherwise — then replays every
+// surviving mutation from the occupant's first wave to this one, oldest
+// first, and only then applies defer_cross_actions. Wave 0 is byte-
+// identical to the StreamingCorpus (and therefore to the materialized
+// Corpus); a site no decision ever touched produces byte-identical
+// blueprints in every wave, which is what makes its crawled visit logs
+// byte-identical across waves and its delta-archive entry a zero-byte
+// "inherited" record (src/store/chain.h).
+#pragma once
+
+#include <memory>
+
+#include "browser/catalog.h"
+#include "corpus/corpus_view.h"
+#include "corpus/streaming_corpus.h"
+#include "evolve/wave_plan.h"
+
+namespace cg::evolve {
+
+class WaveCorpus : public corpus::CorpusView {
+ public:
+  WaveCorpus(corpus::CorpusParams corpus_params, EvolutionParams evolution,
+             int wave)
+      : base_(corpus_params),
+        plan_(evolution, corpus_params.seed),
+        wave_(wave < 0 ? 0 : wave) {}
+
+  int size() const override { return base_.size(); }
+  const corpus::CorpusParams& params() const override {
+    return base_.params();
+  }
+  const entities::EntityMap& entities() const override {
+    return base_.entities();
+  }
+
+  /// Generates the wave-`wave()` occupant of `index`'s rank slot, with all
+  /// surviving mutations applied. Thread-safe; pure in (corpus params,
+  /// evolution params, wave, index).
+  corpus::SiteVisit site_visit(int index) const override;
+
+  int wave() const { return wave_; }
+  const WavePlan& plan() const { return plan_; }
+  const corpus::StreamingCorpus& base() const { return base_; }
+
+ private:
+  corpus::StreamingCorpus base_;
+  WavePlan plan_;
+  int wave_;
+};
+
+}  // namespace cg::evolve

@@ -1,0 +1,50 @@
+#include "evolve/wave_plan.h"
+
+#include "script/rng.h"
+
+namespace cg::evolve {
+namespace {
+
+/// Per-(rank, wave) decision seed. The golden-ratio multipliers keep rank
+/// and wave contributions from cancelling (the same construction the
+/// crawler's visit_seed_for and fault::FaultPlan use).
+std::uint64_t decision_seed(std::uint64_t seed, std::uint64_t corpus_seed,
+                            int rank, int wave) {
+  return seed ^ corpus_seed ^
+         (0xE701EULL + static_cast<std::uint64_t>(rank) * 2654435761ULL +
+          static_cast<std::uint64_t>(wave) * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+SiteWaveDecision WavePlan::decide(int rank, int wave) const {
+  SiteWaveDecision d;
+  if (wave <= 0) return d;
+  script::Rng rng(decision_seed(params_.seed, corpus_seed_, rank, wave));
+  // Fixed draw order: every decision consumes exactly one draw whether or
+  // not an earlier flag fired, so the flags are independent and the
+  // schedule never shifts when a rate is tuned.
+  d.churned = rng.chance(params_.site_churn_rate);
+  d.vendor_swap = rng.chance(params_.vendor_swap_rate);
+  d.consent_flip = rng.chance(params_.consent_flip_rate);
+  d.cookie_renewal = rng.chance(params_.cookie_renewal_rate);
+  d.fp_rotation = rng.chance(params_.fp_rotation_rate);
+  return d;
+}
+
+int WavePlan::generation(int rank, int wave) const {
+  int g = 0;
+  for (int w = 1; w <= wave; ++w) {
+    if (decide(rank, w).churned) ++g;
+  }
+  return g;
+}
+
+std::uint64_t WavePlan::mutation_seed(int rank, int wave) const {
+  // Distinct stream from decide()'s: mutations must not replay the
+  // decision draws.
+  return decision_seed(params_.seed, corpus_seed_, rank, wave) ^
+         0xD1B54A32D192ED03ULL;
+}
+
+}  // namespace cg::evolve

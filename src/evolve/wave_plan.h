@@ -1,0 +1,89 @@
+// Seeded corpus evolution: the pure per-site schedule of what changes
+// between crawl waves.
+//
+// Longitudinal measurement studies the same ranking at times t0, t1, ... —
+// between waves, vendors get swapped for competitors, consent managers
+// appear/disappear or the visitor's decline decision changes, persistent
+// server cookies expire and are re-issued, first-party bundles ship
+// releases with new cookie footprints, and whole sites churn out of the
+// ranking, their rank slots re-filled by different sites.
+//
+// WavePlan is the evolution analogue of fault::FaultPlan: decide(rank,
+// wave) is a pure function of (evolution seed, corpus seed, rank, wave), so
+// wave N's corpus can be generated site-by-site, in any order, on any
+// thread count, and two independently constructed plans agree byte-for-
+// byte. Wave 0 is the base corpus; decide() describes what happened
+// *between* wave-1 and wave, so it is never consulted for wave 0.
+#pragma once
+
+#include <cstdint>
+
+namespace cg::evolve {
+
+struct EvolutionParams {
+  /// Master evolution seed; folded with the corpus seed so the same
+  /// schedule parameters evolve distinct corpora differently.
+  std::uint64_t seed = 0xE401E5ULL;
+
+  /// P(rank slot churns between consecutive waves: the occupant drops out
+  /// of the ranking and a different site takes the position). Tranco-style
+  /// lists turn over a few percent per month at the head.
+  double site_churn_rate = 0.02;
+  /// P(site swaps one directly-included vendor for a competitor).
+  double vendor_swap_rate = 0.10;
+  /// P(consent state flips: the manager is added/removed/replaced, or the
+  /// visitor's decline decision changes — which changes the sweep list the
+  /// manager deletes).
+  double consent_flip_rate = 0.04;
+  /// P(the site's optional persistent server cookies expire and are
+  /// re-rolled — Max-Age cookies renewing between waves).
+  double cookie_renewal_rate = 0.12;
+  /// P(the first-party bundle ships a release with a different cookie
+  /// footprint).
+  double fp_rotation_rate = 0.05;
+};
+
+/// What happened to one rank slot between wave-1 and wave. `churned`
+/// supersedes the mutation flags: a replacement site starts fresh, so
+/// same-wave mutations are meaningless for it (decide() still draws them —
+/// the stream consumes a fixed number of decisions per (rank, wave) so
+/// later draws never shift).
+struct SiteWaveDecision {
+  bool churned = false;
+  bool vendor_swap = false;
+  bool consent_flip = false;
+  bool cookie_renewal = false;
+  bool fp_rotation = false;
+
+  bool mutated() const {
+    return vendor_swap || consent_flip || cookie_renewal || fp_rotation;
+  }
+  bool any() const { return churned || mutated(); }
+};
+
+class WavePlan {
+ public:
+  WavePlan(EvolutionParams params, std::uint64_t corpus_seed)
+      : params_(params), corpus_seed_(corpus_seed) {}
+
+  const EvolutionParams& params() const { return params_; }
+  std::uint64_t corpus_seed() const { return corpus_seed_; }
+
+  /// The evolution step `rank` took between wave-1 and wave (wave >= 1).
+  /// Pure in (params, corpus_seed, rank, wave).
+  SiteWaveDecision decide(int rank, int wave) const;
+
+  /// Churn generation of the occupant of `rank` at `wave`: the number of
+  /// waves in [1, wave] that churned the slot. 0 = the original site.
+  int generation(int rank, int wave) const;
+
+  /// The seed the mutation RNG for (rank, wave) derives from — exposed so
+  /// WaveCorpus and tests agree on one derivation.
+  std::uint64_t mutation_seed(int rank, int wave) const;
+
+ private:
+  EvolutionParams params_;
+  std::uint64_t corpus_seed_ = 0;
+};
+
+}  // namespace cg::evolve

@@ -90,9 +90,12 @@ enum class ArchiveFault {
   kCorruptIndex,      // footer index inconsistent with the block stream
   kDuplicateSite,     // two blocks claim the same site rank
   kCorruptBlock,      // payload fails structural decode (varint, string ref)
+  kBaseMismatch,      // delta archive's recorded base provenance disagrees
+                      // with the base archive it is being resolved against
+  kDeltaUnresolved,   // delta archive visited without its base chain
 };
 
-inline constexpr int kArchiveFaultCount = 10;
+inline constexpr int kArchiveFaultCount = 12;
 
 constexpr std::string_view archive_fault_name(ArchiveFault fault) {
   switch (fault) {
@@ -116,6 +119,10 @@ constexpr std::string_view archive_fault_name(ArchiveFault fault) {
       return "duplicate_site";
     case ArchiveFault::kCorruptBlock:
       return "corrupt_block";
+    case ArchiveFault::kBaseMismatch:
+      return "base_mismatch";
+    case ArchiveFault::kDeltaUnresolved:
+      return "delta_unresolved";
   }
   return "unknown";
 }

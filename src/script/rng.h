@@ -65,6 +65,20 @@ class Rng {
     return Rng(next() ^ (key * 0x9E3779B97F4A7C15ULL) ^ kGolden2);
   }
 
+  /// The stream the k-th sequential `fork(key)` call on `Rng(seed)` would
+  /// produce (k = 0 for the first fork), computed in O(1) from SplitMix64's
+  /// closed-form state: after k calls the state is (seed ^ γ) + k·γ. This is
+  /// what lets a streaming corpus reproduce `master.fork(rank)` for any rank
+  /// without iterating the master stream — per-site generation stays a pure
+  /// function of (seed, rank) at any access order.
+  static Rng fork_at(std::uint64_t seed, std::uint64_t k, std::uint64_t key) {
+    std::uint64_t z = (seed ^ kGolden) + (k + 1) * kGolden;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return Rng(z ^ (key * kGolden) ^ kGolden2);
+  }
+
   template <typename T>
   const T& pick(const std::vector<T>& items) {
     return items[below(items.size())];

@@ -48,6 +48,8 @@ std::string_view query_kind_name(QueryKind kind) {
       return "entity";
     case QueryKind::kStats:
       return "stats";
+    case QueryKind::kWaves:
+      return "waves";
   }
   return "unknown";
 }
@@ -90,6 +92,12 @@ std::optional<Query> parse_query(std::string_view line) {
     query.entity = std::string(tokens[1]);
     return query;
   }
+  if (verb == "waves") {
+    if (tokens.size() > 2) return std::nullopt;
+    query.kind = QueryKind::kWaves;
+    if (tokens.size() == 2) query.domain = std::string(tokens[1]);
+    return query;
+  }
   return std::nullopt;
 }
 
@@ -108,6 +116,12 @@ std::string to_text(const Query& query) {
     case QueryKind::kEntity:
       out += ' ';
       out += query.entity;
+      break;
+    case QueryKind::kWaves:
+      if (!query.domain.empty()) {
+        out += ' ';
+        out += query.domain;
+      }
       break;
     default:
       break;

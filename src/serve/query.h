@@ -21,10 +21,11 @@ enum class QueryKind {
   kTopDomains,      // top-n exfiltrator domains (paper Figure 2)
   kEntity,          // one entity's cross-site footprint
   kStats,           // server introspection: cache + query counters
+  kWaves,           // per-wave trend over a loaded base+delta chain
 };
 
 /// Number of QueryKind values (for per-kind counter arrays).
-inline constexpr int kQueryKindCount = 7;
+inline constexpr int kQueryKindCount = 8;
 
 std::string_view query_kind_name(QueryKind kind);
 
@@ -33,11 +34,12 @@ struct Query {
   int rank = 0;        // kSite
   int top_n = 10;      // kTopExfiltrated / kTopDomains
   std::string entity;  // kEntity
+  std::string domain;  // kWaves: optional per-domain trend filter
 };
 
 /// Parses one line of the cgserve protocol:
 ///   site <rank> | table1 | totals | top-exfiltrated [n] |
-///   top-domains [n] | entity <name> | stats
+///   top-domains [n] | entity <name> | stats | waves [domain]
 /// Empty optional on anything else (including trailing garbage).
 std::optional<Query> parse_query(std::string_view line);
 

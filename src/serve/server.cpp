@@ -6,6 +6,7 @@
 #include "cookies/cookie.h"
 #include "entities/entity_map.h"
 #include "fault/fault.h"
+#include "store/record_codec.h"
 
 namespace cg::serve {
 namespace {
@@ -85,15 +86,47 @@ std::unique_ptr<Server> Server::from_readers(
   // Precompute the aggregates: one full fold per archive at load time, so
   // no query ever walks an archive. merge() order = load order.
   const entities::EntityMap& entities = entities::EntityMap::builtin();
-  for (const Archive& archive : server->archives_) {
-    analysis::SiteSummary summary;
-    const bool ok = archive.reader.for_each(
-        [&](instrument::VisitLog&& log) {
-          summary.merge(analysis::fold_visit(entities, {}, log));
-        },
-        error);
-    if (!ok) return nullptr;  // a corrupt corpus must not serve
-    server->aggregate_.merge(std::move(summary));
+  const bool chain_mode = std::any_of(
+      server->archives_.begin(), server->archives_.end(),
+      [](const Archive& a) {
+        return a.reader.kind() == store::ArchiveKind::kDelta;
+      });
+  if (chain_mode) {
+    // Base+delta chain: validate the linkage, then fold each wave from its
+    // materialized logs. The regular aggregate serves the newest wave.
+    std::vector<const store::Reader*> readers_in_order;
+    readers_in_order.reserve(server->archives_.size());
+    for (const Archive& archive : server->archives_) {
+      readers_in_order.push_back(&archive.reader);
+    }
+    server->chain_ = store::WaveChain::link(std::move(readers_in_order),
+                                            error);
+    if (!server->chain_) return nullptr;
+    for (int w = 0; w < server->chain_->waves(); ++w) {
+      WaveInfo info;
+      info.wave = server->chain_->archive(w).wave();
+      const bool ok = server->chain_->for_each(
+          w,
+          [&](instrument::VisitLog&& log) {
+            info.summary.merge(analysis::fold_visit(entities, {}, log));
+          },
+          error);
+      if (!ok) return nullptr;  // an unresolvable chain must not serve
+      server->waves_.push_back(std::move(info));
+    }
+    server->aggregate_ = server->waves_.back().summary;
+    server->waves_answer_ = server->build_waves();
+  } else {
+    for (const Archive& archive : server->archives_) {
+      analysis::SiteSummary summary;
+      const bool ok = archive.reader.for_each(
+          [&](instrument::VisitLog&& log) {
+            summary.merge(analysis::fold_visit(entities, {}, log));
+          },
+          error);
+      if (!ok) return nullptr;  // a corrupt corpus must not serve
+      server->aggregate_.merge(std::move(summary));
+    }
   }
 
   // Per-entity index over the merged pair map.
@@ -132,6 +165,7 @@ std::unique_ptr<Server> Server::from_readers(
 }
 
 int Server::site_count() const {
+  if (chain_) return chain_->site_count(chain_->waves() - 1);
   int n = 0;
   for (const Archive& archive : archives_) n += archive.reader.site_count();
   return n;
@@ -139,6 +173,23 @@ int Server::site_count() const {
 
 std::shared_ptr<const instrument::VisitLog> Server::load_site(
     int rank, int* archive_index, store::Error* error) const {
+  if (chain_) {
+    // Chain mode: kSite answers the newest wave, materialized through the
+    // chain. Cached under the newest wave's archive index, keyed by the
+    // materialized payload size for admission.
+    const int top = chain_->waves() - 1;
+    *archive_index = top;
+    const auto key = static_cast<std::uint32_t>(top);
+    if (auto cached = cache_.get(key, rank)) return cached;
+    const auto payload = chain_->payload_at(rank, top, error);
+    if (!payload) return nullptr;
+    auto log = store::decode_site_payload(*payload, error);
+    if (!log) return nullptr;
+    auto shared =
+        std::make_shared<const instrument::VisitLog>(std::move(*log));
+    cache_.put(key, rank, payload->size(), shared);
+    return shared;
+  }
   for (std::size_t i = 0; i < archives_.size(); ++i) {
     const Archive& archive = archives_[i];
     const store::IndexEntry* entry =
@@ -245,6 +296,66 @@ report::Json Server::build_totals() const {
   return out;
 }
 
+report::Json Server::build_waves() const {
+  report::Json rows = report::Json::array();
+  for (const WaveInfo& info : waves_) {
+    const analysis::Totals& t = info.summary.totals;
+    report::Json row = report::Json::object();
+    row["wave"] = static_cast<std::int64_t>(info.wave);
+    row["sites_crawled"] = t.sites_crawled;
+    row["sites_complete"] = t.sites_complete;
+    row["sites_with_third_party"] = t.sites_with_third_party;
+    row["third_party_scripts"] = t.third_party_script_count;
+    row["tp_cookies_set"] = t.tp_cookies_set;
+    row["fp_cookies_set"] = t.fp_cookies_set;
+    row["unique_pairs"] = static_cast<std::int64_t>(info.summary.pairs.size());
+    row["exfiltrated_pairs"] = static_cast<std::int64_t>(
+        info.summary.exfiltrated_pair_count(CookieSource::kDocumentCookie) +
+        info.summary.exfiltrated_pair_count(CookieSource::kCookieStore));
+    row["cross_overwrites"] = t.cross_overwrites;
+    row["sites_doc_exfil"] = t.sites_doc_exfil;
+    row["sites_store_exfil"] = t.sites_store_exfil;
+    rows.push_back(std::move(row));
+  }
+  report::Json out = report::Json::object();
+  out["kind"] = "waves";
+  out["waves"] = static_cast<std::int64_t>(waves_.size());
+  out["rows"] = std::move(rows);
+  return out;
+}
+
+report::Json Server::handle_waves(const Query& query) const {
+  if (waves_.empty()) {
+    return error_json(query,
+                      "no wave chain loaded — waves needs a base+delta "
+                      "archive chain");
+  }
+  if (query.domain.empty()) return waves_answer_;
+  // Per-domain trend: one map lookup per wave against the precomputed
+  // per-wave summaries.
+  report::Json rows = report::Json::array();
+  for (const WaveInfo& info : waves_) {
+    report::Json row = report::Json::object();
+    row["wave"] = static_cast<std::int64_t>(info.wave);
+    const auto it = info.summary.domains.find(query.domain);
+    const bool known = it != info.summary.domains.end();
+    row["known"] = known;
+    row["exfiltrated_pairs"] = static_cast<std::int64_t>(
+        known ? it->second.exfiltrated_pairs.size() : 0);
+    row["overwritten_pairs"] = static_cast<std::int64_t>(
+        known ? it->second.overwritten_pairs.size() : 0);
+    row["deleted_pairs"] = static_cast<std::int64_t>(
+        known ? it->second.deleted_pairs.size() : 0);
+    rows.push_back(std::move(row));
+  }
+  report::Json out = report::Json::object();
+  out["kind"] = "waves";
+  out["domain"] = query.domain;
+  out["waves"] = static_cast<std::int64_t>(waves_.size());
+  out["rows"] = std::move(rows);
+  return out;
+}
+
 report::Json Server::handle_top_exfiltrated(int n) const {
   report::Json rows = report::Json::array();
   const std::size_t take =
@@ -329,6 +440,13 @@ report::Json Server::handle(const Query& query) const {
       return handle_entity(query.entity);
     case QueryKind::kStats:
       return stats_json();
+    case QueryKind::kWaves: {
+      report::Json out = handle_waves(query);
+      if (out.find("error") != nullptr) {
+        query_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return out;
+    }
   }
   query_errors_.fetch_add(1, std::memory_order_relaxed);
   return error_json(query, "unknown query kind");
@@ -350,10 +468,19 @@ report::Json Server::stats_json() const {
     a["bytes"] = static_cast<std::int64_t>(archive.reader.file_size());
     a["corpus_seed"] =
         static_cast<std::int64_t>(archive.reader.corpus_seed());
+    a["kind"] = std::string(store::archive_kind_name(archive.reader.kind()));
+    a["policy"] =
+        std::string(store::archive_policy_name(archive.reader.policy()));
+    a["wave"] = static_cast<std::int64_t>(archive.reader.wave());
+    if (archive.reader.kind() == store::ArchiveKind::kDelta) {
+      a["inherited"] =
+          static_cast<std::int64_t>(archive.reader.inherited_ranks().size());
+    }
     archives.push_back(std::move(a));
   }
   out["archives"] = std::move(archives);
   out["sites"] = site_count();
+  if (chain_) out["waves"] = static_cast<std::int64_t>(waves_.size());
 
   report::Json queries = report::Json::object();
   for (int k = 0; k < kQueryKindCount; ++k) {

@@ -24,8 +24,15 @@
 // Multiple archives: lookups try archives in load order (first archive
 // containing the rank wins); aggregate summaries merge in load order —
 // archives packed from disjoint rank ranges of one corpus merge exactly
-// (the SiteSummary contract), which is the delta/wave use case ROADMAP
-// item 5 feeds.
+// (the SiteSummary contract).
+//
+// Wave chains: when any loaded archive is a delta archive, the load order
+// is treated as a base+delta chain (store::WaveChain validates the
+// provenance linkage). Each wave is materialized and folded at load time
+// into its own per-wave summary; the `waves` query serves the resulting
+// trend table (optionally filtered to one domain's stats), the regular
+// aggregate queries answer over the *newest* wave (the current web, not a
+// double-counted union), and kSite lookups materialize through the chain.
 #pragma once
 
 #include <array>
@@ -40,6 +47,7 @@
 #include "report/json.h"
 #include "serve/cache.h"
 #include "serve/query.h"
+#include "store/chain.h"
 #include "store/reader.h"
 
 namespace cg::serve {
@@ -79,7 +87,13 @@ class Server {
   int archive_count() const { return static_cast<int>(archives_.size()); }
   int site_count() const;
 
-  /// The merged precomputed aggregate over every loaded archive.
+  /// True when the loaded archives form a base+delta wave chain.
+  bool chain_mode() const { return chain_.has_value(); }
+  /// Number of waves in chain mode (0 otherwise).
+  int wave_count() const { return static_cast<int>(waves_.size()); }
+
+  /// The merged precomputed aggregate over every loaded archive (chain
+  /// mode: the newest wave's aggregate).
   const analysis::SiteSummary& aggregate() const { return aggregate_; }
 
   /// Answers one query. Always returns a JSON object; failures (unknown
@@ -111,10 +125,12 @@ class Server {
   report::Json handle_top_exfiltrated(int n) const;
   report::Json handle_top_domains(int n) const;
   report::Json handle_entity(const std::string& entity) const;
+  report::Json handle_waves(const Query& query) const;
 
   // Load-time renderers for the precomputed answers below.
   report::Json build_table1() const;
   report::Json build_totals() const;
+  report::Json build_waves() const;
 
   /// Decodes (archive_index, rank) through the cache. Null + error when the
   /// rank is in no archive or its block is corrupt.
@@ -122,6 +138,16 @@ class Server {
       int rank, int* archive_index, store::Error* error) const;
 
   std::vector<Archive> archives_;
+  /// Chain mode: the validated base+delta chain over archives_ (borrows
+  /// their readers; archives_ never reallocates after construction) and
+  /// one folded summary per wave, oldest first.
+  std::optional<store::WaveChain> chain_;
+  struct WaveInfo {
+    std::uint32_t wave = 0;
+    analysis::SiteSummary summary;
+  };
+  std::vector<WaveInfo> waves_;
+  report::Json waves_answer_;
   analysis::SiteSummary aggregate_;
   std::map<std::string, EntityAggregate> entity_index_;
   // Aggregate answers rendered once at load: table1/totals are returned as

@@ -41,6 +41,32 @@ std::string encode_footer_payload(const FooterInfo& info,
     prev_rank = rank;
     prev_offset = entry.offset;
   }
+
+  // Footer extension (longitudinal provenance). Always written by this
+  // writer; a legacy footer that stops at the index decodes as policy
+  // none / wave 0 / full.
+  put_varint(out, kFooterExtensionVersion);
+  out.push_back(static_cast<char>(info.policy));
+  out.push_back(static_cast<char>(info.kind));
+  put_varint(out, info.wave);
+  put_varint(out, info.evolution_seed);
+  if (info.kind == ArchiveKind::kDelta) {
+    put_varint(out, info.base.corpus_seed);
+    put_varint(out, info.base.fault_seed);
+    put_varint(out, info.base.evolution_seed);
+    out.push_back(static_cast<char>(info.base.policy));
+    put_varint(out, info.base.wave);
+    put_varint(out, info.base.site_count);
+    put_u32le(out, info.base.footer_crc);
+    put_varint(out, info.inherited_ranks.size());
+    std::uint64_t prev_inherited = 0;
+    for (std::size_t i = 0; i < info.inherited_ranks.size(); ++i) {
+      const std::uint64_t r =
+          static_cast<std::uint64_t>(info.inherited_ranks[i]);
+      put_varint(out, i == 0 ? r : r - prev_inherited);
+      prev_inherited = r;
+    }
+  }
   return out;
 }
 
@@ -66,7 +92,8 @@ std::optional<BlockFrame> decode_block(std::string_view file,
   }
   const std::uint8_t type = static_cast<std::uint8_t>(type_byte[0]);
   if (type != static_cast<std::uint8_t>(BlockType::kSite) &&
-      type != static_cast<std::uint8_t>(BlockType::kFooter)) {
+      type != static_cast<std::uint8_t>(BlockType::kFooter) &&
+      type != static_cast<std::uint8_t>(BlockType::kDelta)) {
     return fail(fault::ArchiveFault::kCorruptBlock,
                 "unknown block type " + std::to_string(type) + " at offset " +
                     std::to_string(offset));

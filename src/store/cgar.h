@@ -59,7 +59,53 @@ inline constexpr std::size_t kTrailerSize = 16;
 enum class BlockType : std::uint8_t {
   kSite = 1,
   kFooter = 2,
+  kDelta = 3,  // per-site diff against the same rank in a base archive
 };
+
+/// Which cookie-partitioning policy the crawl that produced an archive ran
+/// under. Store-side mirror of policy::PolicyKind — src/store cannot depend
+/// on src/policy (layering), but the footer must record the policy so a
+/// reader can hard-check it the same way it checks corpus/fault seeds:
+/// folding a CookieGuard archive into a none-policy trend line is exactly
+/// the silent-apples-to-oranges mistake provenance exists to catch.
+enum class ArchivePolicy : std::uint8_t {
+  kNone = 0,
+  kCookieGuard = 1,
+  kFirstPartyIsolation = 2,
+  kChips = 3,
+};
+
+constexpr std::string_view archive_policy_name(ArchivePolicy policy) {
+  switch (policy) {
+    case ArchivePolicy::kNone:
+      return "none";
+    case ArchivePolicy::kCookieGuard:
+      return "cookieguard";
+    case ArchivePolicy::kFirstPartyIsolation:
+      return "fpi";
+    case ArchivePolicy::kChips:
+      return "chips";
+  }
+  return "unknown";
+}
+
+/// Full archive (every site a self-contained kSite block) or delta archive
+/// (kDelta blocks diffed against a base archive, plus zero-byte "inherited"
+/// ranks whose visit logs are byte-identical to the base's).
+enum class ArchiveKind : std::uint8_t {
+  kFull = 0,
+  kDelta = 1,
+};
+
+constexpr std::string_view archive_kind_name(ArchiveKind kind) {
+  switch (kind) {
+    case ArchiveKind::kFull:
+      return "full";
+    case ArchiveKind::kDelta:
+      return "delta";
+  }
+  return "unknown";
+}
 
 /// Why a reader rejected an archive: taxonomy class plus a human-readable
 /// detail naming the offending offset/field.
@@ -213,13 +259,41 @@ struct IndexEntry {
   std::uint64_t length = 0;  // full framed block length (frame + payload)
 };
 
+/// A delta archive's fingerprint of the exact base it was diffed against.
+/// Chain linkage is checked field-for-field at resolve time; footer_crc
+/// (CRC32C of the base's entire footer payload) covers everything else —
+/// two archives with the same seeds but different indexes cannot swap.
+struct BaseProvenance {
+  std::uint64_t corpus_seed = 0;
+  std::uint64_t fault_seed = 0;
+  std::uint64_t evolution_seed = 0;
+  ArchivePolicy policy = ArchivePolicy::kNone;
+  std::uint32_t wave = 0;
+  std::uint32_t site_count = 0;   // base's blocks + inherited ranks
+  std::uint32_t footer_crc = 0;   // crc32c(base footer payload)
+};
+
 /// Everything the footer records besides the index itself.
+///
+/// The fields after `fault_seed` live in a footer *extension* appended
+/// after the index (guarded by an extension version). A v1 footer that
+/// ends right after its index is a legacy full archive: policy none,
+/// wave 0, no evolution — readers default the extension instead of
+/// rejecting it, so pre-extension archives stay readable.
 struct FooterInfo {
   std::uint8_t format_version = kFormatVersion;
   std::uint32_t schema_version = 0;
   std::uint64_t corpus_seed = 0;
   std::uint64_t fault_seed = 0;
+  ArchivePolicy policy = ArchivePolicy::kNone;
+  ArchiveKind kind = ArchiveKind::kFull;
+  std::uint32_t wave = 0;
+  std::uint64_t evolution_seed = 0;
+  BaseProvenance base;              // meaningful only when kind == kDelta
+  std::vector<int> inherited_ranks; // delta archives: byte-identical sites
 };
+
+inline constexpr std::uint64_t kFooterExtensionVersion = 1;
 
 /// Footer payload: version + schema + seeds + delta-encoded index. Exposed
 /// (like encode_block) so tests can craft deliberately inconsistent

@@ -6,6 +6,8 @@
 #include <limits>
 #include <utility>
 
+#include "crypto/crc32c.h"
+#include "store/delta_codec.h"
 #include "store/record_codec.h"
 
 namespace cg::store {
@@ -148,10 +150,111 @@ std::optional<Reader> Reader::from_buffer(std::string bytes, Error* error) {
     }
     reader.index_.push_back({static_cast<int>(rank), offset, length});
   }
+  // Footer extension (longitudinal provenance). A footer that ends right
+  // after its index is a legacy full archive and keeps the FooterInfo
+  // defaults: policy none, wave 0, kind full.
   if (fr.remaining() != 0) {
-    return fail(error, fault::ArchiveFault::kCorruptIndex,
-                "trailing bytes after the footer index");
+    const std::uint64_t ext_version = fr.varint();
+    if (fr.failed || ext_version != kFooterExtensionVersion) {
+      return fail(error, fault::ArchiveFault::kVersionMismatch,
+                  "footer extension v" + std::to_string(ext_version) +
+                      ", reader understands v" +
+                      std::to_string(kFooterExtensionVersion));
+    }
+    const auto policy_byte = fr.bytes(1);
+    const auto kind_byte = fr.bytes(1);
+    if (fr.failed) {
+      return fail(error, fault::ArchiveFault::kCorruptIndex,
+                  "footer extension is cut short");
+    }
+    const std::uint8_t policy = static_cast<std::uint8_t>(policy_byte[0]);
+    if (policy > static_cast<std::uint8_t>(ArchivePolicy::kChips)) {
+      return fail(error, fault::ArchiveFault::kCorruptIndex,
+                  "footer records unknown policy " + std::to_string(policy));
+    }
+    const std::uint8_t kind = static_cast<std::uint8_t>(kind_byte[0]);
+    if (kind > static_cast<std::uint8_t>(ArchiveKind::kDelta)) {
+      return fail(error, fault::ArchiveFault::kCorruptIndex,
+                  "footer records unknown archive kind " +
+                      std::to_string(kind));
+    }
+    reader.info_.policy = static_cast<ArchivePolicy>(policy);
+    reader.info_.kind = static_cast<ArchiveKind>(kind);
+    const std::uint64_t wave = fr.varint();
+    reader.info_.evolution_seed = fr.varint();
+    if (fr.failed ||
+        wave > std::numeric_limits<std::uint32_t>::max()) {
+      return fail(error, fault::ArchiveFault::kCorruptIndex,
+                  "footer extension is cut short");
+    }
+    reader.info_.wave = static_cast<std::uint32_t>(wave);
+    if (reader.info_.kind == ArchiveKind::kDelta) {
+      reader.info_.base.corpus_seed = fr.varint();
+      reader.info_.base.fault_seed = fr.varint();
+      reader.info_.base.evolution_seed = fr.varint();
+      const auto base_policy_byte = fr.bytes(1);
+      const std::uint64_t base_wave = fr.varint();
+      const std::uint64_t base_sites = fr.varint();
+      const std::uint32_t base_crc = fr.u32le();
+      const std::uint64_t inherited_count = fr.varint();
+      if (fr.failed ||
+          base_wave > std::numeric_limits<std::uint32_t>::max() ||
+          base_sites > std::numeric_limits<std::uint32_t>::max() ||
+          inherited_count > fr.remaining()) {
+        return fail(error, fault::ArchiveFault::kCorruptIndex,
+                    "footer base provenance is cut short");
+      }
+      const std::uint8_t base_policy =
+          static_cast<std::uint8_t>(base_policy_byte[0]);
+      if (base_policy > static_cast<std::uint8_t>(ArchivePolicy::kChips)) {
+        return fail(error, fault::ArchiveFault::kCorruptIndex,
+                    "footer records unknown base policy " +
+                        std::to_string(base_policy));
+      }
+      reader.info_.base.policy = static_cast<ArchivePolicy>(base_policy);
+      reader.info_.base.wave = static_cast<std::uint32_t>(base_wave);
+      reader.info_.base.site_count = static_cast<std::uint32_t>(base_sites);
+      reader.info_.base.footer_crc = base_crc;
+      reader.info_.inherited_ranks.reserve(
+          static_cast<std::size_t>(inherited_count));
+      std::uint64_t inherited_rank = 0;
+      for (std::uint64_t i = 0; i < inherited_count; ++i) {
+        const std::uint64_t delta = fr.varint();
+        if (fr.failed) {
+          return fail(error, fault::ArchiveFault::kCorruptIndex,
+                      "inherited-rank list is cut short");
+        }
+        if (i > 0 && delta == 0) {
+          return fail(error, fault::ArchiveFault::kDuplicateSite,
+                      "inherited-rank list repeats rank " +
+                          std::to_string(inherited_rank));
+        }
+        inherited_rank = i == 0 ? delta : inherited_rank + delta;
+        if (inherited_rank >
+            static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+          return fail(error, fault::ArchiveFault::kCorruptIndex,
+                      "inherited rank overflows");
+        }
+        // Inherited ranks and block ranks partition the site set: a rank
+        // that is both "unchanged" and "changed" is corrupt provenance.
+        const int r = static_cast<int>(inherited_rank);
+        const auto it = std::lower_bound(
+            reader.index_.begin(), reader.index_.end(), r,
+            [](const IndexEntry& entry, int v) { return entry.rank < v; });
+        if (it != reader.index_.end() && it->rank == r) {
+          return fail(error, fault::ArchiveFault::kDuplicateSite,
+                      "rank " + std::to_string(r) +
+                          " is both a delta block and inherited");
+        }
+        reader.info_.inherited_ranks.push_back(r);
+      }
+    }
+    if (fr.remaining() != 0) {
+      return fail(error, fault::ArchiveFault::kCorruptIndex,
+                  "trailing bytes after the footer extension");
+    }
   }
+  reader.footer_crc_ = crypto::crc32c(footer->payload);
   // Contiguity: blocks tile the file exactly. A duplicated, dropped, or
   // spliced block cannot satisfy this against any footer.
   std::uint64_t expected = kHeaderSize;
@@ -175,8 +278,8 @@ std::optional<Reader> Reader::from_buffer(std::string bytes, Error* error) {
   return reader;
 }
 
-std::optional<instrument::VisitLog> Reader::decode_entry(
-    const IndexEntry& entry, Error* error) const {
+std::optional<BlockFrame> Reader::frame_entry(const IndexEntry& entry,
+                                              Error* error) const {
   Error block_error;
   const auto frame =
       decode_block(bytes_, static_cast<std::size_t>(entry.offset),
@@ -185,7 +288,10 @@ std::optional<instrument::VisitLog> Reader::decode_entry(
     if (error != nullptr) *error = block_error;
     return std::nullopt;
   }
-  if (frame->type != BlockType::kSite || frame->total_size != entry.length) {
+  const BlockType expected = info_.kind == ArchiveKind::kDelta
+                                 ? BlockType::kDelta
+                                 : BlockType::kSite;
+  if (frame->type != expected || frame->total_size != entry.length) {
     if (error != nullptr) {
       *error = {fault::ArchiveFault::kCorruptIndex,
                 "block at offset " + std::to_string(entry.offset) +
@@ -193,21 +299,60 @@ std::optional<instrument::VisitLog> Reader::decode_entry(
     }
     return std::nullopt;
   }
-  auto log = decode_site_payload(frame->payload, error);
-  if (log && log->rank != entry.rank) {
+  // Site and delta payloads both open with their varint rank, so the
+  // payload-vs-index rank cross-check covers both kinds.
+  const auto rank = peek_site_rank(frame->payload);
+  if (!rank || *rank != entry.rank) {
     if (error != nullptr) {
       *error = {fault::ArchiveFault::kCorruptIndex,
                 "block at offset " + std::to_string(entry.offset) +
-                    " holds rank " + std::to_string(log->rank) +
+                    " holds rank " + (rank ? std::to_string(*rank) : "?") +
                     ", index claims " + std::to_string(entry.rank)};
     }
     return std::nullopt;
   }
-  return log;
+  return frame;
+}
+
+std::optional<instrument::VisitLog> Reader::decode_entry(
+    const IndexEntry& entry, Error* error) const {
+  const auto frame = frame_entry(entry, error);
+  if (!frame) return std::nullopt;
+  return decode_site_payload(frame->payload, error);
+}
+
+bool Reader::reject_unresolved_delta(Error* error) const {
+  if (info_.kind != ArchiveKind::kDelta) return false;
+  if (error != nullptr) {
+    *error = {fault::ArchiveFault::kDeltaUnresolved,
+              "delta archive (wave " + std::to_string(info_.wave) +
+                  ") — records only exist relative to a base; open the "
+                  "chain through store::WaveChain"};
+  }
+  return true;
+}
+
+std::optional<std::string_view> Reader::block_payload(int rank,
+                                                      Error* error) const {
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), rank,
+      [](const IndexEntry& entry, int r) { return entry.rank < r; });
+  if (it == index_.end() || it->rank != rank) {
+    if (error != nullptr) {
+      *error = {fault::ArchiveFault::kNone,
+                "rank " + std::to_string(rank) + " has no block here"};
+    }
+    return std::nullopt;
+  }
+  const auto frame = frame_entry(*it, error);
+  if (!frame) return std::nullopt;
+  if (error != nullptr) *error = {};
+  return frame->payload;
 }
 
 std::optional<instrument::VisitLog> Reader::visit(int rank,
                                                   Error* error) const {
+  if (reject_unresolved_delta(error)) return std::nullopt;
   const auto it = std::lower_bound(
       index_.begin(), index_.end(), rank,
       [](const IndexEntry& entry, int r) { return entry.rank < r; });
@@ -223,6 +368,7 @@ std::optional<instrument::VisitLog> Reader::visit(int rank,
 
 std::optional<instrument::VisitLog> Reader::visit_at(std::size_t i,
                                                      Error* error) const {
+  if (reject_unresolved_delta(error)) return std::nullopt;
   if (i >= index_.size()) {
     if (error != nullptr) {
       *error = {fault::ArchiveFault::kNone, "index position out of range"};
@@ -235,6 +381,7 @@ std::optional<instrument::VisitLog> Reader::visit_at(std::size_t i,
 bool Reader::for_each(
     const std::function<void(instrument::VisitLog&&)>& sink,
     Error* error) const {
+  if (reject_unresolved_delta(error)) return false;
   for (const IndexEntry& entry : index_) {
     auto log = decode_entry(entry, error);
     if (!log) return false;
@@ -247,6 +394,19 @@ bool Reader::for_each(
 std::optional<Reader::VerifyStats> Reader::verify(Error* error) const {
   VerifyStats stats;
   stats.file_bytes = bytes_.size();
+  if (info_.kind == ArchiveKind::kDelta) {
+    // Structural pass: every delta block frames, CRCs, and parses as a
+    // well-formed edit script. Record contents need the base to check.
+    for (const IndexEntry& entry : index_) {
+      const auto frame = frame_entry(entry, error);
+      if (!frame) return std::nullopt;
+      if (!validate_delta_payload(frame->payload, error)) return std::nullopt;
+      ++stats.sites;
+    }
+    stats.sites += static_cast<int>(info_.inherited_ranks.size());
+    if (error != nullptr) *error = {};
+    return stats;
+  }
   const bool ok = for_each(
       [&stats](instrument::VisitLog&& log) {
         ++stats.sites;

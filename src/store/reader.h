@@ -50,9 +50,40 @@ class Reader {
   std::uint64_t file_size() const { return bytes_.size(); }
   const std::vector<IndexEntry>& index() const { return index_; }
 
+  // ---- longitudinal provenance (footer extension; legacy archives read
+  // as policy none / wave 0 / full) ---------------------------------------
+  ArchivePolicy policy() const { return info_.policy; }
+  ArchiveKind kind() const { return info_.kind; }
+  std::uint32_t wave() const { return info_.wave; }
+  std::uint64_t evolution_seed() const { return info_.evolution_seed; }
+  const BaseProvenance& base() const { return info_.base; }
+  /// Delta archives only: ranks whose visit logs are byte-identical to the
+  /// base wave's — present in the archive's site set, absent from its
+  /// block stream. Sorted ascending, disjoint from index() ranks.
+  const std::vector<int>& inherited_ranks() const {
+    return info_.inherited_ranks;
+  }
+  /// Logical site count: blocks plus inherited ranks. Equal to
+  /// site_count() for full archives.
+  int total_site_count() const {
+    return site_count() + static_cast<int>(info_.inherited_ranks.size());
+  }
+  /// CRC32C of this archive's footer payload — what a delta diffed against
+  /// this archive records as BaseProvenance::footer_crc.
+  std::uint32_t footer_crc() const { return footer_crc_; }
+
+  /// CRC-checked framed payload of `rank`'s block (a site payload in a
+  /// full archive, an edit script in a delta archive). The view aliases
+  /// the reader's buffer. Empty optional with error.code == kNone when the
+  /// rank has no block here (absent, or inherited in a delta archive).
+  std::optional<std::string_view> block_payload(int rank,
+                                                Error* error = nullptr) const;
+
   /// Random access by site rank (binary search of the footer index). Empty
   /// optional with error.code == kNone when the rank simply is not in the
-  /// archive; a taxonomy'd code when the block is corrupt.
+  /// archive; a taxonomy'd code when the block is corrupt. Delta archives
+  /// fail kDeltaUnresolved — their records only exist relative to a base;
+  /// open the chain through store::WaveChain instead.
   std::optional<instrument::VisitLog> visit(int rank,
                                             Error* error = nullptr) const;
 
@@ -68,7 +99,10 @@ class Reader {
                 Error* error = nullptr) const;
 
   /// Full-archive validation: decodes every block. The cheap way to answer
-  /// "is this artifact intact?" before hours of analysis trust it.
+  /// "is this artifact intact?" before hours of analysis trust it. Delta
+  /// archives are checked structurally (frame, CRC, op-stream shape) —
+  /// sites counts blocks + inherited ranks, record_count stays 0 because
+  /// records only materialize against the base.
   struct VerifyStats {
     int sites = 0;
     std::uint64_t file_bytes = 0;
@@ -81,10 +115,14 @@ class Reader {
 
   std::optional<instrument::VisitLog> decode_entry(const IndexEntry& entry,
                                                    Error* error) const;
+  std::optional<BlockFrame> frame_entry(const IndexEntry& entry,
+                                        Error* error) const;
+  bool reject_unresolved_delta(Error* error) const;
 
   std::string bytes_;
   FooterInfo info_;
   std::vector<IndexEntry> index_;
+  std::uint32_t footer_crc_ = 0;
 };
 
 }  // namespace cg::store

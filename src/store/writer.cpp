@@ -47,7 +47,9 @@ Writer::Writer(std::unique_ptr<ByteSink> sink, WriterOptions options,
       options_(options),
       index_(std::move(prefix.index)),
       bytes_(prefix.bytes),
-      synced_bytes_(prefix.bytes) {}
+      synced_bytes_(prefix.bytes) {
+  if (!index_.empty()) last_rank_ = index_.back().rank;
+}
 
 Writer::~Writer() {
   // Deliberately no auto-finish: an unfinished archive (no footer) is the
@@ -240,14 +242,35 @@ bool Writer::add(const instrument::VisitLog& log) {
   return append_site_block(log.rank, encode_site_block(log));
 }
 
+void Writer::note_rank(int rank) {
+  if (!index_.empty() || !inherited_.empty()) {
+    if (rank <= last_rank_) rank_order_violated_ = true;
+  }
+  last_rank_ = rank;
+}
+
 bool Writer::append_site_block(int rank, std::string&& block) {
   if (dead_) return false;
-  if (!index_.empty() && rank <= index_.back().rank) {
-    rank_order_violated_ = true;
-  }
+  note_rank(rank);
   const std::uint64_t offset = bytes_;
   if (!append_bytes(block, "site block")) return false;
   index_.push_back({rank, offset, block.size()});
+  return true;
+}
+
+bool Writer::append_delta_block(int rank, std::string&& block) {
+  if (dead_) return false;
+  note_rank(rank);
+  const std::uint64_t offset = bytes_;
+  if (!append_bytes(block, "delta block")) return false;
+  index_.push_back({rank, offset, block.size()});
+  return true;
+}
+
+bool Writer::add_inherited(int rank) {
+  if (dead_) return false;
+  note_rank(rank);
+  inherited_.push_back(rank);
   return true;
 }
 
@@ -312,6 +335,14 @@ bool Writer::finish(Error* error) {
   info.schema_version = instrument::kVisitLogSchemaVersion;
   info.corpus_seed = options_.corpus_seed;
   info.fault_seed = options_.fault_seed;
+  info.policy = options_.policy;
+  info.kind = options_.kind;
+  info.wave = options_.wave;
+  info.evolution_seed = options_.evolution_seed;
+  if (options_.kind == ArchiveKind::kDelta) {
+    info.base = options_.base;
+    info.inherited_ranks = inherited_;
+  }
   const std::uint64_t footer_offset = bytes_;
   if (!append_bytes(
           encode_block(BlockType::kFooter, encode_footer_payload(info, index_)),

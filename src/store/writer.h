@@ -77,6 +77,15 @@ struct WriterOptions {
   /// the corpus an analysis is about to run with.
   std::uint64_t corpus_seed = 0;
   std::uint64_t fault_seed = 0;  // 0 = crawl ran with faults disabled
+  /// Longitudinal provenance (footer extension). The partitioning policy
+  /// the crawl ran under is hard provenance, same as the seeds.
+  ArchivePolicy policy = ArchivePolicy::kNone;
+  ArchiveKind kind = ArchiveKind::kFull;
+  std::uint32_t wave = 0;
+  std::uint64_t evolution_seed = 0;  // 0 = corpus does not evolve
+  /// Required when kind == kDelta: the exact base wave this archive's
+  /// deltas and inherited ranks resolve against.
+  BaseProvenance base;
   IoRetryPolicy io;
   /// Receives the I/O error-budget counters (io.*). Non-owning; must be
   /// driven from the writer's (merge) thread only.
@@ -151,6 +160,17 @@ class Writer {
   /// the caller decides whether to quarantine the site or abort.
   bool append_site_block(int rank, std::string&& block);
 
+  /// Delta archives (kind == kDelta): appends a pre-framed kDelta block
+  /// (from make_wave_block / encode_wave_block). Same healing and
+  /// rank-order contract as append_site_block; site, delta, and inherited
+  /// ranks share one strictly-increasing order.
+  bool append_delta_block(int rank, std::string&& block);
+
+  /// Delta archives: records `rank` as inherited — byte-identical to the
+  /// base wave, so it costs zero archive bytes and only a footer entry.
+  /// Cannot fail on I/O (nothing is written until finish()).
+  bool add_inherited(int rank);
+
   /// Durability barrier before a checkpoint is emitted: flush + sync with
   /// the same retry budget, healing fsync loss by rewriting the unsynced
   /// tail when buffer_unsynced is on. A checkpoint emitted after this
@@ -165,6 +185,9 @@ class Writer {
   bool finish(Error* error = nullptr);
 
   int sites_written() const { return static_cast<int>(index_.size()); }
+  int inherited_written() const {
+    return static_cast<int>(inherited_.size());
+  }
   /// Bytes emitted so far (header + site blocks; footer/trailer only after
   /// finish()). A crawl checkpoint records this for resume verification.
   std::uint64_t bytes_written() const { return bytes_; }
@@ -190,9 +213,15 @@ class Writer {
 
   void count_metric(std::string_view name, std::int64_t delta = 1);
 
+  /// Tracks the shared rank order across site blocks, delta blocks, and
+  /// inherited ranks; violations surface at finish().
+  void note_rank(int rank);
+
   std::unique_ptr<ByteSink> sink_;
   WriterOptions options_;
   std::vector<IndexEntry> index_;
+  std::vector<int> inherited_;  // delta archives: zero-byte ranks
+  int last_rank_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t synced_bytes_ = 0;
   std::string unsynced_;  // bytes since last sync, when buffer_unsynced

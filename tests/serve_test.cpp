@@ -18,6 +18,7 @@
 #include "serve/query.h"
 #include "serve/server.h"
 #include "serve/workload.h"
+#include "store/delta_codec.h"
 #include "store/reader.h"
 #include "store/writer.h"
 
@@ -117,6 +118,22 @@ TEST(QueryParseTest, RoundTripsEveryKind) {
     ASSERT_TRUE(again.has_value());
     EXPECT_EQ(to_text(*again), line);
   }
+}
+
+TEST(QueryParseTest, WavesQueriesRoundTrip) {
+  const auto bare = parse_query("waves");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->kind, QueryKind::kWaves);
+  EXPECT_TRUE(bare->domain.empty());
+  EXPECT_EQ(to_text(*bare), "waves");
+
+  const auto filtered = parse_query("waves tracker.net");
+  ASSERT_TRUE(filtered.has_value());
+  EXPECT_EQ(filtered->kind, QueryKind::kWaves);
+  EXPECT_EQ(filtered->domain, "tracker.net");
+  EXPECT_EQ(to_text(*filtered), "waves tracker.net");
+
+  EXPECT_FALSE(parse_query("waves a b").has_value());
 }
 
 TEST(QueryParseTest, DefaultsAndRejects) {
@@ -376,6 +393,147 @@ TEST(ServerTest, TwoArchivesMergeInLoadOrder) {
   q.kind = QueryKind::kSite;
   q.rank = 3;
   EXPECT_EQ(server->handle_text(q), single->handle_text(q));
+}
+
+// ---- wave chains ----------------------------------------------------------
+
+/// Crawls `corpus` keeping the logs, so a second wave can be derived by
+/// mutating them (serve_test builds its chain from store primitives — the
+/// evolution engine itself is covered in evolve_test).
+std::vector<instrument::VisitLog> crawl_logs(const corpus::Corpus& corpus) {
+  crawler::Crawler crawler(corpus);
+  std::vector<instrument::VisitLog> logs;
+  crawler.crawl(corpus.size(), crawler::CrawlOptions{},
+                [&](instrument::VisitLog&& log) {
+                  logs.push_back(std::move(log));
+                });
+  return logs;
+}
+
+store::WriterOptions wave0_options(const corpus::Corpus& corpus) {
+  crawler::Crawler crawler(corpus);
+  store::WriterOptions options;
+  options.corpus_seed = corpus.params().seed;
+  const fault::FaultPlan plan = crawler.plan_for(crawler::CrawlOptions{});
+  options.fault_seed = plan.enabled() ? plan.params().seed : 0;
+  return options;
+}
+
+TEST(ServerTest, WaveChainServesTrendsAndNewestAggregate) {
+  corpus::Corpus corpus(small_params(20));
+  const auto logs = crawl_logs(corpus);
+  ASSERT_EQ(logs.size(), 20u);
+
+  // Wave 0: a full archive of the crawl.
+  const store::WriterOptions base_options = wave0_options(corpus);
+  std::ostringstream w0_sink;
+  {
+    store::Writer writer(&w0_sink, base_options);
+    for (const auto& log : logs) writer.add(log);
+    ASSERT_TRUE(writer.finish());
+  }
+  store::Error error;
+  auto base = store::Reader::from_buffer(w0_sink.str(), &error);
+  ASSERT_TRUE(base.has_value()) << error.to_string();
+
+  // Wave 1: one site's requests disappear; everything else inherits.
+  auto wave1 = logs;
+  wave1[1].requests.clear();
+  store::WriterOptions delta_options = base_options;
+  delta_options.kind = store::ArchiveKind::kDelta;
+  delta_options.wave = 1;
+  delta_options.base.corpus_seed = base->corpus_seed();
+  delta_options.base.fault_seed = base->fault_seed();
+  delta_options.base.evolution_seed = base->evolution_seed();
+  delta_options.base.policy = base->policy();
+  delta_options.base.wave = base->wave();
+  delta_options.base.site_count =
+      static_cast<std::uint32_t>(base->total_site_count());
+  delta_options.base.footer_crc = base->footer_crc();
+  std::ostringstream w1_sink;
+  {
+    store::Writer writer(&w1_sink, delta_options);
+    for (const auto& log : wave1) {
+      auto block = store::encode_wave_block(*base, log, &error);
+      ASSERT_TRUE(block.has_value()) << error.to_string();
+      if (block->kind == store::WaveBlock::Kind::kInherited) {
+        ASSERT_TRUE(writer.add_inherited(log.rank));
+      } else {
+        ASSERT_TRUE(writer.append_delta_block(log.rank,
+                                              std::move(block->block)));
+      }
+    }
+    ASSERT_TRUE(writer.finish());
+  }
+
+  // A delta among the loaded archives switches the server to chain mode.
+  auto delta = store::Reader::from_buffer(w1_sink.str(), &error);
+  ASSERT_TRUE(delta.has_value()) << error.to_string();
+  std::vector<store::Reader> readers;
+  readers.push_back(std::move(*base));
+  readers.push_back(std::move(*delta));
+  const auto server = Server::from_readers(std::move(readers), {}, &error);
+  ASSERT_NE(server, nullptr) << error.to_string();
+  EXPECT_EQ(server->archive_count(), 2);
+  EXPECT_EQ(server->site_count(), 20);
+
+  // The trend table has one row per wave, in wave order.
+  Query waves_query;
+  waves_query.kind = QueryKind::kWaves;
+  const auto trend = server->handle(waves_query);
+  EXPECT_EQ(trend.find("waves")->as_int(), 2);
+  const report::Json* rows = trend.find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(rows->at(0).find("wave")->as_int(), 0);
+  EXPECT_EQ(rows->at(1).find("wave")->as_int(), 1);
+
+  // Per-domain trends answer for every wave too, known or not.
+  waves_query.domain = "no-such-domain.example";
+  const auto filtered = server->handle(waves_query);
+  ASSERT_EQ(filtered.find("rows")->size(), 2u);
+  EXPECT_FALSE(filtered.find("rows")->at(0).find("known")->as_bool(true));
+
+  // The aggregate serves the NEWEST wave: identical to a server over an
+  // independently packed full archive of the wave-1 logs, and per-site
+  // queries materialize rank 2 through the chain.
+  store::WriterOptions full1_options = base_options;
+  full1_options.wave = 1;
+  std::ostringstream full1_sink;
+  {
+    store::Writer writer(&full1_sink, full1_options);
+    for (const auto& log : wave1) writer.add(log);
+    ASSERT_TRUE(writer.finish());
+  }
+  const auto reference = server_over(full1_sink.str());
+  for (const auto kind : {QueryKind::kTable1, QueryKind::kTotals}) {
+    Query q;
+    q.kind = kind;
+    EXPECT_EQ(server->handle_text(q), reference->handle_text(q));
+  }
+  Query site_query;
+  site_query.kind = QueryKind::kSite;
+  site_query.rank = 2;
+  // Only the serving-archive index may differ from the reference answer:
+  // the chain serves rank 2 from the delta (archive 1), the full pack from
+  // its single archive (archive 0). Records and fold must be identical.
+  const auto chain_site = server->handle(site_query);
+  const auto full_site = reference->handle(site_query);
+  EXPECT_EQ(chain_site.find("archive")->as_int(), 1);
+  EXPECT_EQ(chain_site.find("records")->dump(),
+            full_site.find("records")->dump());
+  EXPECT_EQ(chain_site.find("analysis")->dump(),
+            full_site.find("analysis")->dump());
+  EXPECT_EQ(chain_site.find("records")->find("requests")->as_int(), 0);
+}
+
+TEST(ServerTest, WavesQueryWithoutAChainIsAnErrorAnswer) {
+  corpus::Corpus corpus(small_params(10));
+  const auto server = server_over(packed_archive(corpus));
+  Query q;
+  q.kind = QueryKind::kWaves;
+  const auto answer = server->handle(q);
+  ASSERT_NE(answer.find("error"), nullptr);
 }
 
 TEST(ServerTest, RejectsCorruptArchive) {

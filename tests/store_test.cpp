@@ -1,6 +1,7 @@
 // CGAR store tests: codec round-trips, archive determinism across thread
-// counts, analysis-from-archive equivalence, footer/version rejection, and
-// checkpoint resume producing a byte-identical archive.
+// counts, analysis-from-archive equivalence, footer/version rejection,
+// delta archives (codec, wave chains, splice rejection), and checkpoint
+// resume producing a byte-identical archive.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -15,7 +16,10 @@
 #include "corpus/corpus.h"
 #include "crawler/crawler.h"
 #include "report/report.h"
+#include "script/rng.h"
 #include "store/cgar.h"
+#include "store/chain.h"
+#include "store/delta_codec.h"
 #include "store/reader.h"
 #include "store/record_codec.h"
 #include "store/writer.h"
@@ -497,6 +501,288 @@ TEST(StoreRejectionTest, DuplicatedBlockCannotAgreeWithAnyFooter) {
                             static_cast<std::size_t>(entry.length)));
   EXPECT_FALSE(Reader::from_buffer(dup, &error).has_value());
   EXPECT_NE(error.code, fault::ArchiveFault::kNone);
+}
+
+// ---- delta archives ------------------------------------------------------
+
+/// Three synthetic wave-0 logs (ranks 1..3); wave 1 keeps rank 1
+/// byte-identical, drifts rank 2 slightly, and rewrites rank 3 heavily.
+std::vector<instrument::VisitLog> wave0_logs() {
+  std::vector<instrument::VisitLog> logs;
+  for (int rank = 1; rank <= 3; ++rank) {
+    instrument::VisitLog log = dense_log();
+    log.rank = rank;
+    log.site_host = "www.site" + std::to_string(rank) + ".com";
+    log.site = "site" + std::to_string(rank) + ".com";
+    logs.push_back(std::move(log));
+  }
+  return logs;
+}
+
+std::vector<instrument::VisitLog> wave1_logs() {
+  auto logs = wave0_logs();
+  logs[1].script_sets[0].value = "GA1.2.999.999";  // small drift
+  logs[2].requests.clear();                        // heavy rewrite
+  logs[2].reads.clear();
+  logs[2].includes.clear();
+  return logs;
+}
+
+std::string pack_full(const std::vector<instrument::VisitLog>& logs,
+                      WriterOptions options = {}) {
+  std::ostringstream out;
+  Writer writer(&out, options);
+  for (const auto& log : logs) writer.add(log);
+  Error error;
+  EXPECT_TRUE(writer.finish(&error)) << error.to_string();
+  return out.str();
+}
+
+/// WriterOptions for the next delta wave, with BaseProvenance copied from
+/// the chain tail — what `cgsim pack --base` records.
+WriterOptions delta_options_for(const Reader& tail, std::uint32_t wave) {
+  WriterOptions options;
+  options.corpus_seed = tail.corpus_seed();
+  options.fault_seed = tail.fault_seed();
+  options.kind = ArchiveKind::kDelta;
+  options.wave = wave;
+  options.evolution_seed = tail.evolution_seed();
+  options.base.corpus_seed = tail.corpus_seed();
+  options.base.fault_seed = tail.fault_seed();
+  options.base.evolution_seed = tail.evolution_seed();
+  options.base.policy = tail.policy();
+  options.base.wave = tail.wave();
+  options.base.site_count =
+      static_cast<std::uint32_t>(tail.total_site_count());
+  options.base.footer_crc = tail.footer_crc();
+  return options;
+}
+
+std::string pack_delta(const Reader& base,
+                       const std::vector<instrument::VisitLog>& logs,
+                       std::uint32_t wave) {
+  std::ostringstream out;
+  Writer writer(&out, delta_options_for(base, wave));
+  for (const auto& log : logs) {
+    Error error;
+    auto block = encode_wave_block(base, log, &error);
+    EXPECT_TRUE(block.has_value()) << error.to_string();
+    if (!block) continue;
+    if (block->kind == WaveBlock::Kind::kInherited) {
+      writer.add_inherited(log.rank);
+    } else {
+      writer.append_delta_block(log.rank, std::move(block->block));
+    }
+  }
+  Error error;
+  EXPECT_TRUE(writer.finish(&error)) << error.to_string();
+  return out.str();
+}
+
+TEST(DeltaCodecTest, DiffAppliesBackToTargetAndPinsItsBase) {
+  const std::string base = encode_site_payload(wave0_logs()[1]);
+  const std::string target = encode_site_payload(wave1_logs()[1]);
+  const std::string delta = encode_delta_payload(2, base, target);
+  EXPECT_LT(delta.size(), target.size());  // a drifted site compresses
+  Error error;
+  EXPECT_TRUE(validate_delta_payload(delta, &error)) << error.to_string();
+  const auto applied = apply_delta_payload(delta, base, &error);
+  ASSERT_TRUE(applied.has_value()) << error.to_string();
+  EXPECT_EQ(*applied, target);
+
+  // The recorded CRC pins the exact base bytes the ops were computed
+  // against: any other base is a splice, kBaseMismatch.
+  std::string other = base;
+  other[other.size() / 2] = static_cast<char>(other[other.size() / 2] ^ 0x20);
+  EXPECT_FALSE(apply_delta_payload(delta, other, &error).has_value());
+  EXPECT_EQ(error.code, fault::ArchiveFault::kBaseMismatch);
+}
+
+TEST(DeltaCodecTest, RawModeIsSelfContained) {
+  const std::string target = encode_site_payload(wave1_logs()[2]);
+  const std::string raw = encode_raw_delta_payload(3, target);
+  Error error;
+  // Raw deltas apply against no base at all.
+  const auto applied =
+      apply_delta_payload(raw, std::string_view{}, &error);
+  ASSERT_TRUE(applied.has_value()) << error.to_string();
+  EXPECT_EQ(*applied, target);
+}
+
+TEST(DeltaCodecTest, MutatedDeltasNeverCrashTheDecoder) {
+  const std::string base = encode_site_payload(wave0_logs()[1]);
+  const std::string target = encode_site_payload(wave1_logs()[1]);
+  const std::string delta = encode_delta_payload(2, base, target);
+  script::Rng rng(0xDE17A);
+  for (int i = 0; i < 4000; ++i) {
+    std::string bad = delta;
+    const int edits = 1 + static_cast<int>(rng.below(4));
+    for (int e = 0; e < edits; ++e) {
+      bad[rng.below(bad.size())] =
+          static_cast<char>(rng.below(256));
+    }
+    Error error;
+    const auto applied = apply_delta_payload(bad, base, &error);
+    if (bad == delta) {
+      EXPECT_TRUE(applied.has_value());
+    } else if (!applied.has_value()) {
+      EXPECT_NE(error.code, fault::ArchiveFault::kNone);
+    }
+    validate_delta_payload(bad);  // must not crash either
+  }
+}
+
+TEST(WaveChainTest, ChainMaterializesEveryWaveExactly) {
+  WriterOptions w0_options;
+  w0_options.corpus_seed = 7;
+  const std::string w0 = pack_full(wave0_logs(), w0_options);
+  Error error;
+  const auto base = Reader::from_buffer(w0, &error);
+  ASSERT_TRUE(base.has_value()) << error.to_string();
+  const std::string w1 = pack_delta(*base, wave1_logs(), 1);
+  const auto delta = Reader::from_buffer(w1, &error);
+  ASSERT_TRUE(delta.has_value()) << error.to_string();
+  EXPECT_EQ(delta->kind(), ArchiveKind::kDelta);
+  EXPECT_EQ(delta->wave(), 1u);
+  EXPECT_EQ(delta->inherited_ranks(), (std::vector<int>{1}));
+  EXPECT_EQ(delta->site_count(), 2);        // physical blocks
+  EXPECT_EQ(delta->total_site_count(), 3);  // + inherited
+  EXPECT_LT(w1.size(), w0.size());
+
+  const auto chain = WaveChain::link({&*base, &*delta}, &error);
+  ASSERT_TRUE(chain.has_value()) << error.to_string();
+  ASSERT_EQ(chain->waves(), 2);
+  const auto expect_wave =
+      [&](int wave, const std::vector<instrument::VisitLog>& logs) {
+        for (const auto& log : logs) {
+          Error wave_error;
+          const auto payload =
+              chain->payload_at(log.rank, wave, &wave_error);
+          ASSERT_TRUE(payload.has_value()) << wave_error.to_string();
+          EXPECT_EQ(*payload, encode_site_payload(log))
+              << "wave " << wave << " rank " << log.rank;
+        }
+      };
+  expect_wave(0, wave0_logs());
+  expect_wave(1, wave1_logs());
+
+  // Streaming a wave visits every logical rank in order — blocks and
+  // inherited alike.
+  std::vector<int> ranks;
+  EXPECT_TRUE(chain->for_each(
+      1, [&](instrument::VisitLog&& log) { ranks.push_back(log.rank); },
+      &error))
+      << error.to_string();
+  EXPECT_EQ(ranks, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(WaveChainTest, DeltaVisitsRequireTheChain) {
+  const std::string w0 = pack_full(wave0_logs());
+  Error error;
+  const auto base = Reader::from_buffer(w0, &error);
+  ASSERT_TRUE(base.has_value());
+  const std::string w1 = pack_delta(*base, wave1_logs(), 1);
+  const auto delta = Reader::from_buffer(w1, &error);
+  ASSERT_TRUE(delta.has_value());
+
+  // Direct visits on a delta archive cannot materialize records.
+  EXPECT_FALSE(delta->visit(2, &error).has_value());
+  EXPECT_EQ(error.code, fault::ArchiveFault::kDeltaUnresolved);
+  EXPECT_FALSE(delta->for_each([](instrument::VisitLog&&) {}, &error));
+  EXPECT_EQ(error.code, fault::ArchiveFault::kDeltaUnresolved);
+
+  // A chain that does not start with a full archive is unresolvable.
+  EXPECT_FALSE(WaveChain::link({&*delta}, &error).has_value());
+  EXPECT_EQ(error.code, fault::ArchiveFault::kDeltaUnresolved);
+
+  // verify() still CRC-walks the delta structurally.
+  const auto stats = delta->verify(&error);
+  ASSERT_TRUE(stats.has_value()) << error.to_string();
+  EXPECT_EQ(stats->sites, 3);  // blocks + inherited
+}
+
+TEST(WaveChainTest, SplicedAndRepackedBasesAreRejected) {
+  WriterOptions w0_options;
+  w0_options.corpus_seed = 7;
+  const std::string w0 = pack_full(wave0_logs(), w0_options);
+  Error error;
+  const auto base = Reader::from_buffer(w0, &error);
+  ASSERT_TRUE(base.has_value());
+  const std::string w1 = pack_delta(*base, wave1_logs(), 1);
+  const auto delta = Reader::from_buffer(w1, &error);
+  ASSERT_TRUE(delta.has_value());
+
+  // Same logs, different corpus seed: provenance disagrees.
+  WriterOptions other_options;
+  other_options.corpus_seed = 8;
+  const std::string other = pack_full(wave0_logs(), other_options);
+  const auto other_base = Reader::from_buffer(other, &error);
+  ASSERT_TRUE(other_base.has_value());
+  EXPECT_FALSE(WaveChain::link({&*other_base, &*delta}, &error).has_value());
+  EXPECT_EQ(error.code, fault::ArchiveFault::kBaseMismatch);
+
+  // Same provenance fields but re-packed content: the base footer CRC
+  // disagrees, so the splice is caught before any record decodes.
+  const std::string repacked = pack_full(wave1_logs(), w0_options);
+  const auto repacked_base = Reader::from_buffer(repacked, &error);
+  ASSERT_TRUE(repacked_base.has_value());
+  EXPECT_FALSE(
+      WaveChain::link({&*repacked_base, &*delta}, &error).has_value());
+  EXPECT_EQ(error.code, fault::ArchiveFault::kBaseMismatch);
+}
+
+TEST(StoreRejectionTest, LegacyFooterWithoutExtensionDecodesAsDefaults) {
+  const std::string archive = pack_full(wave0_logs());
+  Error error;
+  const auto reader = Reader::from_buffer(archive, &error);
+  ASSERT_TRUE(reader.has_value());
+  const std::uint64_t footer_offset = [&] {
+    ByteReader trailer(std::string_view(archive).substr(
+        archive.size() - kTrailerSize, 8));
+    return trailer.u64le();
+  }();
+
+  // Re-encode the footer the way a pre-extension writer did: version,
+  // schema, seeds, index — and nothing after the index.
+  std::string legacy;
+  legacy.push_back(static_cast<char>(kFormatVersion));
+  put_varint(legacy, reader->schema_version());
+  put_varint(legacy, reader->corpus_seed());
+  put_varint(legacy, reader->fault_seed());
+  put_varint(legacy, reader->index().size());
+  std::uint64_t prev_rank = 0;
+  std::uint64_t prev_offset = 0;
+  bool first = true;
+  for (const IndexEntry& entry : reader->index()) {
+    const auto rank = static_cast<std::uint64_t>(entry.rank);
+    put_varint(legacy, first ? rank : rank - prev_rank);
+    put_varint(legacy, first ? entry.offset : entry.offset - prev_offset);
+    put_varint(legacy, entry.length);
+    prev_rank = rank;
+    prev_offset = entry.offset;
+    first = false;
+  }
+  std::string spliced = archive.substr(0, footer_offset);
+  spliced += encode_block(BlockType::kFooter, legacy);
+  spliced += encode_trailer(footer_offset);
+
+  const auto legacy_reader = Reader::from_buffer(spliced, &error);
+  ASSERT_TRUE(legacy_reader.has_value()) << error.to_string();
+  EXPECT_EQ(legacy_reader->policy(), ArchivePolicy::kNone);
+  EXPECT_EQ(legacy_reader->kind(), ArchiveKind::kFull);
+  EXPECT_EQ(legacy_reader->wave(), 0u);
+  EXPECT_EQ(legacy_reader->evolution_seed(), 0u);
+  EXPECT_TRUE(legacy_reader->visit(2, &error).has_value())
+      << error.to_string();
+
+  // An unknown extension version, by contrast, is a hard version error.
+  std::string future = legacy;
+  put_varint(future, kFooterExtensionVersion + 1);
+  std::string future_spliced = archive.substr(0, footer_offset);
+  future_spliced += encode_block(BlockType::kFooter, future);
+  future_spliced += encode_trailer(footer_offset);
+  EXPECT_FALSE(Reader::from_buffer(future_spliced, &error).has_value());
+  EXPECT_EQ(error.code, fault::ArchiveFault::kVersionMismatch);
 }
 
 TEST(StoreRejectionTest, WriterRefusesOutOfOrderRanks) {

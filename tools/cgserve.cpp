@@ -44,7 +44,8 @@ int usage() {
                "               [--query LINE...] [--timing] [--metrics FILE]\n"
                "               [--cache-entries N]\n"
                "queries: site <rank> | table1 | totals | top-exfiltrated [n]\n"
-               "         | top-domains [n] | entity <name> | stats\n");
+               "         | top-domains [n] | entity <name> | stats\n"
+               "         | waves [domain]   (base+delta archive chains)\n");
   return 2;
 }
 
