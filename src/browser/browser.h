@@ -31,7 +31,7 @@ class Page;
 /// connect timeouts — so callers get a page *or* a failure class, never an
 /// unconditional page. Pointer-like accessors keep the happy path reading
 /// as before: `auto page = browser.navigate(url); page->simulate_scroll();`.
-struct NavigationResult {
+struct [[nodiscard]] NavigationResult {
   std::unique_ptr<Page> page;
   fault::FailureClass failure = fault::FailureClass::kNone;
 

@@ -333,7 +333,12 @@ instrument::VisitLog Crawler::attempt_visit(
       case fault::FailureClass::kSubresourceFailure:
         log.failure = decision.cls;
         break;
-      default:
+      case fault::FailureClass::kNone:
+      case fault::FailureClass::kDnsFailure:       // visit died before logging
+      case fault::FailureClass::kConnectTimeout:   // visit died before logging
+      case fault::FailureClass::kDeadlineExceeded: // recorded by the deadline path
+      case fault::FailureClass::kIncompleteLogs:   // diagnosed by the net below
+      case fault::FailureClass::kStorageFailure:   // assigned at archive-write time
         break;
     }
   }

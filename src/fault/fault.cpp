@@ -155,7 +155,12 @@ net::TransportVerdict VisitFaults::on_request(
         return {net::NetError::kConnectionReset, 0};
       }
       break;
-    default:
+    case FailureClass::kNone:
+    case FailureClass::kDnsFailure:       // injected at resolve, not transport
+    case FailureClass::kTruncatedHeaders: // acts in on_response
+    case FailureClass::kExtensionCrash:   // acts in the recorder channel
+    case FailureClass::kIncompleteLogs:   // diagnosis, never injected
+    case FailureClass::kStorageFailure:   // archive write path, not transport
       break;
   }
   return {};

@@ -37,6 +37,87 @@ std::string default_module(std::string_view path) {
 
 }  // namespace
 
+std::optional<NameRegistry> NameRegistry::parse(std::string_view text,
+                                                std::string* error) {
+  NameRegistry registry;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const auto words = split_words(raw);
+    if (words.empty()) continue;
+    if (words.size() != 1) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) +
+                 ": expected one name per line";
+      }
+      return std::nullopt;
+    }
+    const std::string& entry = words[0];
+    if (entry == "*" || entry.find('*') < entry.size() - 1) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) +
+                 ": '*' is only valid as a trailing wildcard";
+      }
+      return std::nullopt;
+    }
+    if (entry.back() == '*') {
+      registry.wildcard_stems_.push_back(entry.substr(0, entry.size() - 1));
+    } else {
+      registry.exact_.insert(entry);
+    }
+    registry.entries_.push_back(entry);
+  }
+  std::sort(registry.entries_.begin(), registry.entries_.end());
+  registry.entries_.erase(
+      std::unique(registry.entries_.begin(), registry.entries_.end()),
+      registry.entries_.end());
+  std::sort(registry.wildcard_stems_.begin(), registry.wildcard_stems_.end());
+  return registry;
+}
+
+std::optional<NameRegistry> NameRegistry::load(const std::string& file,
+                                               std::string* error) {
+  std::ifstream in(file);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open registry file: " + file;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), error);
+}
+
+bool NameRegistry::matches(std::string_view name,
+                           std::string* matched_entry) const {
+  const auto it = exact_.find(std::string(name));
+  if (it != exact_.end()) {
+    if (matched_entry != nullptr) *matched_entry = *it;
+    return true;
+  }
+  for (const std::string& stem : wildcard_stems_) {
+    if (name.substr(0, stem.size()) == stem) {
+      if (matched_entry != nullptr) *matched_entry = stem + "*";
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NameRegistry::matches_prefix(std::string_view prefix,
+                                  std::string* matched_entry) const {
+  for (const std::string& stem : wildcard_stems_) {
+    if (prefix.substr(0, stem.size()) == stem) {
+      if (matched_entry != nullptr) *matched_entry = stem + "*";
+      return true;
+    }
+  }
+  return false;
+}
+
 std::optional<Config> Config::parse(std::string_view text,
                                     std::string* error) {
   Config config;
@@ -71,6 +152,17 @@ std::optional<Config> Config::parse(std::string_view text,
     } else if (keyword == "open") {
       if (words.size() < 2) return fail("open expects at least one module");
       config.open_.insert(words.begin() + 1, words.end());
+    } else if (keyword == "apps") {
+      if (words.size() < 2) return fail("apps expects at least one module");
+      config.apps_.insert(words.begin() + 1, words.end());
+    } else if (keyword == "mustcheck") {
+      if (words.size() < 2) return fail("mustcheck expects at least one type");
+      config.mustcheck_types_.insert(words.begin() + 1, words.end());
+    } else if (keyword == "metricwrap") {
+      if (words.size() < 2) {
+        return fail("metricwrap expects at least one function name");
+      }
+      config.metric_wrappers_.insert(words.begin() + 1, words.end());
     } else if (keyword == "allow") {
       if (words.size() < 4 || words[2] != "under") {
         return fail("allow expects: allow <RULE> under <prefix> [...]");
@@ -101,6 +193,15 @@ std::optional<Config> Config::parse(std::string_view text,
         return fail("module '" + module + "' depends on undeclared '" + dep +
                     "'");
       }
+    }
+  }
+  // `apps` re-labels layering findings; the module still needs its deps (or
+  // an `open` escape hatch) declared, otherwise nothing is being relabeled.
+  for (const auto& module : config.apps_) {
+    if (config.deps_.count(module) == 0 && config.open_.count(module) == 0) {
+      line_no = 0;
+      return fail("apps module '" + module +
+                  "' has no deps line — declare its allowed includes");
     }
   }
   std::map<std::string, int> state;  // 0 unvisited, 1 in-stack, 2 done

@@ -6,14 +6,26 @@
 //   path <repo-relative-prefix> <module>     # map files to a module
 //   deps <module>: [dep ...]                 # complete allowed include list
 //   open <module> [module ...]               # exempt from L1 (apps, tests)
+//   apps <module> [module ...]               # layering violations report as
+//                                            # L2, not L1 (tests/tools/bench)
 //   allow <RULE> under <path-prefix> [...]   # rule allowlisted below prefix
 //   restrict <RULE> <module> [module ...]    # rule applies only in these
+//   mustcheck <Type> [Type ...]              # W2: results of these types
+//                                            # must not be discarded
+//   metricwrap <fn> [fn ...]                 # M1: wrapper functions whose
+//                                            # string-literal arg is a
+//                                            # metric name
 //
 // A file's module defaults to its first path component (bench/, tests/, ...)
 // or, under src/, the second (src/obs/... → obs). `path` overrides win and
 // are matched longest-prefix-first, which is how report/json.* is carved out
 // as the `jsoncore` module the CMake build already links separately.
 // The declared `deps` graph must be acyclic; load() rejects cyclic configs.
+//
+// The cross-file rules E1 and M1 additionally consult two checked-in name
+// registries (lint/enums.txt, lint/metrics.txt) attached via
+// set_enum_registry()/set_metric_registry(); without a registry the rule is
+// inert, so single-file fixture runs stay cheap and precise.
 #pragma once
 
 #include <map>
@@ -24,6 +36,38 @@
 #include <vector>
 
 namespace cg::lint {
+
+/// A checked-in name registry: one entry per line, `#` comments, blank lines
+/// ignored. A trailing `*` makes the entry a prefix wildcard ("io.faults.*"
+/// covers every name beginning with "io.faults.").
+class NameRegistry {
+ public:
+  static std::optional<NameRegistry> parse(std::string_view text,
+                                           std::string* error);
+  static std::optional<NameRegistry> load(const std::string& file,
+                                          std::string* error);
+
+  bool empty() const { return entries_.empty(); }
+
+  /// True if `name` is an exact entry or covered by a wildcard. On success
+  /// *matched_entry (if given) receives the registry entry that matched,
+  /// spelled as checked in (wildcards keep their trailing `*`).
+  bool matches(std::string_view name, std::string* matched_entry) const;
+
+  /// True if a name *prefix* (a literal the code completes dynamically, e.g.
+  /// concat("io.faults.", ...)) is covered. Only a wildcard whose stem is a
+  /// prefix of `prefix` can vouch for every completion.
+  bool matches_prefix(std::string_view prefix,
+                      std::string* matched_entry) const;
+
+  /// All entries in sorted order, wildcards spelled with their `*`.
+  const std::vector<std::string>& entries() const { return entries_; }
+
+ private:
+  std::set<std::string> exact_;
+  std::vector<std::string> wildcard_stems_;
+  std::vector<std::string> entries_;
+};
 
 class Config {
  public:
@@ -52,6 +96,36 @@ class Config {
   /// everywhere, `restrict`-ed ones only to the listed modules.
   bool rule_applies(std::string_view rule, const std::string& module) const;
 
+  /// True if `module` is an application-tier module (`apps` line): its
+  /// layering findings carry rule id L2 instead of L1.
+  bool app_module(const std::string& module) const {
+    return apps_.count(module) != 0;
+  }
+
+  /// Types whose returned values must not be discarded (rule W2).
+  const std::set<std::string>& mustcheck_types() const {
+    return mustcheck_types_;
+  }
+
+  /// Functions whose first string-literal argument is a metric name (M1).
+  const std::set<std::string>& metric_wrappers() const {
+    return metric_wrappers_;
+  }
+
+  // Registries for the cross-file rules. Without one, E1/M1 are inert.
+  void set_enum_registry(NameRegistry registry) {
+    enum_registry_ = std::move(registry);
+  }
+  void set_metric_registry(NameRegistry registry) {
+    metric_registry_ = std::move(registry);
+  }
+  const NameRegistry* enum_registry() const {
+    return enum_registry_ ? &*enum_registry_ : nullptr;
+  }
+  const NameRegistry* metric_registry() const {
+    return metric_registry_ ? &*metric_registry_ : nullptr;
+  }
+
   const std::map<std::string, std::set<std::string>>& deps() const {
     return deps_;
   }
@@ -61,8 +135,13 @@ class Config {
   std::vector<std::pair<std::string, std::string>> path_overrides_;
   std::map<std::string, std::set<std::string>> deps_;
   std::set<std::string> open_;
+  std::set<std::string> apps_;
   std::map<std::string, std::vector<std::string>> allow_prefixes_;
   std::map<std::string, std::set<std::string>> restrict_;
+  std::set<std::string> mustcheck_types_;
+  std::set<std::string> metric_wrappers_;
+  std::optional<NameRegistry> enum_registry_;
+  std::optional<NameRegistry> metric_registry_;
 };
 
 }  // namespace cg::lint

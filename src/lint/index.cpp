@@ -1,0 +1,209 @@
+#include "lint/index.h"
+
+#include <cstddef>
+
+namespace cg::lint {
+namespace {
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kBlock } kind;
+  std::string name;  // class name for kClass, empty otherwise
+};
+
+}  // namespace
+
+void index_file(const Config& config, const std::string& path,
+                const std::vector<Token>& tokens, SymbolIndex* index) {
+  std::vector<Token> code;
+  code.reserve(tokens.size());
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kComment &&
+        token.kind != TokenKind::kDirective) {
+      code.push_back(token);
+    }
+  }
+
+  const std::set<std::string>& mustcheck = config.mustcheck_types();
+
+  std::vector<Scope> scopes;
+  Scope pending{Scope::kBlock, ""};
+  bool pending_set = false;
+
+  // The innermost class whose member declarations we are reading, or null
+  // inside any function/initializer body.
+  auto current_class = [&]() -> const std::string* {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kBlock) return nullptr;
+      if (it->kind == Scope::kClass) return &it->name;
+    }
+    return nullptr;
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& token = code[i];
+    const std::string_view t = token.text;
+
+    // enum definitions are consumed inline: collect the enumerator list and
+    // skip past the body so the scope machine never sees its braces.
+    if (t == "enum") {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (code[j].text == "class" || code[j].text == "struct")) {
+        ++j;
+      }
+      if (j >= code.size() || code[j].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      std::string name(code[j].text);
+      ++j;
+      while (j < code.size() && code[j].text != "{" && code[j].text != ";") {
+        ++j;
+      }
+      if (j >= code.size() || code[j].text == ";") {
+        i = j;  // forward declaration / opaque-enum declaration
+        pending_set = false;
+        continue;
+      }
+      std::vector<std::string> enumerators;
+      int depth = 0;
+      bool expect_name = false;
+      for (; j < code.size(); ++j) {
+        const std::string_view u = code[j].text;
+        if (u == "{") {
+          if (++depth == 1) expect_name = true;
+          continue;
+        }
+        if (u == "}") {
+          if (--depth == 0) break;
+          continue;
+        }
+        if (depth != 1) continue;
+        if (u == ",") {
+          expect_name = true;
+        } else if (expect_name && code[j].kind == TokenKind::kIdentifier) {
+          enumerators.emplace_back(u);
+          expect_name = false;
+        }
+      }
+      if (!enumerators.empty()) {
+        index->enums.emplace(std::move(name), std::move(enumerators));
+      }
+      i = j;
+      pending_set = false;
+      continue;
+    }
+
+    // Scope machine (the D4 shape, plus class names).
+    if (t == "namespace") {
+      pending = {Scope::kNamespace, ""};
+      pending_set = true;
+      continue;
+    }
+    if (t == "class" || t == "struct" || t == "union") {
+      std::size_t j = i + 1;
+      bool nodiscard = false;
+      if (j + 1 < code.size() && code[j].text == "[" &&
+          code[j + 1].text == "[") {
+        int attr_depth = 2;
+        j += 2;
+        for (; j < code.size() && attr_depth > 0; ++j) {
+          if (code[j].text == "nodiscard") nodiscard = true;
+          if (code[j].text == "[") ++attr_depth;
+          if (code[j].text == "]") --attr_depth;
+        }
+      }
+      pending = {Scope::kClass, ""};
+      pending_set = true;
+      if (j < code.size() && code[j].kind == TokenKind::kIdentifier) {
+        pending.name = std::string(code[j].text);
+        if (mustcheck.count(pending.name) != 0) {
+          // Only a definition (a `{` before the terminating `;`) records a
+          // TypeDef; forward declarations carry no attribute to audit.
+          bool is_definition = false;
+          for (std::size_t k = j + 1; k < code.size(); ++k) {
+            if (code[k].text == "{") {
+              is_definition = true;
+              break;
+            }
+            if (code[k].text == ";" || code[k].text == ")") break;
+          }
+          if (is_definition) {
+            index->mustcheck_types.emplace(
+                pending.name, TypeDef{path, token.line, nodiscard});
+          }
+        }
+      }
+      continue;
+    }
+    if (t == "{") {
+      scopes.push_back(pending_set ? pending : Scope{Scope::kBlock, ""});
+      pending_set = false;
+      continue;
+    }
+    if (t == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      continue;
+    }
+    if (t == ";") {
+      pending_set = false;
+      continue;
+    }
+    if (t == ")") {
+      // `)` before `{` is a function/control body, never a class.
+      pending = {Scope::kBlock, ""};
+      pending_set = true;
+      continue;
+    }
+
+    if (token.kind != TokenKind::kIdentifier) continue;
+
+    // Must-check callables: `T name (` / `T Class::name (`, with optional
+    // pointer/reference declarators between.
+    if (mustcheck.count(std::string(t)) != 0) {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (code[j].text == "*" || code[j].text == "&" ||
+              code[j].text == "&&")) {
+        ++j;
+      }
+      if (j < code.size() && code[j].kind == TokenKind::kIdentifier) {
+        const std::string name(code[j].text);
+        if (j + 1 < code.size() && code[j + 1].text == "(") {
+          const std::string* enclosing = current_class();
+          if (enclosing != nullptr) {
+            index->mustcheck_methods[*enclosing].insert(name);
+          } else {
+            index->mustcheck_functions.insert(name);
+          }
+        } else if (j + 3 < code.size() && code[j + 1].text == "::" &&
+                   code[j + 2].kind == TokenKind::kIdentifier &&
+                   code[j + 3].text == "(") {
+          index->mustcheck_methods[name].insert(
+              std::string(code[j + 2].text));
+        }
+      }
+    }
+
+    // Member-variable receivers: at class scope, `Type [*&>] name_` records
+    // name_ → Type. Every candidate is stored; the rule only consults types
+    // that actually own must-check methods, so noise is harmless.
+    if (current_class() != nullptr) {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (code[j].text == "*" || code[j].text == "&" ||
+              code[j].text == "&&" || code[j].text == ">" ||
+              code[j].text == "const")) {
+        ++j;
+      }
+      if (j < code.size() && code[j].kind == TokenKind::kIdentifier &&
+          code[j].text.size() > 1 && code[j].text.back() == '_') {
+        const std::string member(code[j].text);
+        const std::string type(t);
+        auto [it, inserted] = index->member_receivers.emplace(member, type);
+        if (!inserted && it->second != type) it->second.clear();
+      }
+    }
+  }
+}
+
+}  // namespace cg::lint

@@ -1,0 +1,59 @@
+// Pass 1 of cglint v2: the cross-file symbol index.
+//
+// The token rules (D1-D4, W1, L1) are single-file by construction; the v2
+// semantic rules need whole-tree facts — which enumerators an `enum class`
+// declares, which functions and methods return a must-check type, and
+// whether the must-check types themselves carry [[nodiscard]]. index_file()
+// harvests those facts from one lexed file; the linter driver runs it over
+// every file first, then runs the semantic rules (rules W2/E1/M1) against
+// the merged index.
+//
+// This is still the lexer's view of C++, not a compiler's: callables are
+// recognized by the declaration shape `Type name (` / `Type Class::name (`
+// and receivers by `Class [*&>] var` declarations, which is exact for the
+// house style this repo enforces and deliberately blind to token soup it
+// does not contain (macros generating signatures, pointer-to-member calls).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/config.h"
+#include "lint/lexer.h"
+
+namespace cg::lint {
+
+/// Where a must-check type is defined and whether the definition carries
+/// [[nodiscard]] (rule W2 flags the definition site when it does not).
+struct TypeDef {
+  std::string file;
+  int line = 0;
+  bool nodiscard = false;
+};
+
+struct SymbolIndex {
+  /// enum class Name → enumerators in declaration order.
+  std::map<std::string, std::vector<std::string>> enums;
+  /// Namespace-scope callables returning a must-check type.
+  std::set<std::string> mustcheck_functions;
+  /// Class → methods returning a must-check type. In-class declarations and
+  /// out-of-line `Type Class::method(` definitions both register.
+  std::map<std::string, std::set<std::string>> mustcheck_methods;
+  /// Definition sites of the must-check types themselves.
+  std::map<std::string, TypeDef> mustcheck_types;
+  /// Member-variable receivers: `Type name_;` declared at class scope, so a
+  /// call through `name_` in another file still resolves its class. Members
+  /// are recognized by the house trailing-underscore style; a name declared
+  /// with two different types across the tree maps to "" (ambiguous — W2
+  /// then stays silent rather than guessing).
+  std::map<std::string, std::string> member_receivers;
+};
+
+/// Harvest symbols from one lexed file into the shared index. `path` is the
+/// repo-relative path recorded in TypeDef entries.
+void index_file(const Config& config, const std::string& path,
+                const std::vector<Token>& tokens, SymbolIndex* index);
+
+}  // namespace cg::lint

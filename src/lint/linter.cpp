@@ -5,26 +5,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "lint/index.h"
+
 namespace cg::lint {
 namespace {
-
-void merge_into(LintReport& total, LintReport&& part) {
-  total.violations.insert(total.violations.end(),
-                          std::make_move_iterator(part.violations.begin()),
-                          std::make_move_iterator(part.violations.end()));
-  total.suppressed.insert(total.suppressed.end(),
-                          std::make_move_iterator(part.suppressed.begin()),
-                          std::make_move_iterator(part.suppressed.end()));
-  for (const auto& [rule, count] : part.suppression_census) {
-    total.suppression_census[rule] += count;
-  }
-  total.unused_suppressions.insert(
-      total.unused_suppressions.end(),
-      std::make_move_iterator(part.unused_suppressions.begin()),
-      std::make_move_iterator(part.unused_suppressions.end()));
-  total.files_scanned += part.files_scanned;
-  total.bytes_scanned += part.bytes_scanned;
-}
 
 bool lintable_file(const std::filesystem::path& path) {
   const auto ext = path.extension().string();
@@ -37,18 +21,11 @@ bool skip_directory(const std::filesystem::path& path) {
          name.rfind("build", 0) == 0;
 }
 
-}  // namespace
-
-LintReport lint_source(const Config& config, const std::string& path,
-                       std::string_view source) {
-  LintReport report;
-  report.files_scanned = 1;
-  report.bytes_scanned = source.size();
-
-  const std::vector<Token> tokens = lex(source);
-  auto suppressions = parse_suppressions(tokens, path, &report.violations);
-  std::vector<Violation> raw = run_rules(config, path, tokens);
-
+/// Match one file's raw violations against its suppressions and fold the
+/// outcome into the report.
+void apply_suppressions(const std::string& path,
+                        std::vector<Suppression>& suppressions,
+                        std::vector<Violation>& raw, LintReport& report) {
   for (Violation& violation : raw) {
     Suppression* match = nullptr;
     for (Suppression& suppression : suppressions) {
@@ -79,7 +56,72 @@ LintReport lint_source(const Config& config, const std::string& path,
         {path, suppression.comment_line, "S3",
          "suppression allow(" + rules + ") matched no violation"});
   }
+}
+
+}  // namespace
+
+LintReport lint_sources(const Config& config,
+                        std::vector<SourceFile> sources) {
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+
+  LintReport report;
+
+  // Pass 1: lex everything and build the cross-file symbol index. Token
+  // string_views point into the SourceFile buffers, which outlive pass 2.
+  SymbolIndex index;
+  std::vector<std::vector<Token>> streams;
+  streams.reserve(sources.size());
+  for (const SourceFile& file : sources) {
+    streams.push_back(lex(file.source));
+    index_file(config, file.path, streams.back(), &index);
+    ++report.files_scanned;
+    report.bytes_scanned += file.source.size();
+  }
+
+  // Pass 2: token rules + semantic rules per file, then suppressions.
+  std::set<std::string> used_metric_entries;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const std::string& path = sources[i].path;
+    const std::vector<Token>& tokens = streams[i];
+    auto suppressions = parse_suppressions(tokens, path, &report.violations);
+    std::vector<Violation> raw = run_rules(config, path, tokens);
+    std::vector<Violation> semantic =
+        run_semantic_rules(config, index, path, tokens, &used_metric_entries);
+    raw.insert(raw.end(), std::make_move_iterator(semantic.begin()),
+               std::make_move_iterator(semantic.end()));
+    std::stable_sort(raw.begin(), raw.end(),
+                     [](const Violation& a, const Violation& b) {
+                       if (a.line != b.line) return a.line < b.line;
+                       return a.rule < b.rule;
+                     });
+    apply_suppressions(path, suppressions, raw, report);
+  }
+
+  if (config.metric_registry() != nullptr) {
+    for (const std::string& entry : config.metric_registry()->entries()) {
+      if (used_metric_entries.count(entry) == 0) {
+        report.unused_metric_entries.push_back(entry);
+      }
+    }
+  }
+
+  std::stable_sort(report.violations.begin(), report.violations.end(),
+                   [](const Violation& a, const Violation& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
   return report;
+}
+
+LintReport lint_source(const Config& config, const std::string& path,
+                       std::string_view source) {
+  std::vector<SourceFile> sources;
+  sources.push_back({path, std::string(source)});
+  return lint_sources(config, std::move(sources));
 }
 
 LintReport lint_paths(const Config& config,
@@ -109,29 +151,110 @@ LintReport lint_paths(const Config& config,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  LintReport total;
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  std::vector<Violation> io_errors;
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
-      total.violations.push_back({file, 0, "IO", "cannot read file"});
+      io_errors.push_back({file, 0, "IO", "cannot read file"});
       continue;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string source = buffer.str();
     // Normalize "./src/x" → "src/x" so module mapping is stable however the
     // root was spelled.
     std::string rel = file;
     while (rel.rfind("./", 0) == 0) rel.erase(0, 2);
-    merge_into(total, lint_source(config, rel, source));
+    sources.push_back({std::move(rel), buffer.str()});
   }
-  std::stable_sort(total.violations.begin(), total.violations.end(),
-                   [](const Violation& a, const Violation& b) {
-                     if (a.file != b.file) return a.file < b.file;
-                     if (a.line != b.line) return a.line < b.line;
-                     return a.rule < b.rule;
-                   });
-  return total;
+
+  LintReport report = lint_sources(config, std::move(sources));
+  if (!io_errors.empty()) {
+    report.violations.insert(report.violations.end(),
+                             std::make_move_iterator(io_errors.begin()),
+                             std::make_move_iterator(io_errors.end()));
+    std::stable_sort(report.violations.begin(), report.violations.end(),
+                     [](const Violation& a, const Violation& b) {
+                       if (a.file != b.file) return a.file < b.file;
+                       if (a.line != b.line) return a.line < b.line;
+                       return a.rule < b.rule;
+                     });
+  }
+  return report;
+}
+
+// ---- baseline mode -------------------------------------------------------
+
+Baseline Baseline::parse(std::string_view text) {
+  Baseline baseline;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (line.empty() || line.front() == '#') continue;
+    baseline.entries.insert(line);
+  }
+  return baseline;
+}
+
+std::optional<Baseline> Baseline::load(const std::string& file,
+                                       std::string* error) {
+  std::ifstream in(file);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open baseline file: " + file;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::string baseline_key(const Violation& violation) {
+  std::string key = violation.file;
+  key += '\t';
+  key += violation.rule;
+  key += '\t';
+  key += violation.message;
+  return key;
+}
+
+std::string write_baseline_text(const LintReport& report) {
+  std::vector<std::string> keys;
+  keys.reserve(report.violations.size());
+  for (const Violation& violation : report.violations) {
+    keys.push_back(baseline_key(violation));
+  }
+  std::sort(keys.begin(), keys.end());
+  std::string out =
+      "# cglint baseline — known findings excused while a cleanup is in\n"
+      "# flight. Regenerate with: cglint --write-baseline <this file> ...\n";
+  for (const std::string& key : keys) {
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+int apply_baseline(LintReport* report, const Baseline& baseline) {
+  std::multiset<std::string> remaining = baseline.entries;
+  std::vector<Violation> kept;
+  kept.reserve(report->violations.size());
+  int removed = 0;
+  for (Violation& violation : report->violations) {
+    const auto it = remaining.find(baseline_key(violation));
+    if (it != remaining.end()) {
+      remaining.erase(it);
+      ++removed;
+    } else {
+      kept.push_back(std::move(violation));
+    }
+  }
+  report->violations = std::move(kept);
+  report->baselined += removed;
+  return removed;
 }
 
 std::string format_report(const LintReport& report, bool census) {
@@ -159,10 +282,16 @@ std::string format_report(const LintReport& report, bool census) {
       out << "note: " << unused.file << ':' << unused.line << ": "
           << unused.message << '\n';
     }
+    for (const std::string& entry : report.unused_metric_entries) {
+      out << "note: lint/metrics.txt: unused metric entry '" << entry
+          << "'\n";
+    }
   }
   out << "cglint: " << report.files_scanned << " files, "
       << report.bytes_scanned << " bytes, " << report.violations.size()
-      << " violation(s), " << report.suppressed.size() << " suppressed\n";
+      << " violation(s), " << report.suppressed.size() << " suppressed";
+  if (report.baselined > 0) out << ", " << report.baselined << " baselined";
+  out << '\n';
   return out.str();
 }
 

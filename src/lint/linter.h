@@ -1,5 +1,6 @@
-// The cglint driver: walks source trees, runs the rules, matches
-// suppressions, and aggregates a report with a suppression census.
+// The cglint driver: walks source trees, builds the cross-file symbol
+// index (pass 1), runs the rules (pass 2), matches suppressions, and
+// aggregates a report with a suppression census.
 //
 // Everything is deterministic: files are visited in sorted path order and
 // violations are reported in (file, line, rule) order, so two runs over the
@@ -7,8 +8,12 @@
 // invariants it enforces.
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lint/config.h"
@@ -26,14 +31,30 @@ struct LintReport {
   std::vector<SuppressedViolation> suppressed;  // for the census
   std::map<std::string, int> suppression_census;  // rule → suppressed count
   std::vector<Violation> unused_suppressions;   // informational only
+  // Census: lint/metrics.txt entries no checked call site referenced.
+  // Populated only when a metric registry is attached to the config.
+  std::vector<std::string> unused_metric_entries;
+  int baselined = 0;  // violations swallowed by apply_baseline()
   int files_scanned = 0;
   std::size_t bytes_scanned = 0;
 
   bool clean() const { return violations.empty(); }
 };
 
-/// Lint one in-memory source (fixtures, tests). `path` is repo-relative and
+/// An in-memory file for lint_sources(); `path` is repo-relative and
 /// decides module membership.
+struct SourceFile {
+  std::string path;
+  std::string source;
+};
+
+/// Lint a set of in-memory sources as one tree: the cross-file index is
+/// built over all of them before any rule runs (fixtures, tests).
+LintReport lint_sources(const Config& config,
+                        std::vector<SourceFile> sources);
+
+/// Lint one in-memory source (single-file fixtures). The index sees only
+/// this file.
 LintReport lint_source(const Config& config, const std::string& path,
                        std::string_view source);
 
@@ -41,6 +62,33 @@ LintReport lint_source(const Config& config, const std::string& path,
 /// repo-relative). Hidden and build*/ directories are skipped.
 LintReport lint_paths(const Config& config,
                       const std::vector<std::string>& roots);
+
+// ---- baseline mode -------------------------------------------------------
+//
+// A baseline is a checked-in snapshot of known findings so CI can gate on
+// *new* ones while a cleanup is in flight. Entries are line-number-free —
+// `file<TAB>rule<TAB>message` — so unrelated edits that shift code down a
+// file do not invalidate the baseline. Matching is multiset semantics: each
+// baseline entry excuses at most one finding.
+
+struct Baseline {
+  static Baseline parse(std::string_view text);
+  static std::optional<Baseline> load(const std::string& file,
+                                      std::string* error);
+
+  std::multiset<std::string> entries;
+};
+
+/// The baseline key for one violation: `file<TAB>rule<TAB>message`.
+std::string baseline_key(const Violation& violation);
+
+/// The report's current violations as a baseline file (sorted, one per
+/// line), suitable for `cglint --write-baseline`.
+std::string write_baseline_text(const LintReport& report);
+
+/// Remove violations covered by the baseline; returns how many were
+/// removed (also recorded in report->baselined).
+int apply_baseline(LintReport* report, const Baseline& baseline);
 
 /// Render `path:line: [RULE] message` lines, the census, and a summary.
 std::string format_report(const LintReport& report, bool census);

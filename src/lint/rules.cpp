@@ -534,8 +534,12 @@ void rule_w1(const Sink& sink, const std::vector<Token>& code) {
   }
 }
 
-// L1: every quoted cross-module include must be a declared DAG edge.
+// L1/L2: every quoted cross-module include must be a declared DAG edge.
+// Modules named on an `apps` config line (tests/tools/bench) report under
+// L2 so the application tier can be scoped separately from the library DAG.
 void rule_l1(const Sink& sink, const std::vector<Token>& tokens) {
+  const std::string rule =
+      sink.config->app_module(sink.module) ? "L2" : "L1";
   for (const Token& token : tokens) {
     if (token.kind != TokenKind::kDirective) continue;
     const auto include = parse_include(token);
@@ -545,13 +549,13 @@ void rule_l1(const Sink& sink, const std::vector<Token>& tokens) {
         sink.config->module_of(concat("src/", include->path));
     if (target == sink.module) continue;
     if (!sink.config->module_declared(target)) {
-      sink.add("L1", token.line,
+      sink.add(rule, token.line,
                concat("include of undeclared module '", target,
                       "' — add it to lint/layering.txt"));
       continue;
     }
     if (!sink.config->edge_allowed(sink.module, target)) {
-      sink.add("L1", token.line,
+      sink.add(rule, token.line,
                concat("layering violation: module '", sink.module,
                       "' may not include '", target,
                       "' (edge not declared in lint/layering.txt)"));

@@ -6,8 +6,15 @@
 //   D3  unordered-container iteration hazard in output-feeding modules
 //   D4  mutable static state (globals, function-local statics, thread_local)
 //   L1  layering: include crosses a module edge not declared in the DAG
+//   L2  layering, application tier: same check as L1 but reported under its
+//       own id for modules named on an `apps` line (tests/tools/bench)
 //   W1  std::ofstream written without a stream-health check (durable-output
 //       modules only, via `restrict W1 ...`)
+//   W2  must-check result discarded (IoStatus/NavigationResult-class types
+//       per `mustcheck` config), and must-check types missing [[nodiscard]]
+//   E1  switch over a registered taxonomy enum (lint/enums.txt) with a bare
+//       default: or missing enumerators
+//   M1  metric name literal not present in lint/metrics.txt
 //   S1  malformed suppression annotation
 //   S2  suppression without a reason string
 //
@@ -16,11 +23,13 @@
 // spells out the grammar. S1/S2 are not themselves suppressible.
 #pragma once
 
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "lint/config.h"
+#include "lint/index.h"
 #include "lint/lexer.h"
 
 namespace cg::lint {
@@ -55,5 +64,15 @@ std::vector<Suppression> parse_suppressions(const std::vector<Token>& tokens,
 /// applied here — the linter driver matches them so it can report a census.
 std::vector<Violation> run_rules(const Config& config, const std::string& path,
                                  const std::vector<Token>& tokens);
+
+/// Run the cross-file semantic rules (W2 must-check discard, E1 taxonomy
+/// exhaustiveness, M1 metrics-name registry) over one lexed file against the
+/// whole-tree symbol index. Registry entries that vouched for a metric call
+/// site are inserted into *used_metric_entries (may be null) so the driver
+/// can report unused registry entries in the census.
+std::vector<Violation> run_semantic_rules(
+    const Config& config, const SymbolIndex& index, const std::string& path,
+    const std::vector<Token>& tokens,
+    std::set<std::string>* used_metric_entries);
 
 }  // namespace cg::lint

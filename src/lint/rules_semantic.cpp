@@ -1,0 +1,400 @@
+// The cglint v2 cross-file rules: W2 (must-check results), E1 (taxonomy
+// exhaustiveness), M1 (metrics-name registry). All three consume the pass-1
+// SymbolIndex; E1 and M1 additionally consult the checked-in name
+// registries attached to the Config (lint/enums.txt, lint/metrics.txt) and
+// are inert without them.
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "lint/rules.h"
+
+namespace cg::lint {
+namespace {
+
+/// Append-style message builder. GCC 12's -Wrestrict false-fires on chained
+/// std::string operator+ (PR 105329); building via append keeps -Werror on.
+template <typename... Parts>
+std::string concat(Parts&&... parts) {
+  std::string out;
+  (out.append(parts), ...);
+  return out;
+}
+
+struct Sink {
+  const Config* config;
+  const std::string* path;
+  std::string module;
+  std::vector<Violation>* out;
+
+  void add(const std::string& rule, int line, std::string message) const {
+    if (config->rule_allowlisted(rule, *path)) return;
+    out->push_back({*path, line, rule, std::move(message)});
+  }
+};
+
+bool next_is(const std::vector<Token>& code, std::size_t i,
+             std::string_view text) {
+  return i + 1 < code.size() && code[i + 1].text == text;
+}
+
+bool is_member_access(const std::vector<Token>& code, std::size_t i) {
+  if (i == 0) return false;
+  const std::string_view prev = code[i - 1].text;
+  return prev == "." || prev == "->" || prev == "::";
+}
+
+/// Index of the token matching the `(` at `open`, or npos.
+std::size_t matching_paren(const std::vector<Token>& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i].text == "(") ++depth;
+    if (code[i].text == ")" && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// ---- W2: must-check results ----------------------------------------------
+
+/// True when the token at `i` begins an expression statement — the position
+/// where a call's result has nowhere to go. `(void)` casts are an explicit,
+/// sanctioned discard and are excluded.
+bool statement_initial(const std::vector<Token>& code, std::size_t i) {
+  if (i == 0) return true;
+  const std::string_view prev = code[i - 1].text;
+  if (prev == ";" || prev == "{" || prev == "}" || prev == "else") {
+    return true;
+  }
+  if (prev == ")") {
+    const bool void_cast =
+        i >= 3 && code[i - 2].text == "void" && code[i - 3].text == "(";
+    return !void_cast;
+  }
+  return false;
+}
+
+void rule_w2(const Sink& sink, const SymbolIndex& index,
+             const std::vector<Token>& code) {
+  if (!sink.config->rule_applies("W2", sink.module)) return;
+
+  // Definition-site check: a must-check type that is not [[nodiscard]]
+  // leaves the compiler out of the contract cglint enforces.
+  for (const auto& [type, def] : index.mustcheck_types) {
+    if (def.file != *sink.path || def.nodiscard) continue;
+    sink.add("W2", def.line,
+             concat("must-check type '", type,
+                    "' is not declared [[nodiscard]] — annotate `struct "
+                    "[[nodiscard]] ",
+                    type, "` so the compiler backs this rule"));
+  }
+
+  // Local receiver tracking: `Class [*&>] name` declared in this file, for
+  // classes that own must-check methods.
+  std::map<std::string_view, std::string> locals;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    if (index.mustcheck_methods.count(std::string(code[i].text)) == 0) {
+      continue;
+    }
+    const std::string type(code[i].text);
+    std::size_t j = i + 1;
+    while (j < code.size() &&
+           (code[j].text == "*" || code[j].text == "&" ||
+            code[j].text == "&&" || code[j].text == ">" ||
+            code[j].text == "const")) {
+      ++j;
+    }
+    if (j < code.size() && code[j].kind == TokenKind::kIdentifier) {
+      locals.emplace(code[j].text, type);
+    }
+  }
+
+  auto receiver_class = [&](std::string_view name) -> const std::string* {
+    const auto local = locals.find(name);
+    if (local != locals.end()) return &local->second;
+    const auto member = index.member_receivers.find(std::string(name));
+    if (member != index.member_receivers.end() && !member->second.empty()) {
+      return &member->second;
+    }
+    return nullptr;
+  };
+
+  auto methods_of = [&](const std::string& cls) -> const std::set<std::string>* {
+    const auto it = index.mustcheck_methods.find(cls);
+    return it == index.mustcheck_methods.end() ? nullptr : &it->second;
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+
+    std::size_t open = std::string::npos;
+    std::string call;
+    // Member call through a known receiver: V.M(...) / V->M(...).
+    if (i + 3 < code.size() &&
+        (code[i + 1].text == "." || code[i + 1].text == "->") &&
+        code[i + 2].kind == TokenKind::kIdentifier &&
+        code[i + 3].text == "(") {
+      const std::string* cls = receiver_class(code[i].text);
+      const std::set<std::string>* methods =
+          cls != nullptr ? methods_of(*cls) : nullptr;
+      if (methods != nullptr &&
+          methods->count(std::string(code[i + 2].text)) != 0) {
+        open = i + 3;
+        call = concat(code[i].text, code[i + 1].text, code[i + 2].text);
+      }
+    } else if (next_is(code, i, "(") && !is_member_access(code, i) &&
+               index.mustcheck_functions.count(std::string(code[i].text)) !=
+                   0) {
+      open = i + 1;
+      call = std::string(code[i].text);
+    }
+    if (open == std::string::npos || !statement_initial(code, i)) continue;
+
+    const std::size_t close = matching_paren(code, open);
+    if (close == std::string::npos || close + 1 >= code.size()) continue;
+    // `;` right after the call: the result had nowhere to go. A trailing
+    // `.`/`->` means it was consumed (status.ok(), result->page...).
+    if (code[close + 1].text == ";") {
+      sink.add("W2", code[i].line,
+               concat("result of must-check call '", call,
+                      "(...)' is discarded — check it or spell the discard "
+                      "`(void)` with a reason"));
+    }
+  }
+}
+
+// ---- E1: taxonomy exhaustiveness -----------------------------------------
+
+void rule_e1(const Sink& sink, const SymbolIndex& index,
+             const std::vector<Token>& code) {
+  const NameRegistry* registry = sink.config->enum_registry();
+  if (registry == nullptr || registry->empty()) return;
+  if (!sink.config->rule_applies("E1", sink.module)) return;
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].text != "switch" || !next_is(code, i, "(")) continue;
+    const std::size_t cond_close = matching_paren(code, i + 1);
+    if (cond_close == std::string::npos ||
+        !next_is(code, cond_close, "{")) {
+      continue;
+    }
+
+    // Scan the switch body; depth-1 labels belong to this switch, nested
+    // switches are revisited by the outer loop on their own.
+    std::string enum_name;
+    std::set<std::string> seen;
+    int default_line = 0;
+    int depth = 0;
+    std::size_t body_end = code.size();
+    for (std::size_t j = cond_close + 1; j < code.size(); ++j) {
+      const std::string_view u = code[j].text;
+      if (u == "{") {
+        ++depth;
+        continue;
+      }
+      if (u == "}") {
+        if (--depth == 0) {
+          body_end = j;
+          break;
+        }
+        continue;
+      }
+      if (depth != 1) continue;
+      if (u == "default" && next_is(code, j, ":")) {
+        if (default_line == 0) default_line = code[j].line;
+      } else if (u == "case") {
+        // `case [ns::]Enum::kValue:` — the enumerator is the identifier
+        // right before the label's `:`, the enum the one before the last
+        // `::`. (`::` is a single token, so a plain `:` ends the label.)
+        std::string last;
+        std::string before_last;
+        for (std::size_t k = j + 1; k < code.size(); ++k) {
+          if (code[k].text == ":") break;
+          if (code[k].kind == TokenKind::kIdentifier) {
+            before_last = std::move(last);
+            last = std::string(code[k].text);
+          }
+        }
+        if (!last.empty() && !before_last.empty()) {
+          if (enum_name.empty()) enum_name = before_last;
+          if (before_last == enum_name) seen.insert(last);
+        }
+      }
+    }
+
+    std::string entry;
+    if (enum_name.empty() || !registry->matches(enum_name, &entry)) {
+      continue;  // not a switch over a registered taxonomy
+    }
+    const auto enumerators = index.enums.find(enum_name);
+    if (enumerators == index.enums.end()) continue;
+
+    if (default_line != 0) {
+      sink.add("E1", default_line,
+               concat("bare default in switch over taxonomy enum '",
+                      enum_name,
+                      "' — a new enumerator would be silently swallowed; "
+                      "name every case (or allow(E1) with a reason)"));
+    } else {
+      std::string missing;
+      for (const std::string& enumerator : enumerators->second) {
+        if (seen.count(enumerator) != 0) continue;
+        if (!missing.empty()) missing += ", ";
+        missing += enumerator;
+      }
+      if (!missing.empty()) {
+        sink.add("E1", code[i].line,
+                 concat("switch over taxonomy enum '", enum_name,
+                        "' does not handle: ", missing));
+      }
+    }
+    i = body_end;
+  }
+}
+
+// ---- M1: metrics-name registry -------------------------------------------
+
+bool is_metric_shape(std::string_view name) {
+  if (name.empty() || name.find('.') == std::string_view::npos) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// The contents of a plain "..." literal token; nullopt for char literals,
+/// raw strings, and prefixed literals (metric names are none of those).
+std::optional<std::string_view> plain_string_contents(const Token& token) {
+  const std::string_view text = token.text;
+  if (text.size() < 2 || text.front() != '"' || text.back() != '"') {
+    return std::nullopt;
+  }
+  return text.substr(1, text.size() - 2);
+}
+
+void rule_m1(const Sink& sink, const std::vector<Token>& code,
+             std::set<std::string>* used_metric_entries) {
+  const NameRegistry* registry = sink.config->metric_registry();
+  if (registry == nullptr) return;
+  if (!sink.config->rule_applies("M1", sink.module)) return;
+
+  static const std::set<std::string_view> kObsHelpers = {
+      "metric_add", "metric_gauge_max", "metric_observe"};
+  static const std::set<std::string_view> kRegistryMethods = {
+      "add",     "gauge_max", "observe",       "histogram",
+      "counter", "gauge",     "find_histogram"};
+
+  // The first string literal inside the call's argument list is the metric
+  // name (it may sit inside a concat(...) that appends a dynamic suffix).
+  auto check_call = [&](std::size_t open, bool require_shape) {
+    const std::size_t close = matching_paren(code, open);
+    if (close == std::string::npos) return;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (code[j].kind != TokenKind::kString) continue;
+      const auto contents = plain_string_contents(code[j]);
+      if (!contents) return;
+      if (require_shape && !is_metric_shape(*contents)) return;
+      const bool prefix_literal =
+          (!contents->empty() && contents->back() == '.') ||
+          next_is(code, j, "+");
+      std::string entry;
+      if (prefix_literal) {
+        if (registry->matches_prefix(*contents, &entry)) {
+          if (used_metric_entries != nullptr) {
+            used_metric_entries->insert(entry);
+          }
+        } else {
+          sink.add("M1", code[j].line,
+                   concat("metric name prefix '", *contents,
+                          "' has no wildcard entry in lint/metrics.txt — "
+                          "add '",
+                          *contents, "*'"));
+        }
+      } else {
+        if (registry->matches(*contents, &entry)) {
+          if (used_metric_entries != nullptr) {
+            used_metric_entries->insert(entry);
+          }
+        } else {
+          sink.add("M1", code[j].line,
+                   concat("metric name '", *contents,
+                          "' is not registered in lint/metrics.txt — add "
+                          "it or fix the typo"));
+        }
+      }
+      return;  // only the first literal names the metric
+    }
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string_view t = code[i].text;
+    // obs::metric_add("name", ...) and friends — always metric names.
+    if (code[i].kind == TokenKind::kIdentifier &&
+        kObsHelpers.count(t) != 0 && next_is(code, i, "(")) {
+      check_call(i + 1, /*require_shape=*/false);
+      continue;
+    }
+    // Configured wrapper functions (metricwrap) — the first string literal
+    // in the argument list is a metric name wherever it sits.
+    if (code[i].kind == TokenKind::kIdentifier &&
+        sink.config->metric_wrappers().count(std::string(t)) != 0 &&
+        next_is(code, i, "(") && !is_member_access(code, i)) {
+      check_call(i + 1, /*require_shape=*/false);
+      continue;
+    }
+    // registry.add("name", ...) member calls. Guarded twice against
+    // lookalikes (HttpHeaders::add, EntityMap::add, cookie-jar domains):
+    // the receiver must read like a metrics object and the literal must
+    // have the dotted-lowercase metric shape.
+    if ((t == "." || t == "->") && i > 0 && i + 2 < code.size() &&
+        code[i - 1].kind == TokenKind::kIdentifier &&
+        code[i + 1].kind == TokenKind::kIdentifier &&
+        kRegistryMethods.count(code[i + 1].text) != 0 &&
+        code[i + 2].text == "(") {
+      const std::string_view receiver = code[i - 1].text;
+      const bool metrics_receiver =
+          receiver == "m" ||
+          receiver.find("metric") != std::string_view::npos ||
+          receiver.find("registry") != std::string_view::npos ||
+          receiver.find("stats") != std::string_view::npos;
+      if (metrics_receiver) check_call(i + 2, /*require_shape=*/true);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> run_semantic_rules(
+    const Config& config, const SymbolIndex& index, const std::string& path,
+    const std::vector<Token>& tokens,
+    std::set<std::string>* used_metric_entries) {
+  std::vector<Violation> violations;
+  Sink sink{&config, &path, config.module_of(path), &violations};
+
+  std::vector<Token> code;
+  code.reserve(tokens.size());
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kComment &&
+        token.kind != TokenKind::kDirective) {
+      code.push_back(token);
+    }
+  }
+
+  rule_w2(sink, index, code);
+  rule_e1(sink, index, code);
+  rule_m1(sink, code, used_metric_entries);
+
+  std::stable_sort(violations.begin(), violations.end(),
+                   [](const Violation& a, const Violation& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return violations;
+}
+
+}  // namespace cg::lint

@@ -1,0 +1,103 @@
+#include "lint/sarif.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+#include "report/json.h"
+
+namespace cg::lint {
+namespace {
+
+struct RuleDoc {
+  std::string_view id;
+  std::string_view summary;
+};
+
+// The full catalogue (DESIGN.md §10). Order is the SARIF ruleIndex order.
+constexpr std::array<RuleDoc, 14> kRules = {{
+    {"D1", "wall-clock time source outside allowlisted diagnostic paths"},
+    {"D2", "nondeterministic randomness outside the seeded corpus PRNG"},
+    {"D3", "unordered-container iteration hazard in output-feeding modules"},
+    {"D4", "mutable static state"},
+    {"E1", "switch over a registered taxonomy enum swallows enumerators"},
+    {"IO", "file could not be read"},
+    {"L1", "include crosses a module edge not declared in the DAG"},
+    {"L2", "application-tier include crosses an undeclared module edge"},
+    {"M1", "metric name literal not registered in lint/metrics.txt"},
+    {"S1", "malformed suppression annotation"},
+    {"S2", "suppression without a reason string"},
+    {"S3", "suppression matched no violation"},
+    {"W1", "std::ofstream written without a stream-health check"},
+    {"W2", "must-check result discarded or type missing [[nodiscard]]"},
+}};
+
+int rule_index(std::string_view id) {
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    if (kRules[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string to_sarif(const LintReport& report) {
+  using cg::report::Json;
+
+  Json rules = Json::array();
+  for (const RuleDoc& rule : kRules) {
+    Json entry = Json::object();
+    entry["id"] = Json(rule.id);
+    Json text = Json::object();
+    text["text"] = Json(rule.summary);
+    entry["shortDescription"] = std::move(text);
+    rules.push_back(std::move(entry));
+  }
+
+  Json driver = Json::object();
+  driver["name"] = Json("cglint");
+  driver["rules"] = std::move(rules);
+  Json tool = Json::object();
+  tool["driver"] = std::move(driver);
+
+  Json results = Json::array();
+  for (const Violation& violation : report.violations) {
+    Json result = Json::object();
+    result["ruleId"] = Json(violation.rule);
+    const int index = rule_index(violation.rule);
+    if (index >= 0) result["ruleIndex"] = Json(index);
+    result["level"] = Json("error");
+    Json message = Json::object();
+    message["text"] = Json(violation.message);
+    result["message"] = std::move(message);
+
+    Json artifact = Json::object();
+    artifact["uri"] = Json(violation.file);
+    Json region = Json::object();
+    region["startLine"] = Json(std::max(1, violation.line));
+    Json physical = Json::object();
+    physical["artifactLocation"] = std::move(artifact);
+    physical["region"] = std::move(region);
+    Json location = Json::object();
+    location["physicalLocation"] = std::move(physical);
+    Json locations = Json::array();
+    locations.push_back(std::move(location));
+    result["locations"] = std::move(locations);
+    results.push_back(std::move(result));
+  }
+
+  Json run = Json::object();
+  run["tool"] = std::move(tool);
+  run["results"] = std::move(results);
+  Json runs = Json::array();
+  runs.push_back(std::move(run));
+
+  Json root = Json::object();
+  root["$schema"] =
+      Json("https://json.schemastore.org/sarif-2.1.0.json");
+  root["version"] = Json("2.1.0");
+  root["runs"] = std::move(runs);
+  return root.dump(2) + "\n";
+}
+
+}  // namespace cg::lint

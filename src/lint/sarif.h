@@ -1,0 +1,16 @@
+// SARIF 2.1.0 serialization of a lint report, for CI annotation surfaces
+// and artifact upload. One run, tool "cglint", every violation a result at
+// level "error"; suppressed findings are deliberately absent (they are the
+// census's business, not the gate's).
+#pragma once
+
+#include <string>
+
+#include "lint/linter.h"
+
+namespace cg::lint {
+
+/// Serialize the report as a SARIF 2.1.0 log (schema-valid JSON text).
+std::string to_sarif(const LintReport& report);
+
+}  // namespace cg::lint

@@ -123,7 +123,9 @@ std::string to_text(const Query& query) {
         out += query.domain;
       }
       break;
-    default:
+    case QueryKind::kTable1:  // no-argument queries: the verb is the text
+    case QueryKind::kTotals:
+    case QueryKind::kStats:
       break;
   }
   return out;

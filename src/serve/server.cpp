@@ -505,10 +505,12 @@ report::Json Server::stats_json() const {
 
 void Server::export_metrics(obs::MetricsRegistry& registry) const {
   for (int k = 0; k < kQueryKindCount; ++k) {
-    std::string name = "serve.queries.";
-    name += query_kind_name(static_cast<QueryKind>(k));
-    registry.add(name, queries_by_kind_[static_cast<std::size_t>(k)].load(
-                           std::memory_order_relaxed));
+    // The prefix literal stays inline in the call so cglint M1 can match it
+    // against the serve.queries.* wildcard in lint/metrics.txt.
+    registry.add("serve.queries." +
+                     std::string(query_kind_name(static_cast<QueryKind>(k))),
+                 queries_by_kind_[static_cast<std::size_t>(k)].load(
+                     std::memory_order_relaxed));
   }
   registry.add("serve.queries.errors",
                query_errors_.load(std::memory_order_relaxed));

@@ -193,8 +193,10 @@ IoStatus FaultingSink::write(std::string_view bytes) {
       count(decision.cls);
       return {};
     }
-    default:
-      // kFsyncLost draws apply to sync ops only; inactive otherwise.
+    case fault::IoFault::kNone:
+    case fault::IoFault::kStreamError:  // real errors come from inner_, not draws
+    case fault::IoFault::kFsyncLost:    // applies to sync ops only
+    case fault::IoFault::kTornTail:     // applies to crash replay only
       break;
   }
   IoStatus inner = inner_->write(bytes);

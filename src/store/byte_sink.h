@@ -29,8 +29,11 @@
 namespace cg::store {
 
 /// Outcome of one sink/source operation. `fault` is kNone on success;
-/// `detail` names the operation and offset for diagnostics.
-struct IoStatus {
+/// `detail` names the operation and offset for diagnostics. [[nodiscard]]
+/// on the type makes every by-value return — the ByteSink/ByteSource
+/// virtuals included — a compiler error to drop silently; cglint rule W2
+/// backs the same contract at call sites the compiler cannot see.
+struct [[nodiscard]] IoStatus {
   fault::IoFault fault = fault::IoFault::kNone;
   std::string detail;
 

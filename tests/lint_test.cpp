@@ -1,27 +1,35 @@
 // cglint tests: per-rule fixtures (positive hit, near-misses inside string
 // literals and comments, suppressed hit, raw-string edge cases), the
-// suppression grammar, layering-config validation, and a self-hosting run
-// over the real repository tree.
+// suppression grammar, layering-config validation, the cross-file semantic
+// rules (W2/E1/M1/L2) with their name registries, baseline gating, SARIF
+// output, and a self-hosting run over the real repository tree.
 #include <chrono>
 #include <filesystem>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "lint/config.h"
 #include "lint/lexer.h"
 #include "lint/linter.h"
+#include "lint/sarif.h"
+#include "report/json.h"
 
 namespace {
 
 using cg::lint::Config;
 using cg::lint::LintReport;
+using cg::lint::NameRegistry;
+using cg::lint::SourceFile;
 using cg::lint::Token;
 using cg::lint::TokenKind;
 
 // A miniature layering universe for fixtures. webplat must not include
-// crawler; report may consume analysis; jsoncore is carved out of report/.
+// crawler; report may consume analysis; jsoncore is carved out of report/;
+// bench is an apps-tier module (layering findings report as L2); IoStatus
+// and NavigationResult results are must-check.
 constexpr std::string_view kFixtureConfig = R"cfg(
 path src/report/json jsoncore
 deps net:
@@ -30,10 +38,14 @@ deps webplat: net
 deps analysis: net
 deps crawler: webplat analysis
 deps report: analysis jsoncore
+deps bench: webplat
+apps bench
 open tests
 allow D1 under bench/
 restrict D3 analysis report jsoncore store obs instrument
 restrict W1 store crawler examples
+mustcheck IoStatus NavigationResult
+metricwrap count_metric
 )cfg";
 
 const Config& fixture_config() {
@@ -46,8 +58,29 @@ const Config& fixture_config() {
   return config;
 }
 
+// The fixture config with small enum/metric registries attached, arming the
+// cross-file rules E1 and M1.
+const Config& semantic_config() {
+  static const Config config = [] {
+    Config with_registries = fixture_config();
+    std::string error;
+    auto enums = NameRegistry::parse("FailureClass\n", &error);
+    if (!enums) ADD_FAILURE() << "enum registry: " << error;
+    auto metrics = NameRegistry::parse("crawl.sites\nio.faults.*\n", &error);
+    if (!metrics) ADD_FAILURE() << "metric registry: " << error;
+    if (enums) with_registries.set_enum_registry(std::move(*enums));
+    if (metrics) with_registries.set_metric_registry(std::move(*metrics));
+    return with_registries;
+  }();
+  return config;
+}
+
 LintReport run(const std::string& path, std::string_view source) {
   return lint_source(fixture_config(), path, source);
+}
+
+LintReport run_semantic(const std::string& path, std::string_view source) {
+  return lint_source(semantic_config(), path, source);
 }
 
 bool has_violation(const LintReport& report, const std::string& rule,
@@ -531,10 +564,361 @@ TEST(ConfigTest, ModuleMappingAndOverrides) {
   EXPECT_EQ(config->module_of("tools/cglint.cpp"), "tools");
 }
 
+// ---- W2: must-check results ----------------------------------------------
+
+TEST(RuleW2Test, FlagsDefinitionWithoutNodiscard) {
+  const auto report = run("src/store/byte_sink.h",
+                          "struct IoStatus {\n"
+                          "  bool ok() const;\n"
+                          "};\n");
+  EXPECT_TRUE(has_violation(report, "W2", 1));
+
+  const auto annotated = run("src/store/byte_sink.h",
+                             "struct [[nodiscard]] IoStatus {\n"
+                             "  bool ok() const;\n"
+                             "};\n");
+  EXPECT_TRUE(annotated.violations.empty());
+}
+
+TEST(RuleW2Test, FlagsDiscardedMemberCallButNotConsumedOrVoidCast) {
+  const auto report = run(
+      "src/store/writer.cpp",
+      "struct [[nodiscard]] IoStatus { bool ok() const; };\n"
+      "class FileSink {\n"
+      " public:\n"
+      "  IoStatus write(std::string_view bytes);\n"
+      "  IoStatus flush();\n"
+      "};\n"
+      "bool emit(std::string_view bytes) {\n"
+      "  FileSink sink;\n"
+      "  sink.write(bytes);\n"
+      "  (void)sink.write(bytes);\n"
+      "  return sink.flush().ok();\n"
+      "}\n");
+  EXPECT_TRUE(has_violation(report, "W2", 9));
+  EXPECT_FALSE(has_violation(report, "W2", 10));
+  EXPECT_FALSE(has_violation(report, "W2", 11));
+}
+
+TEST(RuleW2Test, FlagsDiscardedFreeFunctionResult) {
+  const auto report = run(
+      "src/browser/browser.cpp",
+      "struct [[nodiscard]] NavigationResult { bool ok() const; };\n"
+      "NavigationResult navigate_home();\n"
+      "void warm() {\n"
+      "  navigate_home();\n"
+      "  auto result = navigate_home();\n"
+      "}\n");
+  EXPECT_TRUE(has_violation(report, "W2", 4));
+  EXPECT_FALSE(has_violation(report, "W2", 5));
+}
+
+TEST(RuleW2Test, ResolvesMemberReceiversAcrossFiles) {
+  // The receiver type of `inner_` is only discoverable from the header; the
+  // discard itself sits in the .cpp. This is the cross-file case the
+  // pass-1 symbol index exists for.
+  const std::vector<SourceFile> sources = {
+      {"src/store/sink.h",
+       "struct [[nodiscard]] IoStatus { bool ok() const; };\n"
+       "class FileSink {\n"
+       " public:\n"
+       "  IoStatus write(std::string_view bytes);\n"
+       "};\n"
+       "class Writer {\n"
+       " public:\n"
+       "  IoStatus append(std::string_view bytes);\n"
+       " private:\n"
+       "  FileSink inner_;\n"
+       "};\n"},
+      {"src/store/writer_impl.cpp",
+       "IoStatus Writer::append(std::string_view bytes) {\n"
+       "  inner_.write(bytes);\n"
+       "  return inner_.write(bytes);\n"
+       "}\n"},
+  };
+  const auto report = lint_sources(fixture_config(), sources);
+  EXPECT_TRUE(has_violation(report, "W2", 2));
+  EXPECT_FALSE(has_violation(report, "W2", 3));
+}
+
+TEST(RuleW2Test, SuppressibleWithReason) {
+  const auto report = run(
+      "src/store/writer.cpp",
+      "struct [[nodiscard]] IoStatus { bool ok() const; };\n"
+      "IoStatus flush_all();\n"
+      "void teardown() {\n"
+      "  flush_all();  // cglint: allow(W2) — destructor path; failure is already latched\n"
+      "}\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppression_census.at("W2"), 1);
+}
+
+// ---- E1: taxonomy exhaustiveness -----------------------------------------
+
+TEST(RuleE1Test, FlagsBareDefaultOverRegisteredEnum) {
+  const auto report = run_semantic(
+      "src/fault/classify.cpp",
+      "enum class FailureClass { kNone, kDnsFailure, kConnectTimeout };\n"
+      "int classify(FailureClass cls) {\n"
+      "  switch (cls) {\n"
+      "    case FailureClass::kNone:\n"
+      "      return 0;\n"
+      "    default:\n"
+      "      return 1;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(has_violation(report, "E1", 6));
+}
+
+TEST(RuleE1Test, ListsMissingEnumeratorsWhenThereIsNoDefault) {
+  const auto report = run_semantic(
+      "src/fault/classify.cpp",
+      "enum class FailureClass { kNone, kDnsFailure, kConnectTimeout };\n"
+      "int classify(FailureClass cls) {\n"
+      "  switch (cls) {\n"
+      "    case FailureClass::kNone:\n"
+      "      return 0;\n"
+      "    case FailureClass::kDnsFailure:\n"
+      "      return 1;\n"
+      "  }\n"
+      "  return 2;\n"
+      "}\n");
+  ASSERT_TRUE(has_violation(report, "E1", 3));
+  EXPECT_NE(report.violations[0].message.find("kConnectTimeout"),
+            std::string::npos);
+}
+
+TEST(RuleE1Test, ExhaustiveSwitchAndUnregisteredEnumAreClean) {
+  const auto exhaustive = run_semantic(
+      "src/fault/classify.cpp",
+      "enum class FailureClass { kNone, kDnsFailure };\n"
+      "int classify(FailureClass cls) {\n"
+      "  switch (cls) {\n"
+      "    case FailureClass::kNone:\n"
+      "      return 0;\n"
+      "    case FailureClass::kDnsFailure:\n"
+      "      return 1;\n"
+      "  }\n"
+      "  return 2;\n"
+      "}\n");
+  EXPECT_TRUE(exhaustive.violations.empty());
+
+  // `Color` is not in the enum registry: bare defaults stay legal there.
+  const auto unregistered = run_semantic(
+      "src/fault/classify.cpp",
+      "enum class Color { kRed, kGreen };\n"
+      "int hue(Color c) {\n"
+      "  switch (c) {\n"
+      "    case Color::kRed:\n"
+      "      return 0;\n"
+      "    default:\n"
+      "      return 1;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(unregistered.violations.empty());
+}
+
+TEST(RuleE1Test, ResolvesEnumeratorListAcrossFiles) {
+  const std::vector<SourceFile> sources = {
+      {"src/fault/fault2.h",
+       "enum class FailureClass { kNone, kDnsFailure, kConnectTimeout };\n"},
+      {"src/fault/classify.cpp",
+       "int classify(FailureClass cls) {\n"
+       "  switch (cls) {\n"
+       "    case FailureClass::kNone:\n"
+       "      return 0;\n"
+       "    case FailureClass::kDnsFailure:\n"
+       "      return 1;\n"
+       "  }\n"
+       "  return 2;\n"
+       "}\n"},
+  };
+  const auto report = lint_sources(semantic_config(), sources);
+  ASSERT_TRUE(has_violation(report, "E1", 2));
+  EXPECT_NE(report.violations[0].message.find("kConnectTimeout"),
+            std::string::npos);
+}
+
+TEST(RuleE1Test, SuppressibleWithReason) {
+  const auto report = run_semantic(
+      "src/fault/classify.cpp",
+      "enum class FailureClass { kNone, kDnsFailure };\n"
+      "int classify(FailureClass cls) {\n"
+      "  switch (cls) {\n"
+      "    case FailureClass::kNone:\n"
+      "      return 0;\n"
+      "    // cglint: allow(E1) — forward-compat shim; new classes degrade\n"
+      "    default:\n"
+      "      return 1;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppression_census.at("E1"), 1);
+}
+
+// ---- M1: metrics-name registry -------------------------------------------
+
+TEST(RuleM1Test, ChecksObsHelpersAndConfiguredWrappers) {
+  const auto report = run_semantic(
+      "src/crawler/tick.cpp",
+      "void tick(std::string_view name) {\n"
+      "  obs::metric_add(\"crawl.sites\", 1);\n"
+      "  obs::metric_add(\"crawl.sitez\", 1);\n"
+      "  count_metric(concat(\"io.faults.\", name));\n"
+      "  count_metric(concat(\"io.lost.\", name));\n"
+      "}\n");
+  EXPECT_FALSE(has_violation(report, "M1", 2));
+  EXPECT_TRUE(has_violation(report, "M1", 3));
+  EXPECT_FALSE(has_violation(report, "M1", 4));
+  EXPECT_TRUE(has_violation(report, "M1", 5));
+}
+
+TEST(RuleM1Test, ReceiverAndShapeGatesSkipLookalikes) {
+  const auto report = run_semantic(
+      "src/crawler/tick.cpp",
+      "void f(HttpHeaders& headers, MetricsRegistry& metrics) {\n"
+      "  headers.add(\"Set-Cookie\", \"a=1\");\n"
+      "  metrics.add(\"c\");\n"
+      "  metrics.add(\"crawl.sites\");\n"
+      "  metrics.add(\"crawl.oops\");\n"
+      "}\n");
+  EXPECT_FALSE(has_violation(report, "M1", 2));  // receiver gate
+  EXPECT_FALSE(has_violation(report, "M1", 3));  // shape gate: no dot
+  EXPECT_FALSE(has_violation(report, "M1", 4));
+  EXPECT_TRUE(has_violation(report, "M1", 5));
+}
+
+TEST(RuleM1Test, CensusReportsUnusedRegistryEntries) {
+  const auto report = lint_sources(
+      semantic_config(),
+      {{"src/crawler/tick.cpp",
+        "void tick() { obs::metric_add(\"crawl.sites\", 1); }\n"}});
+  ASSERT_EQ(report.unused_metric_entries.size(), 1u);
+  EXPECT_EQ(report.unused_metric_entries[0], "io.faults.*");
+}
+
+TEST(RuleM1Test, SuppressibleWithReason) {
+  const auto report = run_semantic(
+      "src/crawler/tick.cpp",
+      "void tick() {\n"
+      "  obs::metric_add(\"crawl.scratch\", 1);  "
+      "// cglint: allow(M1) — scratch fixture name, not a fleet metric\n"
+      "}\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppression_census.at("M1"), 1);
+}
+
+// ---- L2: apps-tier layering ----------------------------------------------
+
+TEST(RuleL2Test, AppsTierViolationsReportAsL2NotL1) {
+  const auto report = run("bench/bench_x.cpp",
+                          "#include \"analysis/analyzer.h\"\n"
+                          "#include \"webplat/dom.h\"\n");
+  EXPECT_TRUE(has_violation(report, "L2", 1));   // analysis: undeclared edge
+  EXPECT_FALSE(has_violation(report, "L1", 1));  // relabelled, not doubled
+  EXPECT_FALSE(has_violation(report, "L2", 2));  // webplat: declared
+}
+
+TEST(RuleL2Test, SuppressibleOnTheIncludeLine) {
+  const auto report = run(
+      "bench/bench_x.cpp",
+      "#include \"analysis/analyzer.h\"  "
+      "// cglint: allow(L2) — transitional; tracked in ISSUE\n");
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppression_census.at("L2"), 1);
+}
+
+TEST(ConfigTest, AppsModuleMustDeclareItsDeps) {
+  std::string error;
+  const auto config = Config::parse("deps net:\napps bench\n", &error);
+  EXPECT_FALSE(config.has_value());
+  EXPECT_NE(error.find("deps"), std::string::npos);
+}
+
+TEST(ConfigTest, NameRegistryMatchesExactAndWildcardEntries) {
+  std::string error;
+  auto registry =
+      NameRegistry::parse("# comment\ncrawl.sites\nio.faults.*\n", &error);
+  ASSERT_TRUE(registry.has_value()) << error;
+  std::string entry;
+  EXPECT_TRUE(registry->matches("crawl.sites", &entry));
+  EXPECT_EQ(entry, "crawl.sites");
+  EXPECT_TRUE(registry->matches("io.faults.no_space", &entry));
+  EXPECT_EQ(entry, "io.faults.*");
+  EXPECT_FALSE(registry->matches("crawl.sitez", nullptr));
+  EXPECT_TRUE(registry->matches_prefix("io.faults.", &entry));
+  EXPECT_FALSE(registry->matches_prefix("crawl.", nullptr));
+}
+
+TEST(ConfigTest, NameRegistryRejectsNonTrailingWildcards) {
+  std::string error;
+  EXPECT_FALSE(NameRegistry::parse("*\n", &error).has_value());
+  EXPECT_FALSE(NameRegistry::parse("io.*.x\n", &error).has_value());
+}
+
+// ---- baseline gating -----------------------------------------------------
+
+TEST(BaselineTest, ExcusesKnownFindingsButNotNewOnes) {
+  const auto first = run("src/crawler/visit.cpp",
+                         "auto t = std::chrono::system_clock::now();\n");
+  ASSERT_EQ(first.violations.size(), 1u);
+  const auto baseline =
+      cg::lint::Baseline::parse(cg::lint::write_baseline_text(first));
+  ASSERT_EQ(baseline.entries.size(), 1u);
+
+  // Keys are line-number-free: the same finding shifted down the file is
+  // still excused.
+  auto moved = run("src/crawler/visit.cpp",
+                   "\n\nauto t = std::chrono::system_clock::now();\n");
+  cg::lint::apply_baseline(&moved, baseline);
+  EXPECT_TRUE(moved.violations.empty());
+  EXPECT_EQ(moved.baselined, 1);
+
+  // Multiset semantics: one baseline entry excuses at most one finding, so
+  // the newly introduced second hit still fails the run.
+  auto grown = run("src/crawler/visit.cpp",
+                   "auto t = std::chrono::system_clock::now();\n"
+                   "auto u = std::chrono::system_clock::now();\n");
+  cg::lint::apply_baseline(&grown, baseline);
+  EXPECT_EQ(grown.violations.size(), 1u);
+  EXPECT_EQ(grown.baselined, 1);
+}
+
+// ---- SARIF ---------------------------------------------------------------
+
+TEST(SarifTest, EmitsValidSarif210Structure) {
+  const auto report = run("src/crawler/visit.cpp",
+                          "auto t = std::chrono::system_clock::now();\n");
+  ASSERT_EQ(report.violations.size(), 1u);
+
+  const auto parsed = cg::report::Json::parse(cg::lint::to_sarif(report));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("version")->as_string(), "2.1.0");
+
+  const auto& runs = *parsed->find("runs");
+  ASSERT_EQ(runs.size(), 1u);
+  const auto& driver = *runs.at(0).find("tool")->find("driver");
+  EXPECT_EQ(driver.find("name")->as_string(), "cglint");
+  EXPECT_EQ(driver.find("rules")->size(), 14u);
+
+  const auto& results = *runs.at(0).find("results");
+  ASSERT_EQ(results.size(), 1u);
+  const auto& result = results.at(0);
+  EXPECT_EQ(result.find("ruleId")->as_string(), "D1");
+  EXPECT_EQ(result.find("level")->as_string(), "error");
+  const auto& location =
+      *result.find("locations")->at(0).find("physicalLocation");
+  EXPECT_EQ(location.find("artifactLocation")->find("uri")->as_string(),
+            "src/crawler/visit.cpp");
+  EXPECT_EQ(location.find("region")->find("startLine")->as_int(), 1);
+}
+
 // ---- self-hosting --------------------------------------------------------
 
-// The repo must lint clean: zero unsuppressed violations, every suppression
-// reasoned, and the full-tree scan comfortably inside the 2 s budget.
+// The repo must lint clean with ALL rules armed — the checked-in enum and
+// metric registries attached — with zero unsuppressed violations, every
+// suppression reasoned, no dead registry entries, and the full-tree scan
+// comfortably inside the 2 s budget (CI gates harder via --max-ms 200).
 TEST(SelfHostTest, RepositoryLintsCleanAndFast) {
   const std::filesystem::path root = CG_SOURCE_ROOT;
   ASSERT_TRUE(std::filesystem::exists(root / "lint" / "layering.txt"));
@@ -543,8 +927,14 @@ TEST(SelfHostTest, RepositoryLintsCleanAndFast) {
   std::filesystem::current_path(root);
 
   std::string error;
-  const auto config = Config::load("lint/layering.txt", &error);
+  auto config = Config::load("lint/layering.txt", &error);
   ASSERT_TRUE(config.has_value()) << error;
+  auto enums = NameRegistry::load("lint/enums.txt", &error);
+  ASSERT_TRUE(enums.has_value()) << error;
+  config->set_enum_registry(std::move(*enums));
+  auto metrics = NameRegistry::load("lint/metrics.txt", &error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  config->set_metric_registry(std::move(*metrics));
 
   const auto start = std::chrono::steady_clock::now();  // cglint: allow(D1) — measuring the linter's own wall-clock budget is this test's purpose
   const LintReport report = cg::lint::lint_paths(
@@ -560,6 +950,10 @@ TEST(SelfHostTest, RepositoryLintsCleanAndFast) {
   for (const auto& entry : report.suppressed) {
     EXPECT_FALSE(entry.reason.empty())
         << entry.violation.file << ":" << entry.violation.line;
+  }
+  for (const auto& entry : report.unused_metric_entries) {
+    ADD_FAILURE() << "lint/metrics.txt: unused metric entry '" << entry
+                  << "'";
   }
   EXPECT_GT(report.files_scanned, 100);
   EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 2.0);
